@@ -1,0 +1,458 @@
+package recache_test
+
+// One benchmark per table/figure of the paper's evaluation (each runs the
+// corresponding harness experiment at a small scale; `recache-bench -exp
+// <id>` regenerates the full figure), plus the ablation benchmarks DESIGN.md
+// calls out and micro-benchmarks of the hot paths.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"recache"
+	"recache/internal/cache"
+	"recache/internal/datagen"
+	"recache/internal/eviction"
+	"recache/internal/expr"
+	"recache/internal/harness"
+	"recache/internal/jsonio"
+	"recache/internal/stats"
+	"recache/internal/store"
+	"recache/internal/value"
+	"recache/internal/workload"
+)
+
+// benchRunner builds a harness runner writing to io.Discard at bench scale.
+// RECACHE_SF and RECACHE_QUERIES scale the benchmarks up toward the paper's
+// sizes.
+func benchRunner(b *testing.B, dir string) *harness.Runner {
+	b.Helper()
+	sf := 0.0005
+	queries := 0.05
+	if v := os.Getenv("RECACHE_SF"); v != "" {
+		fmt.Sscanf(v, "%g", &sf)
+	}
+	if v := os.Getenv("RECACHE_QUERIES"); v != "" {
+		fmt.Sscanf(v, "%g", &queries)
+	}
+	return harness.New(harness.Options{
+		Dir:     dir,
+		SF:      sf,
+		Queries: queries,
+		Seed:    42,
+		Out:     io.Discard,
+	})
+}
+
+func benchExperiment(b *testing.B, exp string) {
+	dir := b.TempDir()
+	r := benchRunner(b, dir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- per-figure benchmarks ---
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B)  { benchExperiment(b, "fig9c") }
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+func BenchmarkFig11c(b *testing.B) { benchExperiment(b, "fig11c") }
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15a(b *testing.B) { benchExperiment(b, "fig15a") }
+func BenchmarkFig15b(b *testing.B) { benchExperiment(b, "fig15b") }
+
+// --- ablation benchmarks (design decisions called out in DESIGN.md) ---
+
+// Ablation 1: Algorithm 1's descending-size reclaim heuristic vs plain
+// ascending-H Greedy-Dual eviction. The metric is evictions needed to
+// reclaim the same space.
+func BenchmarkAblationReclaimHeuristic(b *testing.B) {
+	mkItems := func(r *rand.Rand) []eviction.Item {
+		items := make([]eviction.Item, 64)
+		for i := range items {
+			items[i] = eviction.Item{
+				ID:      uint64(i),
+				Size:    int64(100 + r.Intn(1000)),
+				Reuses:  int64(r.Intn(4)),
+				OpNanos: int64(r.Intn(100000)),
+			}
+		}
+		return items
+	}
+	for _, plain := range []bool{false, true} {
+		name := "algorithm1"
+		if plain {
+			name = "plain-greedy-dual"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := rand.New(rand.NewSource(5))
+			var evicted int64
+			for i := 0; i < b.N; i++ {
+				g := eviction.NewGreedyDual()
+				g.SetPlain(plain)
+				items := mkItems(r)
+				for _, it := range items {
+					g.OnInsert(it.ID)
+				}
+				evicted += int64(len(g.Victims(items, 5000)))
+			}
+			b.ReportMetric(float64(evicted)/float64(b.N), "evictions/op")
+		})
+	}
+}
+
+// Ablation 2: recomputing the benefit metric at every eviction vs freezing
+// it at insert time (the paper reports up to 6% workload regression when
+// frozen).
+func BenchmarkAblationFrozenBenefit(b *testing.B) {
+	dir := b.TempDir()
+	paths, err := datagen.TPCH(dir, 0.0005, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.SPJ(workload.DefaultTPCHTables(), 30, 42)
+	for _, frozen := range []bool{false, true} {
+		name := "recomputed"
+		if frozen {
+			name = "frozen"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := recache.OpenWithManager(cache.NewManager(cache.Config{
+					Admission:     cache.AlwaysEager,
+					Capacity:      64 << 10,
+					FreezeBenefit: frozen,
+				}))
+				registerBenchTPCH(b, eng, paths)
+				runBenchQueries(b, eng, queries)
+			}
+		})
+	}
+}
+
+// Ablation 3: sampled cost timers (1/128) vs timing every record (the
+// paper: 5–10% overhead when timing everything).
+func BenchmarkAblationTimerSampling(b *testing.B) {
+	work := func(x int64) int64 { return x*2654435761 + 12345 }
+	for _, shift := range []uint{0, stats.SampleShift} {
+		name := fmt.Sprintf("shift%d", shift)
+		b.Run(name, func(b *testing.B) {
+			t := stats.NewSampledTimer(shift, nil)
+			var acc int64
+			for i := 0; i < b.N; i++ {
+				if t.Begin() {
+					acc = work(acc)
+					t.End()
+				} else {
+					acc = work(acc)
+				}
+			}
+			if acc == 42 {
+				b.Log(acc)
+			}
+		})
+	}
+}
+
+// Ablation 4: R-tree subsumption lookup vs a linear scan of the cache.
+func BenchmarkAblationSubsumptionIndex(b *testing.B) {
+	dir := b.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	var buf []byte
+	const nRanges = 1200
+	for i := 0; i < 2*nRanges; i++ {
+		buf = append(buf, fmt.Sprintf("%d|%d\n", i, i*2)...)
+	}
+	if err := os.WriteFile(csvPath, buf, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for _, linear := range []bool{false, true} {
+		name := "rtree"
+		if linear {
+			name = "linear"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := recache.OpenWithManager(cache.NewManager(cache.Config{
+				Admission:         cache.AlwaysEager,
+				LinearSubsumption: linear,
+			}))
+			if err := eng.RegisterCSV("t", csvPath, "a int, c int", '|'); err != nil {
+				b.Fatal(err)
+			}
+			// Populate many disjoint cached ranges; each lookup then probes
+			// a large cache, which is where the R-tree's logarithmic
+			// candidate generation pays off against the linear scan.
+			for lo := 0; lo < 2*nRanges; lo += 2 {
+				q := fmt.Sprintf("SELECT COUNT(*) FROM t WHERE a BETWEEN %d AND %d", lo, lo+1)
+				if _, err := eng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * 7) % (2*nRanges - 2)
+				q := fmt.Sprintf("SELECT COUNT(*) FROM t WHERE a BETWEEN %d AND %d", lo, lo)
+				if _, err := eng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation 5: the two-timestamp admission extrapolation vs the naive
+// sample-local ratio; the metric is the mean caching overhead the policy
+// lets through.
+func BenchmarkAblationAdmissionExtrapolation(b *testing.B) {
+	dir := b.TempDir()
+	paths, err := datagen.TPCH(dir, 0.0005, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.SPJ(workload.DefaultTPCHTables(), 25, 9)
+	for _, naive := range []bool{false, true} {
+		name := "two-timestamp"
+		if naive {
+			name = "naive-ratio"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sumOvh float64
+			var n int
+			for i := 0; i < b.N; i++ {
+				eng := recache.OpenWithManager(cache.NewManager(cache.Config{
+					Admission:      cache.Adaptive,
+					Threshold:      0.10,
+					SampleSize:     50,
+					NaiveAdmission: naive,
+				}))
+				registerBenchTPCH(b, eng, paths)
+				for _, q := range queries {
+					res, err := eng.Query(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sumOvh += res.Stats.Overhead
+					n++
+				}
+			}
+			b.ReportMetric(100*sumOvh/float64(n), "mean-overhead-%")
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func benchNestedStore(b *testing.B, layout store.Layout) store.Store {
+	b.Helper()
+	schema, err := recache.ParseSchema(datagen.SyntheticNestedSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := datagen.GenerateRecords(schema, 2000, 4, 1)
+	bl, err := store.NewBuilder(layout, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := bl.Add(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bl.Finish()
+}
+
+func BenchmarkColumnarScanFlat(b *testing.B) {
+	s := benchNestedStore(b, store.LayoutColumnar)
+	cols := []int{1, 2, 9} // two parents + one nested leaf
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScanFlat(cols, func([]value.Value) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NumFlatRows()), "rows/scan")
+}
+
+func BenchmarkParquetScanFlat(b *testing.B) {
+	s := benchNestedStore(b, store.LayoutParquet)
+	cols := []int{1, 2, 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScanFlat(cols, func([]value.Value) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.NumFlatRows()), "rows/scan")
+}
+
+func BenchmarkParquetScanRecords(b *testing.B) {
+	s := benchNestedStore(b, store.LayoutParquet)
+	cols := []int{1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScanRecords(cols, func([]value.Value) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnarScanRecords(b *testing.B) {
+	s := benchNestedStore(b, store.LayoutColumnar)
+	cols := []int{1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ScanRecords(cols, func([]value.Value) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayoutConvert(b *testing.B) {
+	p := benchNestedStore(b, store.LayoutParquet)
+	b.Run("parquet-to-columnar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := store.Convert(p, store.LayoutColumnar); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	c := benchNestedStore(b, store.LayoutColumnar)
+	b.Run("columnar-to-parquet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := store.Convert(c, store.LayoutParquet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkJSONParse(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "d.json")
+	if err := datagen.SyntheticNested(path, 1000, 4, 3); err != nil {
+		b.Fatal(err)
+	}
+	schema, err := recache.ParseSchema(datagen.SyntheticNestedSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prov, err := jsonio.New(path, schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		err = prov.Scan(nil, func(rec value.Value, off int64, _ func() error) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 1000 {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}
+
+func BenchmarkFusedPredicate(b *testing.B) {
+	schema := value.TRecord(
+		value.F("a", value.TInt),
+		value.F("c", value.TFloat),
+	)
+	pred := expr.And(
+		expr.Between(expr.C("a"), expr.L(10), expr.L(90)),
+		expr.Cmp(expr.OpLt, expr.C("c"), expr.L(0.5)),
+	)
+	p, err := expr.CompilePredicate(pred, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := expr.Row{value.VInt(50), value.VFloat(0.25)}
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if p(row) {
+			hits++
+		}
+	}
+	if hits != b.N {
+		b.Fatal("predicate wrong")
+	}
+}
+
+func BenchmarkEndToEndCachedQuery(b *testing.B) {
+	dir := b.TempDir()
+	paths, err := datagen.TPCH(dir, 0.001, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := recache.Open(recache.Config{Admission: "eager"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.RegisterJSON("ol", paths.OrderLineitems, datagen.OrderLineitemsSchema); err != nil {
+		b.Fatal(err)
+	}
+	q := "SELECT SUM(lineitems.l_extendedprice) FROM ol WHERE lineitems.l_quantity BETWEEN 10 AND 40"
+	if _, err := eng.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- shared helpers ---
+
+func registerBenchTPCH(b *testing.B, eng *recache.Engine, p *datagen.TPCHPaths) {
+	b.Helper()
+	for _, t := range []struct{ name, path, schema string }{
+		{"customer", p.Customer, datagen.CustomerSchema},
+		{"orders", p.Orders, datagen.OrdersSchema},
+		{"lineitem", p.Lineitem, datagen.LineitemSchema},
+		{"partsupp", p.Partsupp, datagen.PartsuppSchema},
+		{"part", p.Part, datagen.PartSchema},
+	} {
+		if err := eng.RegisterCSV(t.name, t.path, t.schema, '|'); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runBenchQueries(b *testing.B, eng *recache.Engine, queries []string) time.Duration {
+	b.Helper()
+	var tot time.Duration
+	for _, q := range queries {
+		res, err := eng.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot += res.Stats.Wall
+	}
+	return tot
+}

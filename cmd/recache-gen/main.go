@@ -1,0 +1,73 @@
+// Command recache-gen generates the evaluation datasets: TPC-H-like tables
+// (CSV + JSON + the nested orderLineitems file), the Symantec-like spam
+// logs, the Yelp-like dataset, and the synthetic cardinality files.
+//
+// Usage:
+//
+//	recache-gen -out ./data -sf 0.01 tpch
+//	recache-gen -out ./data -n 50000 symantec
+//	recache-gen -out ./data -n 2000 yelp
+//	recache-gen -out ./data -n 5000 -card 8 synthetic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"recache/internal/datagen"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "data", "output directory")
+		sf   = flag.Float64("sf", 0.002, "TPC-H scale factor")
+		n    = flag.Int("n", 10000, "record count (symantec/yelp/synthetic)")
+		card = flag.Int("card", 4, "list cardinality (synthetic)")
+		seed = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "recache-gen: exactly one of: tpch, symantec, yelp, synthetic")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	switch flag.Arg(0) {
+	case "tpch":
+		p, err := datagen.TPCH(*out, *sf, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s %s %s %s %s\n", p.Lineitem, p.Orders, p.Customer, p.Partsupp, p.Part)
+		fmt.Printf("wrote %s %s %s\n", p.LineitemJSON, p.OrdersJSON, p.OrderLineitems)
+	case "symantec":
+		p, err := datagen.Symantec(*out, *n, 2*(*n), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s %s\n", p.JSON, p.CSV)
+	case "yelp":
+		p, err := datagen.Yelp(*out, *n, 7*(*n), 14*(*n), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s %s %s\n", p.Business, p.User, p.Review)
+	case "synthetic":
+		path := filepath.Join(*out, fmt.Sprintf("synthetic_card%d.json", *card))
+		if err := datagen.SyntheticNested(path, *n, *card, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	default:
+		fmt.Fprintf(os.Stderr, "recache-gen: unknown dataset %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recache-gen:", err)
+	os.Exit(1)
+}

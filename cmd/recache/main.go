@@ -1,0 +1,193 @@
+// Command recache is an interactive SQL shell over raw CSV/JSON files with
+// the reactive cache enabled. Tables are registered from the command line
+// or with the \csv and \json meta-commands; \cache shows live cache
+// entries, \stats the hit/eviction counters, \explain the rewritten plan.
+//
+// Usage:
+//
+//	recache -csv 'lineitem=path.csv:l_orderkey int, l_quantity int' \
+//	        -json 'orders=path.json:o_orderkey int, items list(qty int)' \
+//	        [-e 'SELECT ...']            # one-shot, else REPL on stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"recache"
+)
+
+type tableFlag struct {
+	specs *[]string
+}
+
+func (t tableFlag) String() string { return "" }
+func (t tableFlag) Set(s string) error {
+	*t.specs = append(*t.specs, s)
+	return nil
+}
+
+func main() {
+	var csvSpecs, jsonSpecs []string
+	var (
+		eviction  = flag.String("eviction", "recache", "eviction policy")
+		admission = flag.String("admission", "adaptive", "admission mode: adaptive|eager|lazy|off")
+		layout    = flag.String("layout", "auto", "cache layout: auto|parquet|columnar|row")
+		capacity  = flag.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited)")
+		oneShot   = flag.String("e", "", "execute one query and exit")
+	)
+	flag.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
+	flag.Var(tableFlag{&jsonSpecs}, "json", "register JSON table: name=path:schema (repeatable)")
+	flag.Parse()
+
+	eng, err := recache.Open(recache.Config{
+		Eviction:      *eviction,
+		Admission:     *admission,
+		Layout:        *layout,
+		CacheCapacity: *capacity,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, spec := range csvSpecs {
+		name, path, schema, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.RegisterCSV(name, path, schema, '|'); err != nil {
+			fatal(err)
+		}
+	}
+	for _, spec := range jsonSpecs {
+		name, path, schema, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.RegisterJSON(name, path, schema); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *oneShot != "" {
+		if err := runQuery(eng, *oneShot); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("recache shell — \\help for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("recache> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if quit := metaCommand(eng, line); quit {
+				return
+			}
+			continue
+		}
+		if err := runQuery(eng, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func splitSpec(spec string) (name, path, schema string, err error) {
+	eq := strings.IndexByte(spec, '=')
+	if eq < 0 {
+		return "", "", "", fmt.Errorf("bad table spec %q (want name=path[:schema])", spec)
+	}
+	name = spec[:eq]
+	rest := spec[eq+1:]
+	if colon := strings.IndexByte(rest, ':'); colon >= 0 {
+		return name, rest[:colon], rest[colon+1:], nil
+	}
+	return name, rest, "", nil
+}
+
+func runQuery(eng *recache.Engine, sql string) error {
+	res, err := eng.Query(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows, %v; cache overhead %.1f%%)\n",
+		len(res.Rows), res.Stats.Wall.Round(1000), 100*res.Stats.Overhead)
+	return nil
+}
+
+func metaCommand(eng *recache.Engine, line string) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return true
+	case "\\help":
+		fmt.Println(`\d               list tables
+\d <table>      show a table's schema
+\cache          list cache entries
+\stats          cache counters
+\explain <sql>  show the rewritten plan
+\q              quit`)
+	case "\\d":
+		if len(fields) > 1 {
+			s, err := eng.TableSchema(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			fmt.Println(s)
+			return false
+		}
+		for _, t := range eng.Tables() {
+			fmt.Println(t)
+		}
+	case "\\cache":
+		for _, e := range eng.CacheEntries() {
+			fmt.Printf("[%d] %s σ(%s) %s/%s %dB n=%d\n",
+				e.ID, e.Table, e.Predicate, e.Mode, e.Layout, e.Bytes, e.Reuses)
+		}
+	case "\\stats":
+		s := eng.CacheStats()
+		fmt.Printf("queries=%d exact=%d subsumed=%d misses=%d evictions=%d switches=%d upgrades=%d entries=%d bytes=%d\n",
+			s.Queries, s.ExactHits, s.SubsumedHits, s.Misses, s.Evictions,
+			s.LayoutSwitches, s.LazyUpgrades, s.Entries, s.TotalBytes)
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		out, err := eng.Explain(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(out)
+	default:
+		fmt.Println("unknown command; \\help")
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "recache:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Quickstart: register a CSV and a nested JSON file, run a few analytical
+// queries, and watch the reactive cache at work — misses on first touch,
+// exact and subsumption hits afterwards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"recache"
+)
+
+const ordersCSV = `1|100|PENDING|1995
+2|250|SHIPPED|1996
+3|75|PENDING|1995
+4|410|DELIVERED|1997
+5|320|SHIPPED|1996
+6|95|PENDING|1995
+7|560|DELIVERED|1998
+8|130|SHIPPED|1996
+`
+
+const eventsJSON = `{"id":1,"kind":"click","items":[{"sku":11,"qty":2},{"sku":12,"qty":1}]}
+{"id":2,"kind":"view","items":[]}
+{"id":3,"kind":"click","items":[{"sku":11,"qty":5}]}
+{"id":4,"kind":"purchase","items":[{"sku":13,"qty":1},{"sku":11,"qty":3},{"sku":12,"qty":2}]}
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "recache-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	csvPath := filepath.Join(dir, "orders.csv")
+	jsonPath := filepath.Join(dir, "events.json")
+	if err := os.WriteFile(csvPath, []byte(ordersCSV), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, []byte(eventsJSON), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// An engine with every ReCache mechanism on (the zero config).
+	eng, err := recache.Open(recache.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RegisterCSV("orders", csvPath,
+		"okey int, total float, status string, year int", '|'); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RegisterJSON("events", jsonPath,
+		"id int, kind string, items list(sku int, qty int)"); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(sql string) {
+		res, err := eng.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		fmt.Printf("» %s\n", sql)
+		fmt.Printf("  %v\n", res.Columns)
+		for _, row := range res.Rows {
+			fmt.Printf("  %v\n", row)
+		}
+	}
+
+	// First touch: raw CSV scan, result cached.
+	run("SELECT SUM(total), COUNT(*) FROM orders WHERE total BETWEEN 100 AND 500")
+	// Exact repeat: answered from the cache.
+	run("SELECT SUM(total), COUNT(*) FROM orders WHERE total BETWEEN 100 AND 500")
+	// Narrower range: answered by subsumption from the wider cached result.
+	run("SELECT AVG(total) FROM orders WHERE total BETWEEN 200 AND 400")
+	// Nested query over JSON: unnests the items list.
+	run("SELECT SUM(items.qty), COUNT(*) FROM events WHERE items.sku = 11")
+	// Group-by over the raw CSV.
+	run("SELECT status, COUNT(*) AS n, AVG(total) FROM orders GROUP BY status")
+	// A join across the two formats.
+	run("SELECT COUNT(*) FROM orders JOIN events ON okey = id WHERE total > 90")
+
+	st := eng.CacheStats()
+	fmt.Printf("\ncache: %d queries, %d exact hits, %d subsumption hits, %d entries (%d bytes)\n",
+		st.Queries, st.ExactHits, st.SubsumedHits, st.Entries, st.TotalBytes)
+	for _, e := range eng.CacheEntries() {
+		fmt.Printf("  [%d] %s σ(%s) %s/%s reuses=%d\n",
+			e.ID, e.Table, e.Predicate, e.Mode, e.Layout, e.Reuses)
+	}
+}

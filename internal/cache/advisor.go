@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"math"
+
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// scanObs records one query's observed cost against a cache entry — the
+// D_i, C_i, r_i and c_i of §4.2.
+type scanObs struct {
+	dataNanos    int64 // D_i
+	computeNanos int64 // C_i
+	rows         int64 // r_i: logical rows the query needed
+	ncols        int   // c_i
+	layout       store.Layout
+}
+
+// advisorState holds the per-entry layout-selection state. The window
+// covers queries since the last layout switch (the paper deliberately uses
+// an unbounded, switch-reset window to damp thrashing on rapidly changing
+// workloads). parquetHist keeps all Parquet-layout observations across the
+// entry's lifetime to drive the ComputeCost(r, c) estimate of eq. (5).
+type advisorState struct {
+	window      []scanObs
+	parquetHist []scanObs
+	rowcol      rowColCost
+	switches    int
+	// lastConvNanos is the measured cost of the previous layout switch.
+	// Eq. (3) extrapolates T from scan costs, which can badly underestimate
+	// an actual rebuild; once a real conversion has been observed, the
+	// decision uses max(model T, observed T) — the same reactive principle
+	// the paper applies to the benefit metric (recompute from live
+	// measurements, §5.1).
+	lastConvNanos int64
+}
+
+// layoutDecision is what the advisor recommends after an observation.
+type layoutDecision struct {
+	switchTo store.Layout
+	doSwitch bool
+}
+
+// observeNested appends one observation and evaluates the Parquet ↔
+// relational-columnar switching rule (eqs. 1–5).
+func (a *advisorState) observeNested(obs scanObs, cur store.Layout, totalRows int64) layoutDecision {
+	a.window = append(a.window, obs)
+	if obs.layout == store.LayoutParquet {
+		a.parquetHist = append(a.parquetHist, obs)
+		// Bound history to keep the nearest-neighbour search cheap.
+		if len(a.parquetHist) > 256 {
+			a.parquetHist = a.parquetHist[len(a.parquetHist)-256:]
+		}
+	}
+	R := float64(totalRows)
+	if R <= 0 || len(a.window) == 0 {
+		return layoutDecision{}
+	}
+	switch cur {
+	case store.LayoutParquet:
+		// Eq. (1)–(3): switch to relational columnar when the accumulated
+		// Parquet cost exceeds the extrapolated columnar cost plus the
+		// transformation cost.
+		var costP, costR, T float64
+		for _, o := range a.window {
+			ri := float64(o.rows)
+			if ri <= 0 {
+				ri = R
+			}
+			costP += float64(o.dataNanos + o.computeNanos)
+			costR += float64(o.dataNanos) * R / ri
+			if t := float64(o.dataNanos+o.computeNanos) * R / ri; t > T {
+				T = t
+			}
+		}
+		if c := float64(a.lastConvNanos); c > T {
+			T = c
+		}
+		if costP > costR+T {
+			return layoutDecision{switchTo: store.LayoutColumnar, doSwitch: true}
+		}
+	case store.LayoutColumnar:
+		// Eq. (4)–(5): the columnar layout has negligible compute cost, so
+		// Parquet's compute cost is estimated from the nearest historical
+		// Parquet observation in (rows, cols) space.
+		var costR, costP, T float64
+		for _, o := range a.window {
+			ri := float64(o.rows)
+			if ri <= 0 {
+				ri = R
+			}
+			costR += float64(o.dataNanos)
+			cc := a.computeCost(o.rows, o.ncols, o.dataNanos)
+			costP += (float64(o.dataNanos) + cc) * ri / R
+			if t := float64(o.dataNanos+o.computeNanos) * R / ri; t > T {
+				T = t
+			}
+		}
+		if c := float64(a.lastConvNanos); c > T {
+			T = c
+		}
+		if costR > costP+T {
+			return layoutDecision{switchTo: store.LayoutParquet, doSwitch: true}
+		}
+	}
+	return layoutDecision{}
+}
+
+// computeCost estimates Parquet's computational cost for a query accessing
+// (rows, cols) as the compute cost of the closest Parquet-layout query in
+// the entry's history; with no history it falls back to the data cost
+// (conservative: assumes assembly costs as much as the data access).
+func (a *advisorState) computeCost(rows int64, ncols int, dataNanos int64) float64 {
+	if len(a.parquetHist) == 0 {
+		return float64(dataNanos)
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, h := range a.parquetHist {
+		dr := float64(h.rows - rows)
+		dc := float64(h.ncols - ncols)
+		d := dr*dr + dc*dc*1e6 // column count differences dominate
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return float64(a.parquetHist[best].computeNanos)
+}
+
+// reset moves the tracking window forward after a switch, as §4.2
+// prescribes ("it moves forward the window for further query tracking").
+func (a *advisorState) reset() {
+	a.window = a.window[:0]
+	a.switches++
+}
+
+// --- Relational row ↔ column advisor (§4.3, a minor variation of H2O) ---
+
+// rowColObs tracks which columns a query over flat cached data touched.
+type rowColCost struct {
+	colMisses float64
+	rowMisses float64
+	n         int
+}
+
+// observeFlat estimates data-cache misses for both layouts for one query
+// and accumulates them. widths are per-column byte widths; accessed is the
+// projected column set; rows the row count.
+func (c *rowColCost) observeFlat(widths []int, accessed []int, rows int64) {
+	const lineBytes = 64
+	var rowWidth float64
+	for _, w := range widths {
+		rowWidth += float64(w)
+	}
+	var accWidth float64
+	for _, a := range accessed {
+		accWidth += float64(widths[a])
+	}
+	// Column layout: misses proportional to the accessed columns' bytes,
+	// plus a per-column stream overhead; row layout: the full row is pulled
+	// through the cache whatever the projection.
+	c.colMisses += (accWidth*float64(rows) + 0.15*float64(len(accessed))*lineBytes*float64(rows)/8) / lineBytes
+	c.rowMisses += rowWidth * float64(rows) / lineBytes
+	c.n++
+}
+
+// decide recommends a layout once enough queries were observed; the margin
+// guards against thrashing (transformation is not free).
+func (c *rowColCost) decide(cur store.Layout) layoutDecision {
+	if c.n < 4 {
+		return layoutDecision{}
+	}
+	const margin = 1.25
+	if cur == store.LayoutColumnar && c.colMisses > c.rowMisses*margin {
+		return layoutDecision{switchTo: store.LayoutRow, doSwitch: true}
+	}
+	if cur == store.LayoutRow && c.rowMisses > c.colMisses*margin {
+		return layoutDecision{switchTo: store.LayoutColumnar, doSwitch: true}
+	}
+	return layoutDecision{}
+}
+
+// colWidths estimates per-column byte widths for the miss model.
+func colWidths(cols []value.LeafColumn) []int {
+	w := make([]int, len(cols))
+	for i, c := range cols {
+		switch c.Type.Kind {
+		case value.Int, value.Float:
+			w[i] = 8
+		case value.Bool:
+			w[i] = 1
+		default:
+			w[i] = 16
+		}
+	}
+	return w
+}

@@ -1,0 +1,679 @@
+package cache
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"recache/internal/eviction"
+	"recache/internal/expr"
+	"recache/internal/plan"
+	"recache/internal/rtree"
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// AdmissionMode selects the admission behaviour of materializers.
+type AdmissionMode uint8
+
+// Admission modes. The paper's baselines (Fig. 12, 13) are AlwaysEager and
+// AlwaysLazy; ReCache itself uses Adaptive; Off disables caching entirely.
+const (
+	Adaptive AdmissionMode = iota
+	AlwaysEager
+	AlwaysLazy
+	Off
+)
+
+// LayoutMode selects cache layout behaviour.
+type LayoutMode uint8
+
+// Layout modes. Auto is ReCache's reactive selection; the fixed modes are
+// the static baselines of the figures.
+const (
+	LayoutAuto LayoutMode = iota
+	LayoutFixedParquet
+	LayoutFixedColumnar
+	LayoutFixedRow
+)
+
+// Config configures a cache manager. The zero value means: unlimited
+// capacity, Greedy-Dual eviction, adaptive admission with the paper's 10%
+// threshold and 1000-record samples, automatic layout selection, and
+// subsumption matching enabled.
+type Config struct {
+	// Capacity is the cache size limit in bytes; 0 means unlimited.
+	Capacity int64
+	// Policy is the eviction policy (default: ReCache Greedy-Dual).
+	Policy eviction.Policy
+	// Admission selects the materializer behaviour.
+	Admission AdmissionMode
+	// Threshold is the admission overhead threshold T (default 0.10).
+	Threshold float64
+	// SampleSize is the admission sampling window in records (default 1000).
+	SampleSize int
+	// Layout selects automatic vs fixed cache layouts.
+	Layout LayoutMode
+	// DisableSubsumption turns off R-tree subsumption matching (ablation).
+	DisableSubsumption bool
+	// LinearSubsumption replaces the R-tree candidate lookup with a linear
+	// scan over all entries (the naive approach §3.3 rejects; ablation).
+	LinearSubsumption bool
+	// NaiveAdmission replaces the two-timestamp admission extrapolation
+	// with the naive sample overhead ratio (the join-blindness failure
+	// mode §5.2 describes; ablation).
+	NaiveAdmission bool
+	// FreezeBenefit uses insert-time benefit components at eviction instead
+	// of recomputing them (ablation; the paper reports up to 6% regression).
+	FreezeBenefit bool
+	// Oracle supplies the logical time of the next query that would hit an
+	// entry (offline eviction policies only). nil ⇒ NextUse unknown.
+	Oracle func(e *Entry, now int64) int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = eviction.NewGreedyDual()
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.10
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 1000
+	}
+	return c
+}
+
+// Stats aggregates manager-level counters for reporting.
+type Stats struct {
+	Queries        int64
+	ExactHits      int64
+	SubsumedHits   int64
+	Misses         int64
+	Evictions      int64
+	LayoutSwitches int64
+	LazyUpgrades   int64
+	Inserted       int64
+	TotalBytes     int64
+	Entries        int
+}
+
+// Manager owns the cache: entries, the exact-match table, the per-(dataset,
+// column) R-tree subsumption indexes, and the eviction policy state.
+type Manager struct {
+	mu      sync.Mutex
+	cfg     Config
+	nextID  uint64
+	clock   int64
+	entries map[uint64]*Entry
+	byKey   map[string]*Entry
+	// Subsumption indexes: one 1-D R-tree per (dataset, numeric column).
+	indexes map[string]*rtree.Tree
+	// Entries with no range constraints and no residuals (full-table and
+	// residual-free caches) per dataset: they can subsume anything.
+	uncon map[string]map[uint64]*Entry
+
+	total int64
+	stats Stats
+}
+
+// NewManager creates a manager.
+func NewManager(cfg Config) *Manager {
+	return &Manager{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[uint64]*Entry),
+		byKey:   make(map[string]*Entry),
+		indexes: make(map[string]*rtree.Tree),
+		uncon:   make(map[string]map[uint64]*Entry),
+	}
+}
+
+// Config returns the active configuration (with defaults applied).
+func (m *Manager) Config() Config { return m.cfg }
+
+// BeginQuery advances the logical clock; one tick per query.
+func (m *Manager) BeginQuery() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+	m.stats.Queries++
+}
+
+// Clock returns the logical time (queries seen).
+func (m *Manager) Clock() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.TotalBytes = m.total
+	s.Entries = len(m.entries)
+	return s
+}
+
+// Entries returns a snapshot of all live entries (sorted by ID, for
+// deterministic output).
+func (m *Manager) Entries() []*Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// BuildSpec instructs a materializer (internal/exec) how to admit one
+// select operator's output.
+type BuildSpec struct {
+	Manager    *Manager
+	Dataset    *plan.Dataset
+	Pred       expr.Expr
+	PredCanon  string
+	Ranges     *expr.RangeSet
+	Layout     store.Layout
+	Admission  AdmissionMode
+	Threshold  float64
+	SampleSize int
+	// WorkingSet is true when live cache entries from the same file exist:
+	// §5.2 then skips sampling and caches eagerly.
+	WorkingSet bool
+	// Naive uses the sample-local overhead ratio instead of the
+	// two-timestamp extrapolation (ablation).
+	Naive bool
+}
+
+// Rewrite walks a plan bottom-up, replacing cacheable subtrees
+// ([Unnest?]→Select→Scan) with CachedScan nodes on hits and wrapping the
+// remaining cacheable selects in Materialize nodes on misses. needed maps
+// dataset name → the dotted leaf columns the query actually uses (the
+// projection pushed into cache scans).
+func (m *Manager) Rewrite(root plan.Node, needed map[string][]string) plan.Node {
+	if m.cfg.Admission == Off {
+		return root
+	}
+	return m.rewrite(root, needed)
+}
+
+func (m *Manager) rewrite(n plan.Node, needed map[string][]string) plan.Node {
+	switch x := n.(type) {
+	case *plan.Unnest:
+		if sel, ok := x.Child.(*plan.Select); ok {
+			if scan, ok2 := sel.Child.(*plan.Scan); ok2 {
+				if repl := m.lookupAndRewrite(scan.DS, sel.Pred, true, needed[scan.DS.Name]); repl != nil {
+					return repl
+				}
+				// Miss: materialize the select, keep the unnest above it.
+				x.Child = m.wrapMaterialize(sel, scan.DS)
+				return x
+			}
+		}
+		x.Child = m.rewrite(x.Child, needed)
+		return x
+	case *plan.Select:
+		if scan, ok := x.Child.(*plan.Scan); ok {
+			if repl := m.lookupAndRewrite(scan.DS, x.Pred, false, needed[scan.DS.Name]); repl != nil {
+				return repl
+			}
+			return m.wrapMaterialize(x, scan.DS)
+		}
+		x.Child = m.rewrite(x.Child, needed)
+		return x
+	case *plan.Project:
+		x.Child = m.rewrite(x.Child, needed)
+		return x
+	case *plan.Aggregate:
+		x.Child = m.rewrite(x.Child, needed)
+		return x
+	case *plan.Join:
+		x.Left = m.rewrite(x.Left, needed)
+		x.Right = m.rewrite(x.Right, needed)
+		return x
+	default:
+		return n
+	}
+}
+
+// wrapMaterialize attaches a BuildSpec to a missed select.
+func (m *Manager) wrapMaterialize(sel *plan.Select, ds *plan.Dataset) plan.Node {
+	canon := "true"
+	if sel.Pred != nil {
+		canon = sel.Pred.Canonical()
+	}
+	ranges, err := expr.ExtractRanges(sel.Pred, ds.Schema())
+	if err != nil {
+		return sel // untypeable predicate: execute without caching
+	}
+	m.mu.Lock()
+	// Working-set fast path (§5.2): only a live *eager* entry from the same
+	// file justifies skipping the sampler — it proves eager caching of this
+	// file was affordable and the file is still hot.
+	ws := false
+	for _, e := range m.entries {
+		if e.Dataset == ds && e.Mode == Eager {
+			ws = true
+			break
+		}
+	}
+	layout := m.ChooseLayout(ds)
+	m.stats.Misses++
+	m.mu.Unlock()
+	return &plan.Materialize{
+		Child: sel,
+		Spec: &BuildSpec{
+			Manager:    m,
+			Dataset:    ds,
+			Pred:       sel.Pred,
+			PredCanon:  canon,
+			Ranges:     ranges,
+			Layout:     layout,
+			Admission:  m.cfg.Admission,
+			Threshold:  m.cfg.Threshold,
+			SampleSize: m.cfg.SampleSize,
+			WorkingSet: ws,
+			Naive:      m.cfg.NaiveAdmission,
+		},
+	}
+}
+
+// ChooseLayout picks the initial layout for a new entry: nested data
+// defaults to Parquet (§4.2: cheaper to build, smaller), flat data to
+// columnar; fixed modes override.
+func (m *Manager) ChooseLayout(ds *plan.Dataset) store.Layout {
+	nested := value.RepeatedField(ds.Schema()) != nil
+	switch m.cfg.Layout {
+	case LayoutFixedParquet:
+		return store.LayoutParquet
+	case LayoutFixedColumnar:
+		return store.LayoutColumnar
+	case LayoutFixedRow:
+		if nested {
+			return store.LayoutColumnar // row cannot hold nested data
+		}
+		return store.LayoutRow
+	default:
+		if nested {
+			return store.LayoutParquet
+		}
+		return store.LayoutColumnar
+	}
+}
+
+// lookupAndRewrite searches for an exact or subsuming entry. On a hit it
+// returns the replacement CachedScan (with lookup time l charged to the
+// entry); on a miss it returns nil.
+func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, neededCols []string) plan.Node {
+	start := time.Now()
+	canon := "true"
+	if pred != nil {
+		canon = pred.Canonical()
+	}
+	m.mu.Lock()
+	e, exact := m.lookupLocked(ds, pred, canon)
+	if e != nil {
+		l := time.Since(start).Nanoseconds()
+		e.LookupNs = l
+		e.Reuses++
+		e.Freq++
+		e.LastAccess = m.clock
+		m.cfg.Policy.OnAccess(e.ID)
+		if exact {
+			m.stats.ExactHits++
+		} else {
+			m.stats.SubsumedHits++
+		}
+	}
+	m.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	out, err := cachedScanSchema(ds, flat, neededCols)
+	if err != nil {
+		return nil
+	}
+	var residual expr.Expr
+	label := "exact"
+	if !exact {
+		residual = pred
+		label = "subsumed"
+	}
+	if e.Mode == Lazy {
+		label += "+lazy"
+	}
+	return &plan.CachedScan{
+		Entry:    e,
+		DS:       ds,
+		Flat:     flat,
+		Residual: residual,
+		Out:      out,
+		Label:    label,
+	}
+}
+
+// lookupLocked implements the match: exact key first, then R-tree
+// subsumption candidates verified against the full range set.
+func (m *Manager) lookupLocked(ds *plan.Dataset, pred expr.Expr, canon string) (*Entry, bool) {
+	if e, ok := m.byKey[entryKey(ds.Name, canon)]; ok {
+		return e, true
+	}
+	if m.cfg.DisableSubsumption {
+		return nil, false
+	}
+	qr, err := expr.ExtractRanges(pred, ds.Schema())
+	if err != nil {
+		return nil, false
+	}
+	var cands []*Entry
+	if m.cfg.LinearSubsumption {
+		// Naive approach: consider every cached item (linear in the cache
+		// size; kept for the ablation benchmark).
+		for _, e := range m.entries {
+			if e.Dataset == ds {
+				cands = append(cands, e)
+			}
+		}
+	} else {
+		// Unconstrained (full-table) caches subsume everything on the
+		// dataset.
+		for _, e := range m.uncon[ds.Name] {
+			cands = append(cands, e)
+		}
+		// One ranged column is enough to generate candidates; the full
+		// verification below filters false positives.
+		for col, iv := range qr.Cols {
+			tree := m.indexes[ds.Name+"|"+col]
+			if tree == nil {
+				continue
+			}
+			for _, id := range tree.Containing(rtree.Interval1D(iv.Lo, iv.Hi)) {
+				if e, ok := m.entries[id]; ok {
+					cands = append(cands, e)
+				}
+			}
+			break
+		}
+	}
+	var best *Entry
+	for _, e := range cands {
+		if !e.Ranges.Covers(qr) {
+			continue
+		}
+		if best == nil || betterCandidate(e, best) {
+			best = e
+		}
+	}
+	return best, false
+}
+
+// betterCandidate prefers eager entries, then fewer rows to scan.
+func betterCandidate(a, b *Entry) bool {
+	if (a.Mode == Eager) != (b.Mode == Eager) {
+		return a.Mode == Eager
+	}
+	return a.SizeBytes() < b.SizeBytes()
+}
+
+// cachedScanSchema computes the output row schema of a cache scan: the
+// needed columns restricted to the right granularity.
+func cachedScanSchema(ds *plan.Dataset, flat bool, neededCols []string) (*value.Type, error) {
+	cols, err := value.LeafColumns(ds.Schema())
+	if err != nil {
+		return nil, err
+	}
+	nm := map[string]value.LeafColumn{}
+	for _, c := range cols {
+		nm[c.Name()] = c
+	}
+	var fields []value.Field
+	if neededCols == nil {
+		for _, c := range cols {
+			if !flat && c.Repeated {
+				continue
+			}
+			fields = append(fields, value.Field{Name: c.Name(), Type: c.Type, Optional: true})
+		}
+	} else {
+		for _, n := range neededCols {
+			c, ok := nm[n]
+			if !ok {
+				continue
+			}
+			if !flat && c.Repeated {
+				continue
+			}
+			fields = append(fields, value.Field{Name: c.Name(), Type: c.Type, Optional: true})
+		}
+	}
+	return value.TRecord(fields...), nil
+}
+
+// CompleteBuild registers a finished cache entry (called by a materializer
+// when its query finishes). opNanos and cacheNanos are the measured t and c.
+// It returns the entry (nil if an identical entry raced in first).
+func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64,
+	mode Mode, opNanos, cacheNanos int64) *Entry {
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := entryKey(spec.Dataset.Name, spec.PredCanon)
+	if _, dup := m.byKey[key]; dup {
+		return nil
+	}
+	m.nextID++
+	e := &Entry{
+		ID:         m.nextID,
+		Dataset:    spec.Dataset,
+		Pred:       spec.Pred,
+		PredCanon:  spec.PredCanon,
+		Ranges:     spec.Ranges,
+		Mode:       mode,
+		Store:      st,
+		Offsets:    offsets,
+		OpNanos:    opNanos,
+		CacheNanos: cacheNanos,
+		LastAccess: m.clock,
+		InsertedAt: m.clock,
+		Freq:       1,
+		frozenOp:   opNanos, frozenCache: cacheNanos,
+	}
+	m.insertLocked(e)
+	return e
+}
+
+func (m *Manager) insertLocked(e *Entry) {
+	m.entries[e.ID] = e
+	m.byKey[e.Key()] = e
+	m.total += e.SizeBytes()
+	m.stats.Inserted++
+	m.cfg.Policy.OnInsert(e.ID)
+	if len(e.Ranges.Residuals) == 0 {
+		if len(e.Ranges.Cols) == 0 {
+			u := m.uncon[e.Dataset.Name]
+			if u == nil {
+				u = make(map[uint64]*Entry)
+				m.uncon[e.Dataset.Name] = u
+			}
+			u[e.ID] = e
+		} else {
+			for col, iv := range e.Ranges.Cols {
+				key := e.Dataset.Name + "|" + col
+				tree := m.indexes[key]
+				if tree == nil {
+					tree = rtree.New(1)
+					m.indexes[key] = tree
+				}
+				_ = tree.Insert(rtree.Interval1D(iv.Lo, iv.Hi), e.ID)
+			}
+		}
+	}
+	m.evictLocked()
+}
+
+// removeLocked detaches an entry from every index.
+func (m *Manager) removeLocked(e *Entry) {
+	delete(m.entries, e.ID)
+	if m.byKey[e.Key()] == e {
+		delete(m.byKey, e.Key())
+	}
+	if u := m.uncon[e.Dataset.Name]; u != nil {
+		delete(u, e.ID)
+	}
+	if len(e.Ranges.Residuals) == 0 {
+		for col, iv := range e.Ranges.Cols {
+			if tree := m.indexes[e.Dataset.Name+"|"+col]; tree != nil {
+				tree.Delete(rtree.Interval1D(iv.Lo, iv.Hi), e.ID)
+			}
+		}
+	}
+	m.total -= e.SizeBytes()
+	m.cfg.Policy.OnRemove(e.ID)
+}
+
+// evictLocked enforces the capacity limit through the configured policy.
+func (m *Manager) evictLocked() {
+	if m.cfg.Capacity <= 0 || m.total <= m.cfg.Capacity {
+		return
+	}
+	need := m.total - m.cfg.Capacity
+	items := make([]eviction.Item, 0, len(m.entries))
+	for _, e := range m.entries {
+		items = append(items, m.itemFor(e))
+	}
+	victims := m.cfg.Policy.Victims(items, need)
+	for _, id := range victims {
+		if e, ok := m.entries[id]; ok {
+			m.removeLocked(e)
+			m.stats.Evictions++
+		}
+	}
+}
+
+// itemFor snapshots an entry's accounting for the eviction policy. Unless
+// FreezeBenefit is set, components are read fresh so the benefit metric is
+// recomputed at every eviction, as §5.1 prescribes.
+func (m *Manager) itemFor(e *Entry) eviction.Item {
+	op, ca, sc, lo := e.OpNanos, e.CacheNanos, e.ScanNanos, e.LookupNs
+	if m.cfg.FreezeBenefit {
+		op, ca, sc, lo = e.frozenOp, e.frozenCache, e.frozenScan, e.frozenLookup
+	}
+	next := int64(math.MaxInt64)
+	if m.cfg.Oracle != nil {
+		next = m.cfg.Oracle(e, m.clock)
+	}
+	return eviction.Item{
+		ID:         e.ID,
+		Size:       e.SizeBytes(),
+		Reuses:     e.Reuses,
+		OpNanos:    op,
+		CacheNanos: ca,
+		ScanNanos:  sc,
+		LookupNs:   lo,
+		LastAccess: e.LastAccess,
+		Freq:       e.Freq,
+		FromJSON:   e.FromJSON(),
+		NextUse:    next,
+	}
+}
+
+// UpgradeLazy replaces a lazy entry's offsets with a freshly built eager
+// store (§5.2: a reused lazy item is replaced by an eager cache). The
+// build time adds to c, the replay time becomes the observed scan cost s,
+// and the size change may trigger eviction.
+func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNanos int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.Mode != Lazy {
+		return
+	}
+	m.total -= e.SizeBytes()
+	e.Mode = Eager
+	e.Store = st
+	e.Offsets = nil
+	e.CacheNanos += buildNanos
+	e.ScanNanos = scanWallNanos
+	if e.frozenScan == 0 {
+		e.frozenScan = scanWallNanos
+	}
+	m.total += e.SizeBytes()
+	m.stats.LazyUpgrades++
+	m.evictLocked()
+}
+
+// RecordScan feeds one cache-scan observation into the entry's accounting
+// and the layout advisor; it performs any recommended layout switch
+// in-line (the conversion cost lands in the running query, producing the
+// switch spikes visible in Fig. 9) and returns the conversion duration.
+func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNanos int64) time.Duration {
+	m.mu.Lock()
+	e.ScanNanos = scanWallNanos
+	if e.frozenScan == 0 {
+		e.frozenScan = scanWallNanos
+	}
+	if e.Mode != Eager || e.Store == nil {
+		m.mu.Unlock()
+		return 0
+	}
+	nested := value.RepeatedField(e.Dataset.Schema()) != nil
+	var dec layoutDecision
+	if nested {
+		if m.cfg.Layout == LayoutAuto {
+			dec = e.advisor.observeNested(scanObs{
+				dataNanos:    st.DataNanos,
+				computeNanos: st.ComputeNanos,
+				rows:         st.RowsScanned,
+				ncols:        ncols,
+				layout:       e.Store.Layout(),
+			}, e.Store.Layout(), int64(e.Store.NumFlatRows()))
+		}
+	} else if m.cfg.Layout == LayoutAuto || m.cfg.Layout == LayoutFixedRow {
+		// Row/column miss model needs the accessed column identities; the
+		// executor reports only the count, so approximate with the first
+		// ncols columns (projections are prefix-heavy in our workloads).
+		widths := colWidths(e.Store.Columns())
+		accessed := make([]int, 0, ncols)
+		for i := 0; i < ncols && i < len(widths); i++ {
+			accessed = append(accessed, i)
+		}
+		e.advisor.rowcol.observeFlat(widths, accessed, int64(e.Store.NumFlatRows()))
+		if m.cfg.Layout == LayoutAuto {
+			dec = e.advisor.rowcol.decide(e.Store.Layout())
+		}
+	}
+	if !dec.doSwitch {
+		m.mu.Unlock()
+		return 0
+	}
+	oldSize := e.SizeBytes()
+	m.mu.Unlock()
+	// Conversion outside the lock: it can be slow.
+	newStore, dur, err := store.Convert(e.Store, dec.switchTo)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		return 0
+	}
+	e.Store = newStore
+	e.advisor.reset()
+	e.advisor.rowcol = rowColCost{}
+	e.advisor.lastConvNanos = dur.Nanoseconds()
+	m.total += e.SizeBytes() - oldSize
+	m.stats.LayoutSwitches++
+	m.evictLocked()
+	return dur
+}
+
+// LayoutOf reports the entry's current physical layout (for tests and the
+// CLI).
+func (e *Entry) LayoutOf() store.Layout {
+	if e.Mode == Eager && e.Store != nil {
+		return e.Store.Layout()
+	}
+	return store.LayoutColumnar
+}

@@ -1,0 +1,480 @@
+// Package csvio is the CSV input plugin: a Proteus-style raw-data access
+// path over delimited text files. The first scan of a file tokenizes every
+// record and builds a positional map — the byte offset of each record and of
+// every field within it (the "skeleton" of the file, §3.1 of the paper).
+// Subsequent scans use the map to jump directly to the needed fields and
+// parse nothing else, and lazy caches replay just the satisfying records
+// through ScanOffsets.
+package csvio
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// Options configures a CSV provider.
+type Options struct {
+	// Delim is the field delimiter; the default is '|' (TPC-H style).
+	Delim byte
+	// HasHeader skips the first line (and InferSchema uses it for names).
+	HasHeader bool
+}
+
+func (o Options) delim() byte {
+	if o.Delim == 0 {
+		return '|'
+	}
+	return o.Delim
+}
+
+// Provider implements plan.ScanProvider for one CSV file.
+type Provider struct {
+	path   string
+	schema *value.Type
+	opts   Options
+	size   int64
+
+	data []byte // file contents, loaded on first scan (warm-cache model)
+
+	// Positional map, built during the first scan.
+	recStart []int64
+	fieldOff []uint32 // nrecs × nfields, offsets relative to recStart
+	nfields  int
+}
+
+// New creates a provider over path with an explicit flat record schema.
+func New(path string, schema *value.Type, opts Options) (*Provider, error) {
+	if schema == nil || schema.Kind != value.Record {
+		return nil, fmt.Errorf("csvio: schema must be a record, got %s", schema)
+	}
+	for _, f := range schema.Fields {
+		if !f.Type.IsPrimitive() {
+			return nil, fmt.Errorf("csvio: field %q is not primitive", f.Name)
+		}
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	return &Provider{
+		path:    path,
+		schema:  schema,
+		opts:    opts,
+		size:    st.Size(),
+		nfields: len(schema.Fields),
+	}, nil
+}
+
+// Schema implements plan.ScanProvider.
+func (p *Provider) Schema() *value.Type { return p.schema }
+
+// NumRecords implements plan.ScanProvider: -1 before the first scan.
+func (p *Provider) NumRecords() int {
+	if p.recStart == nil {
+		return -1
+	}
+	return len(p.recStart)
+}
+
+// SizeBytes implements plan.ScanProvider.
+func (p *Provider) SizeBytes() int64 { return p.size }
+
+func (p *Provider) load() error {
+	if p.data != nil {
+		return nil
+	}
+	b, err := os.ReadFile(p.path)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	p.data = b
+	return nil
+}
+
+// neededIndexes maps needed paths to field indexes; nil means every field.
+func (p *Provider) neededIndexes(needed []value.Path) ([]bool, error) {
+	if needed == nil {
+		return nil, nil
+	}
+	mask := make([]bool, p.nfields)
+	for _, np := range needed {
+		i, _ := p.schema.FieldIndex(np.String())
+		if i < 0 {
+			return nil, fmt.Errorf("csvio: unknown field %q", np)
+		}
+		mask[i] = true
+	}
+	return mask, nil
+}
+
+// noComplete is the completion callback for already-complete records.
+func noComplete() error { return nil }
+
+// Scan implements plan.ScanProvider. The first call tokenizes the whole
+// file and builds the positional map; later calls parse only needed fields.
+// The complete callback handed to fn parses the skipped fields in place.
+func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
+	if err := p.load(); err != nil {
+		return err
+	}
+	mask, err := p.neededIndexes(needed)
+	if err != nil {
+		return err
+	}
+	if p.recStart == nil {
+		return p.firstScan(mask, fn)
+	}
+	row := make([]value.Value, p.nfields)
+	rec := value.Value{Kind: value.Record, L: row}
+	for ri, start := range p.recStart {
+		if err := p.parseAt(ri, start, mask, row); err != nil {
+			return err
+		}
+		complete := noComplete
+		if mask != nil {
+			ri, start := ri, start
+			complete = func() error { return p.completeAt(ri, start, mask, row) }
+		}
+		if err := fn(rec, start, complete); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// completeAt parses the fields mask skipped, using the positional map.
+func (p *Provider) completeAt(ri int, start int64, mask []bool, row []value.Value) error {
+	offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
+	for fi := 0; fi < p.nfields; fi++ {
+		if mask[fi] {
+			continue
+		}
+		beg := int(start) + int(offs[fi])
+		v, err := p.parseField(fi, p.data[beg:p.fieldEnd(beg)])
+		if err != nil {
+			return err
+		}
+		row[fi] = v
+	}
+	return nil
+}
+
+// firstScan tokenizes every record, filling the positional map as it goes.
+func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
+	data := p.data
+	i := 0
+	if p.opts.HasHeader {
+		for i < len(data) && data[i] != '\n' {
+			i++
+		}
+		if i < len(data) {
+			i++
+		}
+	}
+	delim := p.opts.delim()
+	row := make([]value.Value, p.nfields)
+	rec := value.Value{Kind: value.Record, L: row}
+	var recStart []int64
+	var fieldOff []uint32
+	for i < len(data) {
+		start := i
+		recStart = append(recStart, int64(start))
+		// Tokenize the record: this pass necessarily touches every byte of
+		// the line, which is what makes first-touch raw access expensive.
+		fi := 0
+		fieldBeg := i
+		for ; i <= len(data); i++ {
+			if i == len(data) || data[i] == delim || data[i] == '\n' {
+				if fi < p.nfields {
+					fieldOff = append(fieldOff, uint32(fieldBeg-start))
+					if mask == nil || mask[fi] {
+						v, err := p.parseField(fi, data[fieldBeg:i])
+						if err != nil {
+							return err
+						}
+						row[fi] = v
+					} else {
+						row[fi] = value.VNull
+					}
+				}
+				fi++
+				fieldBeg = i + 1
+				if i == len(data) || data[i] == '\n' {
+					break
+				}
+			}
+		}
+		if fi < p.nfields {
+			return fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, fi, p.nfields)
+		}
+		complete := noComplete
+		if mask != nil {
+			recOffs := fieldOff[len(fieldOff)-p.nfields:]
+			complete = func() error {
+				for fi := 0; fi < p.nfields; fi++ {
+					if mask[fi] {
+						continue
+					}
+					beg := start + int(recOffs[fi])
+					v, err := p.parseField(fi, data[beg:p.fieldEnd(beg)])
+					if err != nil {
+						return err
+					}
+					row[fi] = v
+				}
+				return nil
+			}
+		}
+		if err := fn(rec, int64(start), complete); err != nil {
+			return err
+		}
+		i++ // past newline
+	}
+	p.recStart = recStart
+	p.fieldOff = fieldOff
+	return nil
+}
+
+// parseAt parses record ri (starting at byte offset start) using the
+// positional map, materializing only masked fields.
+func (p *Provider) parseAt(ri int, start int64, mask []bool, row []value.Value) error {
+	offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
+	for fi := 0; fi < p.nfields; fi++ {
+		if mask != nil && !mask[fi] {
+			row[fi] = value.VNull
+			continue
+		}
+		beg := int(start) + int(offs[fi])
+		end := p.fieldEnd(beg)
+		v, err := p.parseField(fi, p.data[beg:end])
+		if err != nil {
+			return err
+		}
+		row[fi] = v
+	}
+	return nil
+}
+
+func (p *Provider) fieldEnd(beg int) int {
+	delim := p.opts.delim()
+	i := beg
+	for i < len(p.data) && p.data[i] != delim && p.data[i] != '\n' {
+		i++
+	}
+	return i
+}
+
+func (p *Provider) parseField(fi int, b []byte) (value.Value, error) {
+	if len(b) == 0 {
+		return value.VNull, nil
+	}
+	switch p.schema.Fields[fi].Type.Kind {
+	case value.Int:
+		n, err := parseInt(b)
+		if err != nil {
+			return value.VNull, fmt.Errorf("csvio: field %q: %w", p.schema.Fields[fi].Name, err)
+		}
+		return value.VInt(n), nil
+	case value.Float:
+		f, err := strconv.ParseFloat(string(b), 64)
+		if err != nil {
+			return value.VNull, fmt.Errorf("csvio: field %q: %w", p.schema.Fields[fi].Name, err)
+		}
+		return value.VFloat(f), nil
+	case value.Bool:
+		switch string(b) {
+		case "true", "1", "t":
+			return value.VBool(true), nil
+		case "false", "0", "f":
+			return value.VBool(false), nil
+		}
+		return value.VNull, fmt.Errorf("csvio: field %q: bad bool %q", p.schema.Fields[fi].Name, b)
+	default:
+		return value.VString(string(b)), nil
+	}
+}
+
+// ScanOffsets implements plan.ScanProvider: random access through the
+// positional map, the access path of lazy (offsets-only) caches.
+func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
+	if err := p.load(); err != nil {
+		return err
+	}
+	mask, err := p.neededIndexes(needed)
+	if err != nil {
+		return err
+	}
+	row := make([]value.Value, p.nfields)
+	rec := value.Value{Kind: value.Record, L: row}
+	for _, off := range offsets {
+		if p.recStart != nil {
+			ri := sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] >= off })
+			if ri < len(p.recStart) && p.recStart[ri] == off {
+				if err := p.parseAt(ri, off, mask, row); err != nil {
+					return err
+				}
+				complete := noComplete
+				if mask != nil {
+					ri, off := ri, off
+					complete = func() error { return p.completeAt(ri, off, mask, row) }
+				}
+				if err := fn(rec, off, complete); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		// No positional map entry: tokenize the single record in place,
+		// parsing every field so the complete callback can be a no-op.
+		if err := p.parseLineAt(off, nil, row); err != nil {
+			return err
+		}
+		if err := fn(rec, off, noComplete); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Provider) parseLineAt(off int64, mask []bool, row []value.Value) error {
+	data := p.data
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("csvio: offset %d out of range", off)
+	}
+	i := int(off)
+	delim := p.opts.delim()
+	fi := 0
+	fieldBeg := i
+	for ; i <= len(data) && fi < p.nfields; i++ {
+		if i == len(data) || data[i] == delim || data[i] == '\n' {
+			if mask == nil || mask[fi] {
+				v, err := p.parseField(fi, data[fieldBeg:i])
+				if err != nil {
+					return err
+				}
+				row[fi] = v
+			} else {
+				row[fi] = value.VNull
+			}
+			fi++
+			fieldBeg = i + 1
+			if i == len(data) || data[i] == '\n' {
+				break
+			}
+		}
+	}
+	if fi < p.nfields {
+		return fmt.Errorf("csvio: record at offset %d has %d fields, want %d", off, fi, p.nfields)
+	}
+	return nil
+}
+
+// parseInt parses a decimal integer without allocating.
+func parseInt(b []byte) (int64, error) {
+	i, neg := 0, false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i >= len(b) {
+		return 0, fmt.Errorf("bad int %q", b)
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad int %q", b)
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// InferSchema derives a flat record schema from the file: names from the
+// header when present (else c0, c1, ...), types from the first data row
+// (int, then float, then string).
+func InferSchema(path string, opts Options) (*value.Type, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	delim := opts.delim()
+	lines := splitN(b, '\n', 2+boolToInt(opts.HasHeader))
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("csvio: empty file %s", path)
+	}
+	var names []string
+	dataLine := lines[0]
+	if opts.HasHeader {
+		for _, f := range splitN(lines[0], delim, -1) {
+			names = append(names, string(f))
+		}
+		if len(lines) < 2 {
+			return nil, fmt.Errorf("csvio: header but no data in %s", path)
+		}
+		dataLine = lines[1]
+	}
+	fields := splitN(dataLine, delim, -1)
+	if names == nil {
+		for i := range fields {
+			names = append(names, fmt.Sprintf("c%d", i))
+		}
+	}
+	if len(names) != len(fields) {
+		return nil, fmt.Errorf("csvio: header has %d fields, data has %d", len(names), len(fields))
+	}
+	out := make([]value.Field, len(fields))
+	for i, f := range fields {
+		out[i] = value.F(names[i], inferType(f))
+	}
+	return value.TRecord(out...), nil
+}
+
+func inferType(b []byte) *value.Type {
+	if _, err := parseInt(b); err == nil {
+		return value.TInt
+	}
+	if _, err := strconv.ParseFloat(string(b), 64); err == nil {
+		return value.TFloat
+	}
+	return value.TString
+}
+
+func splitN(b []byte, sep byte, n int) [][]byte {
+	var out [][]byte
+	beg := 0
+	for i := 0; i < len(b); i++ {
+		if b[i] == sep {
+			out = append(out, b[beg:i])
+			beg = i + 1
+			if n > 0 && len(out) == n-1 {
+				break
+			}
+		}
+	}
+	if beg < len(b) {
+		tail := b[beg:]
+		if len(tail) > 0 && tail[len(tail)-1] == '\r' {
+			tail = tail[:len(tail)-1]
+		}
+		if len(tail) > 0 {
+			out = append(out, tail)
+		}
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

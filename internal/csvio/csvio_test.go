@@ -1,0 +1,264 @@
+package csvio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"recache/internal/value"
+)
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testSchema() *value.Type {
+	return value.TRecord(
+		value.F("id", value.TInt),
+		value.F("price", value.TFloat),
+		value.F("name", value.TString),
+	)
+}
+
+const testData = "1|10.5|alpha\n2|20.25|beta\n3|-7|gamma\n"
+
+func collect(t *testing.T, p *Provider, needed []value.Path) ([][]value.Value, []int64) {
+	t.Helper()
+	var rows [][]value.Value
+	var offs []int64
+	err := p.Scan(needed, func(rec value.Value, off int64, _ func() error) error {
+		rows = append(rows, append([]value.Value(nil), rec.L...))
+		offs = append(offs, off)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, offs
+}
+
+func TestScanAllFields(t *testing.T) {
+	p, err := New(writeFile(t, testData), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRecords() != -1 {
+		t.Errorf("NumRecords before scan = %d, want -1", p.NumRecords())
+	}
+	rows, offs := collect(t, p, nil)
+	want := [][]value.Value{
+		{value.VInt(1), value.VFloat(10.5), value.VString("alpha")},
+		{value.VInt(2), value.VFloat(20.25), value.VString("beta")},
+		{value.VInt(3), value.VFloat(-7), value.VString("gamma")},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("rows = %v", rows)
+	}
+	if offs[0] != 0 || offs[1] != 13 {
+		t.Errorf("offsets = %v", offs)
+	}
+	if p.NumRecords() != 3 {
+		t.Errorf("NumRecords = %d", p.NumRecords())
+	}
+}
+
+func TestSelectiveParseUsesPositionalMap(t *testing.T) {
+	p, err := New(writeFile(t, testData), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First scan builds the map.
+	collect(t, p, nil)
+	// Second scan parses only "name": other fields come back null.
+	rows, _ := collect(t, p, []value.Path{value.ParsePath("name")})
+	if rows[0][0].Kind != value.Null || rows[0][2].S != "alpha" {
+		t.Errorf("selective rows = %v", rows)
+	}
+	// Needed also honored on the first scan of a fresh provider.
+	p2, _ := New(writeFile(t, testData), testSchema(), Options{})
+	rows2, _ := collect(t, p2, []value.Path{value.ParsePath("id")})
+	if rows2[1][0].I != 2 || rows2[1][2].Kind != value.Null {
+		t.Errorf("first-scan selective rows = %v", rows2)
+	}
+}
+
+func TestScanOffsets(t *testing.T) {
+	p, err := New(writeFile(t, testData), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, offs := collect(t, p, nil)
+	var got [][]value.Value
+	err = p.ScanOffsets([]int64{offs[2], offs[0]}, nil, func(rec value.Value, off int64, _ func() error) error {
+		got = append(got, append([]value.Value(nil), rec.L...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0].I != 3 || got[1][0].I != 1 {
+		t.Errorf("ScanOffsets = %v", got)
+	}
+}
+
+func TestScanOffsetsWithoutPositionalMap(t *testing.T) {
+	p, err := New(writeFile(t, testData), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]value.Value
+	err = p.ScanOffsets([]int64{13}, nil, func(rec value.Value, off int64, _ func() error) error {
+		got = append(got, append([]value.Value(nil), rec.L...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].I != 2 || got[0][2].S != "beta" {
+		t.Errorf("got = %v", got)
+	}
+	if err := p.ScanOffsets([]int64{99999}, nil, func(value.Value, int64, func() error) error { return nil }); err == nil {
+		t.Error("out-of-range offset should fail")
+	}
+}
+
+func TestHeaderAndComma(t *testing.T) {
+	p, err := New(writeFile(t, "id,price,name\n5,1.5,x\n"), testSchema(),
+		Options{Delim: ',', HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := collect(t, p, nil)
+	if len(rows) != 1 || rows[0][0].I != 5 || rows[0][2].S != "x" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestMalformedRecord(t *testing.T) {
+	p, err := New(writeFile(t, "1|2.0\n"), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Scan(nil, func(value.Value, int64, func() error) error { return nil }); err == nil {
+		t.Error("short record should fail")
+	}
+	p2, _ := New(writeFile(t, "x|2.0|a\n"), testSchema(), Options{})
+	if err := p2.Scan(nil, func(value.Value, int64, func() error) error { return nil }); err == nil {
+		t.Error("bad int should fail")
+	}
+}
+
+func TestEmptyFieldIsNull(t *testing.T) {
+	p, err := New(writeFile(t, "1||alpha\n"), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := collect(t, p, nil)
+	if rows[0][1].Kind != value.Null {
+		t.Errorf("empty field = %v, want null", rows[0][1])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	path := writeFile(t, testData)
+	if _, err := New(path, value.TInt, Options{}); err == nil {
+		t.Error("non-record schema should fail")
+	}
+	nested := value.TRecord(value.F("xs", value.TList(value.TInt)))
+	if _, err := New(path, nested, Options{}); err == nil {
+		t.Error("nested schema should fail")
+	}
+	if _, err := New(filepath.Join(t.TempDir(), "missing.csv"), testSchema(), Options{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestUnknownNeededField(t *testing.T) {
+	p, _ := New(writeFile(t, testData), testSchema(), Options{})
+	err := p.Scan([]value.Path{value.ParsePath("nope")}, func(value.Value, int64, func() error) error { return nil })
+	if err == nil {
+		t.Error("unknown needed field should fail")
+	}
+}
+
+func TestInferSchema(t *testing.T) {
+	path := writeFile(t, "id,price,name\n5,1.5,x\n")
+	s, err := InferSchema(path, Options{Delim: ',', HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "record{id:int,price:float,name:string}"
+	if s.String() != want {
+		t.Errorf("schema = %s, want %s", s, want)
+	}
+	// Without header: generated names.
+	path2 := writeFile(t, "5|1.5|x\n")
+	s2, err := InferSchema(path2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Fields[0].Name != "c0" || s2.Fields[2].Type.Kind != value.String {
+		t.Errorf("schema = %s", s2)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	p, _ := New(writeFile(t, testData), testSchema(), Options{})
+	if p.SizeBytes() != int64(len(testData)) {
+		t.Errorf("SizeBytes = %d, want %d", p.SizeBytes(), len(testData))
+	}
+}
+
+func TestNoTrailingNewline(t *testing.T) {
+	p, _ := New(writeFile(t, "1|10.5|alpha\n2|20.25|beta"), testSchema(), Options{})
+	rows, _ := collect(t, p, nil)
+	if len(rows) != 2 || rows[1][2].S != "beta" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCompleteParsesSkippedFields(t *testing.T) {
+	p, err := New(writeFile(t, testData), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First scan with a needed-set: complete() must fill the rest in place.
+	var names []string
+	err = p.Scan([]value.Path{value.ParsePath("id")}, func(rec value.Value, off int64, complete func() error) error {
+		if rec.L[2].Kind != value.Null {
+			t.Error("name should be unparsed before complete")
+		}
+		if err := complete(); err != nil {
+			return err
+		}
+		names = append(names, rec.L[2].S)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "gamma" {
+		t.Errorf("names = %v", names)
+	}
+	// Mapped scan path: same contract.
+	names = names[:0]
+	err = p.Scan([]value.Path{value.ParsePath("id")}, func(rec value.Value, off int64, complete func() error) error {
+		if err := complete(); err != nil {
+			return err
+		}
+		names = append(names, rec.L[2].S)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[1] != "beta" {
+		t.Errorf("mapped names = %v", names)
+	}
+}

@@ -1,0 +1,223 @@
+package datagen
+
+import (
+	"os"
+	"testing"
+
+	"recache/internal/jsonio"
+	"recache/internal/value"
+)
+
+func TestTPCHGeneratesConsistentFiles(t *testing.T) {
+	dir := t.TempDir()
+	p, err := TPCH(dir, 0.0005, 42) // ~750 orders, ~3000 lineitems
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{p.Lineitem, p.Orders, p.Customer, p.Partsupp,
+		p.Part, p.LineitemJSON, p.OrdersJSON, p.OrderLineitems} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+
+	// The nested file must agree with the flat files: same order count,
+	// same lineitem count.
+	olSchema, err := parseDSL(OrderLineitemsSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := jsonio.New(p.OrderLineitems, olSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, lineitems := 0, 0
+	err = prov.Scan(nil, func(rec value.Value, off int64, _ func() error) error {
+		orders++
+		items := rec.L[6]
+		if items.Kind != value.List || len(items.L) < 1 || len(items.L) > 7 {
+			t.Fatalf("order %d has %d lineitems", orders, len(items.L))
+		}
+		lineitems += len(items.L)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders != 750 {
+		t.Errorf("orders = %d, want 750", orders)
+	}
+	liData, err := os.ReadFile(p.Lineitem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liRows := 0
+	for _, b := range liData {
+		if b == '\n' {
+			liRows++
+		}
+	}
+	if liRows != lineitems {
+		t.Errorf("flat lineitem rows %d != nested lineitems %d", liRows, lineitems)
+	}
+}
+
+func TestTPCHDeterministic(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	p1, err := TPCH(d1, 0.0002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := TPCH(d2, 0.0002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1.OrderLineitems)
+	b2, _ := os.ReadFile(p2.OrderLineitems)
+	if string(b1) != string(b2) {
+		t.Error("same seed produced different data")
+	}
+	p3dir := t.TempDir()
+	p3, err := TPCH(p3dir, 0.0002, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := os.ReadFile(p3.OrderLineitems)
+	if string(b1) == string(b3) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticNestedCardinality(t *testing.T) {
+	dir := t.TempDir()
+	for _, card := range []int{0, 1, 5, 20} {
+		path := dir + "/synth.json"
+		if err := SyntheticNested(path, 50, card, 1); err != nil {
+			t.Fatal(err)
+		}
+		schema, _ := parseDSL(SyntheticNestedSchema)
+		prov, err := jsonio.New(path, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		err = prov.Scan(nil, func(rec value.Value, off int64, _ func() error) error {
+			n++
+			if got := len(rec.L[6].L); got != card {
+				t.Fatalf("cardinality %d: record has %d items", card, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 50 {
+			t.Errorf("records = %d", n)
+		}
+	}
+}
+
+func TestSymantecStructure(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Symantec(dir, 200, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := parseDSL(SymantecJSONSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := jsonio.New(p.JSON, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, withLang, withURLs := 0, 0, 0
+	err = prov.Scan(nil, func(rec value.Value, off int64, _ func() error) error {
+		n++
+		if !rec.L[5].IsNull() {
+			withLang++
+		}
+		if len(rec.L[9].L) > 0 {
+			withURLs++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("records = %d", n)
+	}
+	// Optional fields must actually vary (definition-level paths).
+	if withLang == 0 || withLang == n {
+		t.Errorf("lang present in %d/%d records; want a mix", withLang, n)
+	}
+	if withURLs == 0 {
+		t.Error("no record has URLs")
+	}
+	if st, _ := os.Stat(p.CSV); st.Size() == 0 {
+		t.Error("CSV empty")
+	}
+}
+
+func TestYelpStructure(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Yelp(dir, 30, 100, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSchema, _ := parseDSL(YelpBusinessSchema)
+	prov, err := jsonio.New(p.Business, bSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, totalCats := 0, 0
+	err = prov.Scan(nil, func(rec value.Value, off int64, _ func() error) error {
+		n++
+		totalCats += len(rec.L[7].L)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("businesses = %d", n)
+	}
+	// Yelp's larger-collections property: avg well above orderLineitems' 4.
+	if avg := float64(totalCats) / float64(n); avg < 8 {
+		t.Errorf("avg categories = %.1f, want > 8", avg)
+	}
+	for _, f := range []string{p.User, p.Review} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("%s missing or empty", f)
+		}
+	}
+}
+
+func TestGenerateRecords(t *testing.T) {
+	schema, _ := parseDSL(SyntheticNestedSchema)
+	recs := GenerateRecords(schema, 10, 3, 9)
+	if len(recs) != 10 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if value.RecordCardinality(r, schema) != 3 {
+			t.Errorf("cardinality = %d", value.RecordCardinality(r, schema))
+		}
+	}
+}
+
+func TestParseDSLMatchesSchemas(t *testing.T) {
+	for _, s := range []string{LineitemSchema, OrdersSchema, CustomerSchema,
+		PartsuppSchema, PartSchema, OrderLineitemsSchema, SyntheticNestedSchema,
+		SymantecJSONSchema, SymantecCSVSchema, YelpBusinessSchema,
+		YelpUserSchema, YelpReviewSchema} {
+		if _, err := parseDSL(s); err != nil {
+			t.Errorf("parseDSL(%q): %v", s[:30], err)
+		}
+	}
+}

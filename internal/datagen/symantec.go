@@ -1,0 +1,116 @@
+package datagen
+
+import (
+	"math/rand"
+	"path/filepath"
+
+	"recache/internal/value"
+)
+
+// SymantecJSONSchema models the spam-trap logs the paper describes (§6):
+// numeric and variable-length string fields, flat and nested entries of
+// varying depth, fields present in only a subset of objects, and one
+// repeated field (the URLs embedded in each spam mail).
+const SymantecJSONSchema = "id int, ts int, size int, body_len int, score float, " +
+	"lang string?, content_type string?, subject string?, " +
+	"origin record(country string?, ip string?, asn int?), " +
+	"urls list(url string, domain string, port int?, path_len int)"
+
+// SymantecCSVSchema models the mining engine's per-mail classification
+// output: an identifier, summary information and assigned classes. Column
+// names are distinct from the JSON log's so CSV⋈JSON queries resolve
+// unambiguously.
+const SymantecCSVSchema = "mail_id int, class string, cscore float, flags int, cluster int"
+
+// SymantecPaths locates the generated Symantec-like files.
+type SymantecPaths struct {
+	JSON string
+	CSV  string
+}
+
+var langs = []string{"en", "ru", "zh", "de", "fr", "es", "pt", "ja"}
+var ctypes = []string{"text/plain", "text/html", "multipart/mixed", "multipart/alternative"}
+var countries = []string{"US", "CN", "RU", "BR", "IN", "DE", "VN", "KR", "NL", "FR"}
+var domains = []string{"example.com", "spam4u.biz", "win-prizes.net", "cheap-meds.info",
+	"clickme.io", "totally-legit.org", "free-money.co"}
+var classes = []string{"phishing", "malware", "pharma", "419", "dating", "casino", "ham"}
+
+// Symantec writes nJSON spam-log objects and nCSV classification records.
+// Optional fields are present with realistic probabilities (so definition
+// levels and normalization paths are exercised); each mail carries 0..8
+// embedded URLs.
+func Symantec(dir string, nJSON, nCSV int, seed int64) (*SymantecPaths, error) {
+	schema, err := parseDSL(SymantecJSONSchema)
+	if err != nil {
+		return nil, err
+	}
+	p := &SymantecPaths{
+		JSON: filepath.Join(dir, "symantec.json"),
+		CSV:  filepath.Join(dir, "symantec.csv"),
+	}
+	r := rand.New(rand.NewSource(seed))
+	jw, err := newJSONWriter(p.JSON, schema)
+	if err != nil {
+		return nil, err
+	}
+	opt := func(p float64, v value.Value) value.Value {
+		if r.Float64() < p {
+			return v
+		}
+		return value.VNull
+	}
+	for i := 1; i <= nJSON; i++ {
+		nURL := r.Intn(9)
+		urls := make([]value.Value, nURL)
+		for u := 0; u < nURL; u++ {
+			d := domains[r.Intn(len(domains))]
+			urls[u] = value.VRecord(
+				value.VString("http://"+d+"/x"+itoa(r.Intn(1000))),
+				value.VString(d),
+				opt(0.3, value.VInt(int64(80+r.Intn(8000)))),
+				value.VInt(int64(1+r.Intn(120))),
+			)
+		}
+		origin := value.VRecord(
+			opt(0.8, value.VString(countries[r.Intn(len(countries))])),
+			opt(0.9, value.VString(randIP(r))),
+			opt(0.5, value.VInt(int64(1000+r.Intn(64000)))),
+		)
+		if r.Float64() < 0.1 {
+			origin = value.VRecord(value.VNull, value.VNull, value.VNull) // origin absent
+		}
+		jw.rec(value.VRecord(
+			value.VInt(int64(i)),
+			value.VInt(int64(1_500_000_000+r.Intn(100_000_000))),
+			value.VInt(int64(200+r.Intn(100_000))),
+			value.VInt(int64(50+r.Intn(20_000))),
+			value.VFloat(r.Float64()*100),
+			opt(0.85, value.VString(langs[r.Intn(len(langs))])),
+			opt(0.7, value.VString(ctypes[r.Intn(len(ctypes))])),
+			opt(0.6, value.VString("RE: "+randWord(r)+" "+randWord(r))),
+			origin,
+			value.VList(urls...),
+		))
+	}
+	if err := jw.close(); err != nil {
+		return nil, err
+	}
+
+	cw, err := newCSVWriter(p.CSV)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= nCSV; i++ {
+		cw.row(itoa(1+r.Intn(max(nJSON, 1))), classes[r.Intn(len(classes))],
+			ftoa(r.Float64()*100), itoa(r.Intn(256)), itoa(r.Intn(5000)))
+	}
+	if err := cw.close(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func randIP(r *rand.Rand) string {
+	return itoa(1+r.Intn(254)) + "." + itoa(r.Intn(256)) + "." +
+		itoa(r.Intn(256)) + "." + itoa(1+r.Intn(254))
+}

@@ -1,0 +1,145 @@
+package datagen
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+
+	"recache/internal/value"
+)
+
+// Yelp-like schemas. The property §6.4 relies on — larger collections per
+// record than orderLineitems, making the flattened layout expensive — is
+// preserved: businesses carry ~3-25 categories, users ~0-60 friends.
+const (
+	YelpBusinessSchema = "business_id int, name string, city string, state string?, " +
+		"stars float, review_count int, is_open int, " +
+		"categories list(string)"
+	YelpUserSchema = "user_id int, review_count int, average_stars float, " +
+		"useful int, fans int, friends list(string)"
+	YelpReviewSchema = "review_id int, business_id int, user_id int, stars int, " +
+		"useful int, funny int, cool int, text_len int, text string"
+)
+
+// YelpPaths locates the generated Yelp-like files.
+type YelpPaths struct {
+	Business, User, Review string
+}
+
+var cities = []string{"Las Vegas", "Phoenix", "Toronto", "Charlotte", "Pittsburgh",
+	"Montréal", "Madison", "Cleveland"}
+var states = []string{"NV", "AZ", "ON", "NC", "PA", "QC", "WI", "OH"}
+var categories = []string{"Restaurants", "Food", "Nightlife", "Bars", "Shopping",
+	"Coffee & Tea", "Pizza", "Mexican", "Burgers", "Chinese", "Italian", "Sushi Bars",
+	"Breakfast & Brunch", "Sandwiches", "Fast Food", "Grocery", "Automotive", "Beauty & Spas"}
+
+// Yelp writes the three JSON files with the dataset's cardinality ratios
+// (paper: 144K businesses, 1M users, 4M reviews — ratios ≈ 1 : 7 : 28).
+func Yelp(dir string, nBusiness, nUser, nReview int, seed int64) (*YelpPaths, error) {
+	p := &YelpPaths{
+		Business: filepath.Join(dir, "business.json"),
+		User:     filepath.Join(dir, "user.json"),
+		Review:   filepath.Join(dir, "review.json"),
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	bSchema, err := parseDSL(YelpBusinessSchema)
+	if err != nil {
+		return nil, err
+	}
+	bw, err := newJSONWriter(p.Business, bSchema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= nBusiness; i++ {
+		ci := r.Intn(len(cities))
+		ncat := 3 + r.Intn(23)
+		cats := make([]value.Value, ncat)
+		for c := range cats {
+			cats[c] = value.VString(categories[r.Intn(len(categories))])
+		}
+		var state value.Value = value.VString(states[ci])
+		if r.Float64() < 0.05 {
+			state = value.VNull
+		}
+		bw.rec(value.VRecord(
+			value.VInt(int64(i)),
+			value.VString(randWord(r)+" "+randWord(r)),
+			value.VString(cities[ci]),
+			state,
+			value.VFloat(1+float64(r.Intn(9))/2),
+			value.VInt(int64(r.Intn(3000))),
+			value.VInt(int64(r.Intn(2))),
+			value.VList(cats...),
+		))
+	}
+	if err := bw.close(); err != nil {
+		return nil, err
+	}
+
+	uSchema, err := parseDSL(YelpUserSchema)
+	if err != nil {
+		return nil, err
+	}
+	uw, err := newJSONWriter(p.User, uSchema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= nUser; i++ {
+		nf := r.Intn(61)
+		friends := make([]value.Value, nf)
+		for f := range friends {
+			friends[f] = value.VString("user_" + itoa(1+r.Intn(nUser)))
+		}
+		uw.rec(value.VRecord(
+			value.VInt(int64(i)),
+			value.VInt(int64(r.Intn(2000))),
+			value.VFloat(1+r.Float64()*4),
+			value.VInt(int64(r.Intn(10000))),
+			value.VInt(int64(r.Intn(500))),
+			value.VList(friends...),
+		))
+	}
+	if err := uw.close(); err != nil {
+		return nil, err
+	}
+
+	rSchema, err := parseDSL(YelpReviewSchema)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := newJSONWriter(p.Review, rSchema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= nReview; i++ {
+		text := reviewText(r)
+		rw.rec(value.VRecord(
+			value.VInt(int64(i)),
+			value.VInt(int64(1+r.Intn(max(nBusiness, 1)))),
+			value.VInt(int64(1+r.Intn(max(nUser, 1)))),
+			value.VInt(int64(1+r.Intn(5))),
+			value.VInt(int64(r.Intn(100))),
+			value.VInt(int64(r.Intn(50))),
+			value.VInt(int64(r.Intn(50))),
+			value.VInt(int64(len(text))),
+			value.VString(text),
+		))
+	}
+	if err := rw.close(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func reviewText(r *rand.Rand) string {
+	n := 5 + r.Intn(40)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(randWord(r))
+	}
+	return b.String()
+}

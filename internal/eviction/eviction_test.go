@@ -1,0 +1,288 @@
+package eviction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func item(id uint64, size int64) Item {
+	return Item{ID: id, Size: size, Reuses: 1, OpNanos: 1000, CacheNanos: 100,
+		ScanNanos: 10, LookupNs: 1, LastAccess: int64(id), Freq: 1}
+}
+
+func totalSize(items []Item, ids []uint64) int64 {
+	m := map[uint64]int64{}
+	for _, it := range items {
+		m[it.ID] = it.Size
+	}
+	var s int64
+	for _, id := range ids {
+		s += m[id]
+	}
+	return s
+}
+
+func TestBenefitMetric(t *testing.T) {
+	it := Item{Size: 1 << 20, Reuses: 4, OpNanos: 1000, CacheNanos: 500,
+		ScanNanos: 100, LookupNs: 50}
+	want := 4.0 * (1000 + 500 - 100 - 50) / 20.0
+	if got := it.Benefit(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Benefit = %g, want %g", got, want)
+	}
+	// Negative savings clamp to zero.
+	neg := Item{Size: 1024, Reuses: 2, OpNanos: 10, ScanNanos: 1000}
+	if neg.Benefit() != 0 {
+		t.Errorf("negative-saving Benefit = %g, want 0", neg.Benefit())
+	}
+	// Zero reuses still values reconstruction (n treated as 1).
+	fresh := Item{Size: 1024, Reuses: 0, OpNanos: 100}
+	if fresh.Benefit() <= 0 {
+		t.Error("fresh item should have positive benefit")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	items := []Item{item(1, 100), item(2, 100), item(3, 100)}
+	items[0].LastAccess = 30 // most recent
+	items[1].LastAccess = 10 // least recent
+	items[2].LastAccess = 20
+	v := (LRU{}).Victims(items, 150)
+	if len(v) != 2 || v[0] != 2 || v[1] != 3 {
+		t.Errorf("LRU victims = %v, want [2 3]", v)
+	}
+}
+
+func TestLFUOrder(t *testing.T) {
+	items := []Item{item(1, 100), item(2, 100)}
+	items[0].Freq = 5
+	items[1].Freq = 1
+	v := (LFU{}).Victims(items, 50)
+	if len(v) != 1 || v[0] != 2 {
+		t.Errorf("LFU victims = %v, want [2]", v)
+	}
+}
+
+func TestProteusLRUEvictsCSVFirst(t *testing.T) {
+	items := []Item{item(1, 100), item(2, 100)}
+	items[0].FromJSON = true
+	items[0].LastAccess = 1 // older JSON
+	items[1].FromJSON = false
+	items[1].LastAccess = 99 // fresh CSV
+	v := (ProteusLRU{}).Victims(items, 50)
+	if len(v) != 1 || v[0] != 2 {
+		t.Errorf("ProteusLRU victims = %v, want CSV item [2]", v)
+	}
+}
+
+func TestVectorwisePrefersCheapItems(t *testing.T) {
+	items := []Item{item(1, 100), item(2, 100)}
+	items[0].OpNanos = 100 // cheap to rebuild → evict first
+	items[1].OpNanos = 100000
+	v := (Vectorwise{}).Victims(items, 50)
+	if len(v) != 1 || v[0] != 1 {
+		t.Errorf("Vectorwise victims = %v, want [1]", v)
+	}
+}
+
+func TestMonetDBBoundsOutliers(t *testing.T) {
+	// Item 3 has a pathological measured cost; the cap keeps it comparable.
+	items := []Item{item(1, 100), item(2, 100), item(3, 100), item(4, 100), item(5, 100)}
+	for i := range items {
+		items[i].OpNanos = 1000
+		items[i].Freq = 1
+	}
+	items[2].OpNanos = 1 << 50
+	items[2].Freq = 1
+	// All equal except the outlier: with the cap, scores stay finite and the
+	// outlier is not infinitely protected.
+	v := (MonetDB{}).Victims(items, 450)
+	if len(v) != 5 {
+		t.Errorf("MonetDB evicted %d items, want all 5 to cover 450 bytes", len(v))
+	}
+}
+
+func TestFarthestFirst(t *testing.T) {
+	items := []Item{item(1, 100), item(2, 100), item(3, 100)}
+	items[0].NextUse = 5
+	items[1].NextUse = math.MaxInt64 // never again → farthest
+	items[2].NextUse = 50
+	v := (FarthestFirst{}).Victims(items, 150)
+	if len(v) != 2 || v[0] != 2 || v[1] != 3 {
+		t.Errorf("FarthestFirst victims = %v, want [2 3]", v)
+	}
+}
+
+func TestLogOptimalCoversNeed(t *testing.T) {
+	items := []Item{item(1, 1000), item(2, 64), item(3, 900), item(4, 70)}
+	for i := range items {
+		items[i].NextUse = int64(10 * (i + 1))
+	}
+	v := (LogOptimal{}).Victims(items, 1000)
+	if totalSize(items, v) < 1000 {
+		t.Errorf("LogOptimal freed %d bytes, need 1000", totalSize(items, v))
+	}
+}
+
+func TestGreedyDualBasics(t *testing.T) {
+	g := NewGreedyDual()
+	items := []Item{item(1, 100), item(2, 100), item(3, 100)}
+	// Item 2 is far more valuable.
+	items[1].OpNanos = 1_000_000
+	items[1].Reuses = 10
+	for _, it := range items {
+		g.OnInsert(it.ID)
+	}
+	v := g.Victims(items, 150)
+	if totalSize(items, v) < 150 {
+		t.Fatalf("freed %d bytes, need 150", totalSize(items, v))
+	}
+	for _, id := range v {
+		if id == 2 {
+			t.Error("GreedyDual evicted the most valuable item")
+		}
+	}
+}
+
+func TestGreedyDualLMonotonic(t *testing.T) {
+	g := NewGreedyDual()
+	r := rand.New(rand.NewSource(3))
+	var items []Item
+	for i := 0; i < 60; i++ {
+		it := item(uint64(i), int64(50+r.Intn(500)))
+		it.OpNanos = int64(r.Intn(100000))
+		it.Reuses = int64(r.Intn(5))
+		items = append(items, it)
+		g.OnInsert(it.ID)
+	}
+	prev := g.L()
+	live := items
+	for round := 0; round < 10 && len(live) > 3; round++ {
+		v := g.Victims(live, 300)
+		if g.L() < prev {
+			t.Fatalf("L decreased: %g -> %g", prev, g.L())
+		}
+		prev = g.L()
+		dead := map[uint64]bool{}
+		for _, id := range v {
+			dead[id] = true
+			g.OnRemove(id)
+		}
+		var next []Item
+		for _, it := range live {
+			if !dead[it.ID] {
+				next = append(next, it)
+			}
+		}
+		live = next
+	}
+}
+
+// The descending-size heuristic must evict fewer (or equal) items than
+// plain ascending-H eviction, while never evicting an item plain
+// Greedy-Dual would have kept.
+func TestGreedyDualReclaimHeuristic(t *testing.T) {
+	g := NewGreedyDual()
+	// Equal H for all (fresh inserts, same benefit inputs) except sizes:
+	// 100, 200, 300, 800; need 1000 like the paper's example.
+	sizes := []int64{100, 200, 300, 800}
+	var items []Item
+	for i, s := range sizes {
+		it := item(uint64(i+1), s)
+		it.LastAccess = int64(i)
+		it.OpNanos = 1000 // equal benefit numerator
+		it.Reuses = 1
+		items = append(items, it)
+		g.OnInsert(it.ID)
+	}
+	v := g.Victims(items, 1000)
+	// Plain Greedy-Dual (ascending H ~ ascending benefit: log2(size) in the
+	// denominator makes small items higher-benefit, so ascending H pops the
+	// 800 first...) — whatever the H order, the candidate set must cover
+	// 1000 and the heuristic should finish in at most 3 evictions where
+	// naive ascending order could take all 4.
+	if totalSize(items, v) < 1000 {
+		t.Fatalf("freed %d, need 1000", totalSize(items, v))
+	}
+	if len(v) > 3 {
+		t.Errorf("heuristic evicted %d items; descending-size should need ≤ 3", len(v))
+	}
+}
+
+func TestGreedyDualNeedZero(t *testing.T) {
+	g := NewGreedyDual()
+	if v := g.Victims([]Item{item(1, 10)}, 0); v != nil {
+		t.Errorf("need 0 evicted %v", v)
+	}
+	if v := g.Victims(nil, 100); v != nil {
+		t.Errorf("empty cache evicted %v", v)
+	}
+}
+
+// Property: every policy frees at least `need` bytes when the cache holds
+// enough, and never returns duplicate ids.
+func TestAllPoliciesCoverNeed(t *testing.T) {
+	policies := []Policy{LRU{}, LFU{}, ProteusLRU{}, Vectorwise{}, MonetDB{},
+		FarthestFirst{}, LogOptimal{}, NewGreedyDual()}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(40)
+		items := make([]Item, n)
+		var total int64
+		for i := range items {
+			items[i] = Item{
+				ID:         uint64(i),
+				Size:       int64(1 + r.Intn(1000)),
+				Reuses:     int64(r.Intn(10)),
+				OpNanos:    int64(r.Intn(1_000_000)),
+				CacheNanos: int64(r.Intn(100_000)),
+				ScanNanos:  int64(r.Intn(10_000)),
+				LookupNs:   int64(r.Intn(1_000)),
+				LastAccess: int64(r.Intn(1000)),
+				Freq:       int64(1 + r.Intn(20)),
+				FromJSON:   r.Intn(2) == 0,
+				NextUse:    int64(r.Intn(10000)),
+			}
+			total += items[i].Size
+		}
+		need := int64(r.Intn(int(total)))
+		for _, p := range policies {
+			for _, it := range items {
+				p.OnInsert(it.ID)
+			}
+			v := p.Victims(items, need)
+			seen := map[uint64]bool{}
+			for _, id := range v {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			if totalSize(items, v) < need {
+				return false
+			}
+			for _, it := range items {
+				p.OnRemove(it.ID)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		if New(name) == nil {
+			t.Errorf("New(%q) = nil", name)
+		}
+	}
+	if New("nope") != nil {
+		t.Error("New(nope) should be nil")
+	}
+	if New("greedy-dual") == nil {
+		t.Error("greedy-dual alias missing")
+	}
+}

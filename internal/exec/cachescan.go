@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/expr"
+	"recache/internal/plan"
+	"recache/internal/stats"
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// compileCachedScan builds the cache-reuse operator: it reads rows from an
+// eager entry's in-memory store (flattened or per-record granularity), or
+// replays a lazy entry's offsets through the raw file — upgrading it to an
+// eager cache as §5.2 prescribes. Residual predicates (subsumption hits)
+// are recompiled against the projected output schema and applied on top.
+// Every scan's cost split feeds the layout advisor via Manager.RecordScan.
+func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
+	entry, ok := cs.Entry.(*cache.Entry)
+	if !ok || entry == nil {
+		return nil, fmt.Errorf("exec: CachedScan without entry")
+	}
+	outNames := make([]string, len(cs.Out.Fields))
+	for i, f := range cs.Out.Fields {
+		outNames[i] = f.Name
+	}
+	residual, err := expr.CompilePredicate(cs.Residual, cs.Out)
+	if err != nil {
+		return nil, err
+	}
+
+	return func(ctx *qctx, out emitFn) error {
+		if entry.Mode == cache.Lazy {
+			// §5.2: ReCache upgrades a reused lazy item to an eager cache.
+			// The always-lazy baseline (Fig. 12/13) keeps replaying offsets.
+			upgrade := deps.Manager != nil && deps.Manager.Config().Admission == cache.Adaptive
+			return lazyReplay(ctx, cs, entry, outNames, residual, out, deps, upgrade)
+		}
+		st := entry.Store
+		idx, err := store.ColumnIndexes(st, outNames)
+		if err != nil {
+			return err
+		}
+		emit := store.EmitFunc(out)
+		if cs.Residual != nil {
+			emit = func(row []value.Value) error {
+				if !residual(row) {
+					return nil
+				}
+				return out(row)
+			}
+		}
+		wall0 := time.Now()
+		var scanStats store.ScanStats
+		if cs.Flat {
+			scanStats, err = st.ScanFlat(idx, emit)
+		} else {
+			scanStats, err = st.ScanRecords(idx, emit)
+		}
+		if err != nil {
+			return err
+		}
+		wall := time.Since(wall0)
+		// Report the logical row need r_i: flattened queries need R rows,
+		// per-record queries need one row per record — whatever the layout
+		// physically iterated.
+		if cs.Flat {
+			scanStats.RowsScanned = int64(st.NumFlatRows())
+		} else {
+			scanStats.RowsScanned = int64(st.NumRecords())
+		}
+		ctx.stats.CacheScanNanos += wall.Nanoseconds()
+		if deps.Manager != nil {
+			conv := deps.Manager.RecordScan(entry, scanStats, len(idx), wall.Nanoseconds())
+			ctx.stats.LayoutSwitchNanos += conv.Nanoseconds()
+		}
+		return nil
+	}, nil
+}
+
+// lazyReplay streams a lazy entry's satisfying records from the raw file
+// (through the positional map), rebuilds an eager store along the way, and
+// upgrades the entry.
+func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry,
+	outNames []string, residual expr.Predicate, out emitFn, deps Deps, upgrade bool) error {
+
+	schema := entry.Dataset.Schema()
+	cols, err := value.LeafColumns(schema)
+	if err != nil {
+		return err
+	}
+	colIdx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colIdx[c.Name()] = i
+	}
+	proj := make([]int, len(outNames))
+	paths := make([]value.Path, len(outNames))
+	needed := make([]value.Path, len(outNames))
+	for i, n := range outNames {
+		j, ok := colIdx[n]
+		if !ok {
+			return fmt.Errorf("exec: lazy replay: no column %q", n)
+		}
+		proj[i] = j
+		paths[i] = cols[j].Path
+		needed[i] = cols[j].Path
+	}
+
+	var builder store.Builder
+	if upgrade {
+		layout := store.LayoutColumnar
+		if deps.Manager != nil {
+			layout = deps.Manager.ChooseLayout(entry.Dataset)
+		}
+		b, err := store.NewBuilder(layout, schema)
+		if err != nil {
+			return err
+		}
+		builder = b
+		needed = nil // the eager rebuild stores complete tuples
+	}
+	buildTimer := stats.NewSampledTimer(stats.SampleShift, nil)
+
+	buf := make([]value.Value, len(outNames))
+	wall0 := time.Now()
+	err = entry.Dataset.Provider.ScanOffsets(entry.Offsets, needed,
+		func(rec value.Value, off int64, complete func() error) error {
+			if builder != nil {
+				if sampled := buildTimer.Begin(); sampled {
+					if err := builder.Add(rec); err != nil {
+						return err
+					}
+					buildTimer.End()
+				} else if err := builder.Add(rec); err != nil {
+					return err
+				}
+			}
+			if cs.Flat {
+				for _, flat := range value.FlattenRecord(rec, schema, cols) {
+					for i, j := range proj {
+						buf[i] = flat[j]
+					}
+					if !residual(buf) {
+						continue
+					}
+					if err := out(buf); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := range proj {
+				buf[i] = value.Get(rec, schema, paths[i])
+			}
+			if !residual(buf) {
+				return nil
+			}
+			return out(buf)
+		})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(wall0)
+	ctx.stats.CacheScanNanos += wall.Nanoseconds()
+	if builder == nil {
+		return nil
+	}
+	build := buildTimer.EstimatedTotal().Nanoseconds()
+	fin := time.Now()
+	st := builder.Finish()
+	build += time.Since(fin).Nanoseconds()
+	ctx.stats.CacheBuildNanos += build
+	deps.Manager.UpgradeLazy(entry, st, build, wall.Nanoseconds())
+	return nil
+}

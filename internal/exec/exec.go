@@ -1,0 +1,451 @@
+// Package exec is the physical execution engine: it compiles logical plans
+// into push-based pipelines of Go closures specialized to the query and the
+// input schemas — the engine-per-query strategy of Proteus, with closure
+// composition standing in for LLVM code generation (see DESIGN.md).
+//
+// The operators relevant to ReCache are Materialize (cache building with
+// reactive admission, §5.2) and CachedScan (cache reuse across the three
+// layouts, with lazy→eager upgrades and cost feedback into the layout
+// advisor); both live in their own files.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/expr"
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// Deps carries the per-query execution environment.
+type Deps struct {
+	// Manager is the cache manager; nil runs without any caching.
+	Manager *cache.Manager
+	// Needed maps dataset name → the column paths the query references.
+	// A present-but-empty slice means "no fields" (e.g. COUNT(*)); a
+	// missing key means all fields.
+	Needed map[string][]value.Path
+}
+
+// QueryStats reports per-query cost accounting for the harness.
+type QueryStats struct {
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+	// CacheBuildNanos is the total caching overhead (the paper's t_c).
+	CacheBuildNanos int64
+	// CacheScanNanos is time spent scanning in-memory caches.
+	CacheScanNanos int64
+	// LayoutSwitchNanos is time spent converting cache layouts.
+	LayoutSwitchNanos int64
+	// RowsOut counts result rows.
+	RowsOut int
+}
+
+// Overhead returns the caching overhead fraction t_c / t_o of §5.2.
+func (s *QueryStats) Overhead() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.CacheBuildNanos) / float64(s.Wall.Nanoseconds())
+}
+
+// Result holds a fully materialized query result.
+type Result struct {
+	Schema  *value.Type
+	Columns []string
+	Rows    [][]value.Value
+}
+
+// emitFn receives one row; the slice is reused by most operators.
+type emitFn func(row []value.Value) error
+
+// runFn drives a compiled operator subtree, pushing rows into out.
+type runFn func(ctx *qctx, out emitFn) error
+
+// qctx is the per-query runtime context threaded through the pipeline.
+type qctx struct {
+	start       time.Time
+	deps        Deps
+	stats       *QueryStats
+	curOffset   int64        // byte offset of the current raw record
+	curComplete func() error // parses the current record's skipped fields
+}
+
+// Run compiles and executes a plan, returning the materialized result.
+func Run(root plan.Node, deps Deps) (*Result, *QueryStats, error) {
+	run, err := compile(root, deps)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &QueryStats{}
+	ctx := &qctx{start: time.Now(), deps: deps, stats: stats}
+	var rows [][]value.Value
+	err = run(ctx, func(row []value.Value) error {
+		rows = append(rows, append([]value.Value(nil), row...))
+		return nil
+	})
+	stats.Wall = time.Since(ctx.start)
+	stats.RowsOut = len(rows)
+	if err != nil {
+		return nil, stats, err
+	}
+	schema := root.OutSchema()
+	cols := make([]string, len(schema.Fields))
+	for i, f := range schema.Fields {
+		cols[i] = f.Name
+	}
+	return &Result{Schema: schema, Columns: cols, Rows: rows}, stats, nil
+}
+
+func compile(n plan.Node, deps Deps) (runFn, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return compileScan(x, deps)
+	case *plan.Select:
+		return compileSelect(x, deps)
+	case *plan.Unnest:
+		return compileUnnest(x, deps)
+	case *plan.Project:
+		return compileProject(x, deps)
+	case *plan.Join:
+		return compileJoin(x, deps)
+	case *plan.Aggregate:
+		return compileAggregate(x, deps)
+	case *plan.Materialize:
+		return compileMaterialize(x, deps)
+	case *plan.CachedScan:
+		return compileCachedScan(x, deps)
+	}
+	return nil, fmt.Errorf("exec: cannot compile %T", n)
+}
+
+func compileScan(s *plan.Scan, deps Deps) (runFn, error) {
+	needed, ok := deps.Needed[s.DS.Name]
+	if !ok {
+		needed = nil // all fields
+	} else if needed == nil {
+		needed = []value.Path{}
+	}
+	prov := s.DS.Provider
+	return func(ctx *qctx, out emitFn) error {
+		return prov.Scan(needed, func(rec value.Value, off int64, complete func() error) error {
+			ctx.curOffset = off
+			ctx.curComplete = complete
+			return out(rec.L)
+		})
+	}, nil
+}
+
+func compileSelect(s *plan.Select, deps Deps) (runFn, error) {
+	child, err := compile(s.Child, deps)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := expr.CompilePredicate(s.Pred, s.Child.OutSchema())
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx *qctx, out emitFn) error {
+		return child(ctx, func(row []value.Value) error {
+			if !pred(row) {
+				return nil
+			}
+			return out(row)
+		})
+	}, nil
+}
+
+func compileUnnest(u *plan.Unnest, deps Deps) (runFn, error) {
+	child, err := compile(u.Child, deps)
+	if err != nil {
+		return nil, err
+	}
+	childSchema := u.Child.OutSchema()
+	cols, err := value.LeafColumns(childSchema)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx *qctx, out emitFn) error {
+		return child(ctx, func(row []value.Value) error {
+			rec := value.Value{Kind: value.Record, L: row}
+			for _, flat := range value.FlattenRecord(rec, childSchema, cols) {
+				if err := out(flat); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}, nil
+}
+
+func compileProject(p *plan.Project, deps Deps) (runFn, error) {
+	child, err := compile(p.Child, deps)
+	if err != nil {
+		return nil, err
+	}
+	evals := make([]expr.Evaluator, len(p.Exprs))
+	for i, e := range p.Exprs {
+		ev, err := expr.Compile(e, p.Child.OutSchema())
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+	}
+	return func(ctx *qctx, out emitFn) error {
+		buf := make([]value.Value, len(evals))
+		return child(ctx, func(row []value.Value) error {
+			for i, ev := range evals {
+				buf[i] = ev(row)
+			}
+			return out(buf)
+		})
+	}, nil
+}
+
+// joinKey normalizes a join key value so Int/Float keys hash consistently.
+type joinKeyFn func(v value.Value) (any, bool)
+
+func makeJoinKey(lt, rt *value.Type) joinKeyFn {
+	bothInt := lt.Kind == value.Int && rt.Kind == value.Int
+	numeric := lt.IsNumeric() && rt.IsNumeric()
+	return func(v value.Value) (any, bool) {
+		if v.Kind == value.Null {
+			return nil, false
+		}
+		switch {
+		case bothInt:
+			return v.I, true
+		case numeric:
+			return v.AsFloat(), true
+		case v.Kind == value.String:
+			return v.S, true
+		case v.Kind == value.Bool:
+			return v.B, true
+		default:
+			return v.String(), true
+		}
+	}
+}
+
+func compileJoin(j *plan.Join, deps Deps) (runFn, error) {
+	left, err := compile(j.Left, deps)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(j.Right, deps)
+	if err != nil {
+		return nil, err
+	}
+	lkey, err := expr.Compile(j.LeftKey, j.Left.OutSchema())
+	if err != nil {
+		return nil, err
+	}
+	rkey, err := expr.Compile(j.RightKey, j.Right.OutSchema())
+	if err != nil {
+		return nil, err
+	}
+	lt, _ := j.LeftKey.Type(j.Left.OutSchema())
+	rt, _ := j.RightKey.Type(j.Right.OutSchema())
+	norm := makeJoinKey(lt, rt)
+	ln := len(j.Left.OutSchema().Fields)
+	rn := len(j.Right.OutSchema().Fields)
+	return func(ctx *qctx, out emitFn) error {
+		// Build phase: hash the left input.
+		table := make(map[any][][]value.Value)
+		if err := left(ctx, func(row []value.Value) error {
+			k, ok := norm(lkey(row))
+			if !ok {
+				return nil
+			}
+			table[k] = append(table[k], append([]value.Value(nil), row...))
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Probe phase: stream the right input.
+		buf := make([]value.Value, ln+rn)
+		return right(ctx, func(row []value.Value) error {
+			k, ok := norm(rkey(row))
+			if !ok {
+				return nil
+			}
+			for _, lrow := range table[k] {
+				copy(buf, lrow)
+				copy(buf[ln:], row)
+				if err := out(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}, nil
+}
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn    plan.AggFunc
+	count int64
+	sum   float64
+	min   value.Value
+	max   value.Value
+	any   bool
+}
+
+func (a *aggState) update(v value.Value, hasArg bool) {
+	if hasArg && v.Kind == value.Null {
+		return
+	}
+	a.count++
+	switch a.fn {
+	case plan.AggSum, plan.AggAvg:
+		a.sum += v.AsFloat()
+	case plan.AggMin:
+		if !a.any || v.Compare(a.min) < 0 {
+			a.min = v
+		}
+	case plan.AggMax:
+		if !a.any || v.Compare(a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.any = true
+}
+
+func (a *aggState) result() value.Value {
+	switch a.fn {
+	case plan.AggCount:
+		return value.VInt(a.count)
+	case plan.AggSum:
+		if !a.any {
+			return value.VNull
+		}
+		return value.VFloat(a.sum)
+	case plan.AggAvg:
+		if a.count == 0 {
+			return value.VNull
+		}
+		return value.VFloat(a.sum / float64(a.count))
+	case plan.AggMin:
+		if !a.any {
+			return value.VNull
+		}
+		return a.min
+	case plan.AggMax:
+		if !a.any {
+			return value.VNull
+		}
+		return a.max
+	}
+	return value.VNull
+}
+
+func compileAggregate(a *plan.Aggregate, deps Deps) (runFn, error) {
+	child, err := compile(a.Child, deps)
+	if err != nil {
+		return nil, err
+	}
+	in := a.Child.OutSchema()
+	argEvals := make([]expr.Evaluator, len(a.Aggs))
+	for i, s := range a.Aggs {
+		if s.Arg != nil {
+			ev, err := expr.Compile(s.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			argEvals[i] = ev
+		}
+	}
+	groupEvals := make([]expr.Evaluator, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		ev, err := expr.Compile(g, in)
+		if err != nil {
+			return nil, err
+		}
+		groupEvals[i] = ev
+	}
+	specs := a.Aggs
+
+	newStates := func() []aggState {
+		st := make([]aggState, len(specs))
+		for i := range st {
+			st[i].fn = specs[i].Func
+		}
+		return st
+	}
+	updateStates := func(st []aggState, row []value.Value) {
+		for i := range st {
+			if argEvals[i] == nil {
+				st[i].update(value.VNull, false)
+			} else {
+				st[i].update(argEvals[i](row), true)
+			}
+		}
+	}
+
+	if len(groupEvals) == 0 {
+		return func(ctx *qctx, out emitFn) error {
+			st := newStates()
+			if err := child(ctx, func(row []value.Value) error {
+				updateStates(st, row)
+				return nil
+			}); err != nil {
+				return err
+			}
+			outRow := make([]value.Value, len(st))
+			for i := range st {
+				outRow[i] = st[i].result()
+			}
+			return out(outRow)
+		}, nil
+	}
+
+	type group struct {
+		keys   []value.Value
+		states []aggState
+	}
+	return func(ctx *qctx, out emitFn) error {
+		groups := make(map[string]*group)
+		var keyBuf strings.Builder
+		if err := child(ctx, func(row []value.Value) error {
+			keyBuf.Reset()
+			keys := make([]value.Value, len(groupEvals))
+			for i, ev := range groupEvals {
+				keys[i] = ev(row)
+				keyBuf.WriteString(keys[i].String())
+				keyBuf.WriteByte(0)
+			}
+			k := keyBuf.String()
+			g, ok := groups[k]
+			if !ok {
+				g = &group{keys: keys, states: newStates()}
+				groups[k] = g
+			}
+			updateStates(g.states, row)
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Deterministic output order.
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		outRow := make([]value.Value, len(groupEvals)+len(specs))
+		for _, k := range keys {
+			g := groups[k]
+			copy(outRow, g.keys)
+			for i := range g.states {
+				outRow[len(groupEvals)+i] = g.states[i].result()
+			}
+			if err := out(outRow); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

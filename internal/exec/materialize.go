@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/plan"
+	"recache/internal/stats"
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// admission states of a running materializer.
+type admitState uint8
+
+const (
+	admitSampling admitState = iota
+	admitEager
+	admitLazy
+)
+
+// compileMaterialize builds the cache-admission operator of §5.2: it sits
+// above a select, forwards every satisfying row downstream, and —
+// depending on the admission mode — builds an eager binary cache, a lazy
+// offsets-only cache, or starts in a sampling state that measures the
+// caching overhead on the first records and extrapolates it with the
+// two-timestamp scheme before committing to eager or lazy.
+func compileMaterialize(m *plan.Materialize, deps Deps) (runFn, error) {
+	spec, ok := m.Spec.(*cache.BuildSpec)
+	if !ok || spec == nil {
+		return compile(m.Child, deps)
+	}
+	// Eager caching stores complete tuples, so the raw scan below must give
+	// us a completion callback; the scan itself still parses only the
+	// query's needed fields and complete() is charged to caching time.
+	child, err := compile(m.Child, deps)
+	if err != nil {
+		return nil, err
+	}
+	schema := spec.Dataset.Schema()
+	prov := spec.Dataset.Provider
+
+	return func(ctx *qctx, out emitFn) error {
+		state := admitSampling
+		switch {
+		case spec.Admission == cache.AlwaysEager || (spec.Admission == cache.Adaptive && spec.WorkingSet):
+			state = admitEager
+		case spec.Admission == cache.AlwaysLazy:
+			state = admitLazy
+		}
+
+		var builder store.Builder
+		if state != admitLazy {
+			b, err := store.NewBuilder(spec.Layout, schema)
+			if err != nil {
+				return err
+			}
+			builder = b
+		}
+
+		var (
+			offsets     []int64
+			cacheNanos  int64 // precisely timed portion (sampling window)
+			cacheTimer  = stats.NewSampledTimer(stats.SampleShift, nil)
+			downstream  = stats.NewSampledTimer(stats.SampleShift, nil)
+			nSeen       int
+			firstOffset int64 = -1
+			to1         time.Duration
+			start       = time.Now()
+		)
+
+		decide := func(off int64) {
+			// Two-timestamp extrapolation (§5.2): operators earlier in the
+			// pipeline (e.g. joins already executed) are part of t_o1, so a
+			// cheap-looking sample cannot hide a high eventual overhead.
+			to2 := time.Since(ctx.start)
+			tc2 := cacheNanos
+			var overhead float64
+			if spec.Naive {
+				// Ablation: sample-local ratio, blind to prior operators
+				// and to how much of the file remains.
+				if win := float64(to2 - to1); win > 0 {
+					overhead = float64(tc2) / win
+				}
+			} else {
+				bytesSeen := off - firstOffset
+				if bytesSeen <= 0 {
+					bytesSeen = 1
+				}
+				n := float64(prov.SizeBytes()) / float64(bytesSeen)
+				if n < 1 {
+					n = 1
+				}
+				to := float64(to1) + n*float64(to2-to1)
+				tc := n * float64(tc2)
+				if to > 0 {
+					overhead = tc / to
+				}
+			}
+			if overhead > spec.Threshold {
+				state = admitLazy
+				builder = nil // drop the partial eager cache
+			} else {
+				state = admitEager
+			}
+		}
+
+		err := child(ctx, func(row []value.Value) error {
+			off := ctx.curOffset
+			if firstOffset < 0 {
+				firstOffset = off
+				to1 = time.Since(ctx.start)
+			}
+			offsets = append(offsets, off)
+			nSeen++
+			switch state {
+			case admitSampling:
+				// Precise timing inside the sample window: the paper times
+				// the sample itself, then extrapolates.
+				t0 := time.Now()
+				if err := ctx.curComplete(); err != nil {
+					return err
+				}
+				if err := builder.Add(value.Value{Kind: value.Record, L: row}); err != nil {
+					return err
+				}
+				cacheNanos += time.Since(t0).Nanoseconds()
+				if nSeen >= spec.SampleSize {
+					decide(off)
+				}
+			case admitEager:
+				sampled := cacheTimer.Begin()
+				if err := ctx.curComplete(); err != nil {
+					return err
+				}
+				if err := builder.Add(value.Value{Kind: value.Record, L: row}); err != nil {
+					return err
+				}
+				if sampled {
+					cacheTimer.End()
+				}
+			case admitLazy:
+				// Offsets were already appended: that is the whole cost.
+			}
+			if downstream.Begin() {
+				err := out(row)
+				downstream.End()
+				return err
+			}
+			return out(row)
+		})
+		if err != nil {
+			return err
+		}
+
+		// A scan shorter than the sampling window never reached decide():
+		// the whole input IS the sample, so decide with what was seen
+		// (N ≈ 1). Without this, small inputs silently default to eager.
+		if state == admitSampling && nSeen > 0 {
+			decide(ctx.curOffset)
+		}
+
+		wall := time.Since(start)
+		c := cacheNanos + cacheTimer.EstimatedTotal().Nanoseconds()
+		mode := cache.Lazy
+		var st store.Store
+		if state != admitLazy && builder != nil {
+			fin := time.Now()
+			st = builder.Finish()
+			c += time.Since(fin).Nanoseconds()
+			mode = cache.Eager
+			offsets = nil
+		}
+		down := downstream.EstimatedTotal().Nanoseconds()
+		t := wall.Nanoseconds() - c - down
+		if t < 0 {
+			t = 0
+		}
+		ctx.stats.CacheBuildNanos += c
+		spec.Manager.CompleteBuild(spec, st, offsets, mode, t, c)
+		return nil
+	}, nil
+}

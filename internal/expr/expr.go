@@ -1,0 +1,372 @@
+// Package expr implements the scalar expression algebra used in query plans:
+// column references over (possibly nested) record schemas, literals,
+// comparisons, arithmetic and boolean connectives.
+//
+// Two capabilities matter to ReCache specifically:
+//
+//   - Canonical forms (Canonical) give a stable textual identity for
+//     expressions, so the cache manager can detect that two queries contain
+//     the same select operator (exact cache matching, §3.2 of the paper).
+//
+//   - Range extraction (ExtractRanges) decomposes a conjunctive predicate
+//     into per-column numeric intervals, the representation used by the
+//     R-tree subsumption index (§3.3).
+//
+// Expressions are compiled to specialized Go closures (Compile) rather than
+// interpreted: column indexes are resolved against the input schema once,
+// mirroring the code-generation strategy of the underlying Proteus engine.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recache/internal/value"
+)
+
+// Op enumerates binary operators.
+type Op uint8
+
+// Binary operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	}
+	return "?"
+}
+
+// IsComparison reports whether the operator yields a boolean from two scalars.
+func (o Op) IsComparison() bool { return o <= OpGe }
+
+// IsLogic reports whether the operator is AND/OR.
+func (o Op) IsLogic() bool { return o == OpAnd || o == OpOr }
+
+// Expr is a scalar expression node.
+type Expr interface {
+	// Canonical renders a normalized textual form: commutative operands are
+	// ordered, so semantically identical predicates compare equal as strings.
+	Canonical() string
+	// Type computes the result type against the input schema, or an error if
+	// the expression does not type-check.
+	Type(schema *value.Type) (*value.Type, error)
+}
+
+// Col references a column by path within the input row schema. Resolution
+// first tries the exact dotted name as a flat field (the schema produced by
+// Unnest uses dotted names), then nested record descent.
+type Col struct {
+	Path value.Path
+}
+
+// C builds a column reference from a dotted name.
+func C(name string) *Col { return &Col{Path: value.ParsePath(name)} }
+
+// Canonical implements Expr.
+func (c *Col) Canonical() string { return c.Path.String() }
+
+// Type implements Expr.
+func (c *Col) Type(schema *value.Type) (*value.Type, error) {
+	t, _, err := resolveCol(schema, c.Path)
+	return t, err
+}
+
+// resolveCol locates a column in schema: flat dotted-name fields take
+// precedence (post-unnest schemas), then nested descent. Returns the leaf
+// type and the index chain for compiled access.
+func resolveCol(schema *value.Type, p value.Path) (*value.Type, []int, error) {
+	if schema == nil || schema.Kind != value.Record {
+		return nil, nil, fmt.Errorf("expr: column %q: input is not a record", p)
+	}
+	if idx, ft := schema.FieldIndex(p.String()); idx >= 0 {
+		if ft.Kind == value.List {
+			return nil, nil, fmt.Errorf("expr: column %q addresses a list; unnest it first", p)
+		}
+		return ft, []int{idx}, nil
+	}
+	var chain []int
+	cur := schema
+	for i, name := range p {
+		if cur.Kind != value.Record {
+			return nil, nil, fmt.Errorf("expr: column %q: %q is not a record", p, p[:i])
+		}
+		idx, ft := cur.FieldIndex(name)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("expr: unknown column %q (no field %q)", p, name)
+		}
+		chain = append(chain, idx)
+		cur = ft
+	}
+	if cur.Kind == value.List {
+		return nil, nil, fmt.Errorf("expr: column %q addresses a list; unnest it first", p)
+	}
+	return cur, chain, nil
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	V value.Value
+}
+
+// L builds a literal from a Go value (int, int64, float64, string, bool).
+func L(v any) *Lit {
+	switch x := v.(type) {
+	case int:
+		return &Lit{V: value.VInt(int64(x))}
+	case int64:
+		return &Lit{V: value.VInt(x)}
+	case float64:
+		return &Lit{V: value.VFloat(x)}
+	case string:
+		return &Lit{V: value.VString(x)}
+	case bool:
+		return &Lit{V: value.VBool(x)}
+	case value.Value:
+		return &Lit{V: x}
+	}
+	panic(fmt.Sprintf("expr.L: unsupported literal %T", v))
+}
+
+// Canonical implements Expr.
+func (l *Lit) Canonical() string { return l.V.String() }
+
+// Type implements Expr.
+func (l *Lit) Type(*value.Type) (*value.Type, error) {
+	switch l.V.Kind {
+	case value.Bool:
+		return value.TBool, nil
+	case value.Int:
+		return value.TInt, nil
+	case value.Float:
+		return value.TFloat, nil
+	case value.String:
+		return value.TString, nil
+	case value.Null:
+		return value.TInt, nil // null literal: treat as nullable numeric
+	}
+	return nil, fmt.Errorf("expr: unsupported literal kind %s", l.V.Kind)
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Cmp builds a comparison.
+func Cmp(op Op, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// And builds the conjunction of the given expressions (nil for empty input).
+func And(es ...Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Bin{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Or builds the disjunction of the given expressions.
+func Or(es ...Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Bin{Op: OpOr, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Between builds lo <= col AND col <= hi.
+func Between(col Expr, lo, hi Expr) Expr {
+	return And(Cmp(OpGe, col, lo), Cmp(OpLe, col, hi))
+}
+
+// Canonical implements Expr. AND/OR chains are flattened and sorted;
+// comparisons are normalized so the column (smaller canonical string) is on
+// the left with the operator flipped as needed.
+func (b *Bin) Canonical() string {
+	switch {
+	case b.Op.IsLogic():
+		terms := gatherTerms(b, b.Op)
+		strs := make([]string, len(terms))
+		for i, t := range terms {
+			strs[i] = t.Canonical()
+		}
+		sort.Strings(strs)
+		return "(" + strings.Join(strs, " "+b.Op.String()+" ") + ")"
+	case b.Op.IsComparison():
+		l, r, op := b.L.Canonical(), b.R.Canonical(), b.Op
+		if l > r {
+			l, r = r, l
+			op = flip(op)
+		}
+		return "(" + l + op.String() + r + ")"
+	default:
+		// + and * are commutative.
+		l, r := b.L.Canonical(), b.R.Canonical()
+		if (b.Op == OpAdd || b.Op == OpMul) && l > r {
+			l, r = r, l
+		}
+		return "(" + l + b.Op.String() + r + ")"
+	}
+}
+
+func flip(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op // =, <> symmetric
+}
+
+// gatherTerms flattens nested chains of the same logic operator.
+func gatherTerms(e Expr, op Op) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == op {
+		return append(gatherTerms(b.L, op), gatherTerms(b.R, op)...)
+	}
+	return []Expr{e}
+}
+
+// Conjuncts returns the flattened AND-terms of e (e itself if not an AND).
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	return gatherTerms(e, OpAnd)
+}
+
+// Type implements Expr.
+func (b *Bin) Type(schema *value.Type) (*value.Type, error) {
+	lt, err := b.L.Type(schema)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := b.R.Type(schema)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case b.Op.IsLogic():
+		if lt.Kind != value.Bool || rt.Kind != value.Bool {
+			return nil, fmt.Errorf("expr: %s requires booleans, got %s, %s", b.Op, lt, rt)
+		}
+		return value.TBool, nil
+	case b.Op.IsComparison():
+		if lt.IsNumeric() != rt.IsNumeric() && lt.Kind != rt.Kind {
+			return nil, fmt.Errorf("expr: cannot compare %s with %s", lt, rt)
+		}
+		return value.TBool, nil
+	default:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			return nil, fmt.Errorf("expr: arithmetic requires numerics, got %s, %s", lt, rt)
+		}
+		if lt.Kind == value.Float || rt.Kind == value.Float || b.Op == OpDiv {
+			return value.TFloat, nil
+		}
+		return value.TInt, nil
+	}
+}
+
+// Not is boolean negation.
+type Not struct {
+	E Expr
+}
+
+// Canonical implements Expr.
+func (n *Not) Canonical() string { return "(NOT " + n.E.Canonical() + ")" }
+
+// Type implements Expr.
+func (n *Not) Type(schema *value.Type) (*value.Type, error) {
+	t, err := n.E.Type(schema)
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != value.Bool {
+		return nil, fmt.Errorf("expr: NOT requires boolean, got %s", t)
+	}
+	return value.TBool, nil
+}
+
+// Columns returns the distinct column paths referenced by e, in first-seen
+// order.
+func Columns(e Expr) []value.Path {
+	var out []value.Path
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Col:
+			k := x.Path.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, x.Path)
+			}
+		case *Bin:
+			walk(x.L)
+			walk(x.R)
+		case *Not:
+			walk(x.E)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}

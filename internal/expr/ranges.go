@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"recache/internal/value"
+)
+
+// Interval is a closed/open numeric range over one column. Unset bounds are
+// -Inf/+Inf. Intervals are the currency of the subsumption index: a cached
+// select over [a,b] can answer any query whose interval is contained in it.
+type Interval struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// FullInterval is the unbounded interval.
+func FullInterval() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+}
+
+// Point returns the degenerate interval [x,x].
+func Point(x float64) Interval { return Interval{Lo: x, Hi: x} }
+
+// Covers reports whether i fully contains o (every value satisfying o's
+// bounds satisfies i's).
+func (i Interval) Covers(o Interval) bool {
+	loOK := i.Lo < o.Lo || (i.Lo == o.Lo && (!i.LoOpen || o.LoOpen))
+	hiOK := i.Hi > o.Hi || (i.Hi == o.Hi && (!i.HiOpen || o.HiOpen))
+	return loOK && hiOK
+}
+
+// Intersect returns the intersection of two intervals.
+func (i Interval) Intersect(o Interval) Interval {
+	out := i
+	if o.Lo > out.Lo || (o.Lo == out.Lo && o.LoOpen) {
+		out.Lo, out.LoOpen = o.Lo, o.LoOpen
+	}
+	if o.Hi < out.Hi || (o.Hi == out.Hi && o.HiOpen) {
+		out.Hi, out.HiOpen = o.Hi, o.HiOpen
+	}
+	return out
+}
+
+// Empty reports whether no value satisfies the interval.
+func (i Interval) Empty() bool {
+	if i.Lo > i.Hi {
+		return true
+	}
+	return i.Lo == i.Hi && (i.LoOpen || i.HiOpen)
+}
+
+// String renders the interval in mathematical notation.
+func (i Interval) String() string {
+	lb, rb := "[", "]"
+	if i.LoOpen {
+		lb = "("
+	}
+	if i.HiOpen {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%g,%g%s", lb, i.Lo, i.Hi, rb)
+}
+
+// RangeSet is a conjunction of per-column intervals plus any residual
+// conjuncts that are not simple column-vs-literal comparisons (string
+// equality, arithmetic predicates, OR-terms...). Residuals block
+// subsumption matching but not exact matching.
+type RangeSet struct {
+	Cols      map[string]Interval
+	Residuals []Expr
+}
+
+// ExtractRanges analyzes a conjunctive predicate. Each conjunct of the form
+// <numeric column> <cmp> <literal> (either side) tightens the interval of
+// that column; everything else lands in Residuals.
+func ExtractRanges(pred Expr, schema *value.Type) (*RangeSet, error) {
+	rs := &RangeSet{Cols: map[string]Interval{}}
+	if pred == nil {
+		return rs, nil
+	}
+	if _, err := pred.Type(schema); err != nil {
+		return nil, err
+	}
+	for _, c := range Conjuncts(pred) {
+		col, iv, ok := asRange(c, schema)
+		if !ok {
+			rs.Residuals = append(rs.Residuals, c)
+			continue
+		}
+		if prev, seen := rs.Cols[col]; seen {
+			rs.Cols[col] = prev.Intersect(iv)
+		} else {
+			rs.Cols[col] = iv
+		}
+	}
+	return rs, nil
+}
+
+// asRange recognizes col-vs-literal numeric comparisons.
+func asRange(e Expr, schema *value.Type) (string, Interval, bool) {
+	b, ok := e.(*Bin)
+	if !ok || !b.Op.IsComparison() || b.Op == OpNe {
+		return "", Interval{}, false
+	}
+	col, lit, op := matchColLit(b)
+	if col == nil {
+		return "", Interval{}, false
+	}
+	t, err := col.Type(schema)
+	if err != nil || !t.IsNumeric() {
+		return "", Interval{}, false
+	}
+	if !numericLit(lit.V) {
+		return "", Interval{}, false
+	}
+	x := lit.V.AsFloat()
+	iv := FullInterval()
+	switch op {
+	case OpEq:
+		iv = Point(x)
+	case OpLt:
+		iv.Hi, iv.HiOpen = x, true
+	case OpLe:
+		iv.Hi = x
+	case OpGt:
+		iv.Lo, iv.LoOpen = x, true
+	case OpGe:
+		iv.Lo = x
+	}
+	return col.Path.String(), iv, true
+}
+
+func numericLit(v value.Value) bool {
+	return v.Kind == value.Int || v.Kind == value.Float
+}
+
+// matchColLit orients a comparison as (column, literal, op-with-column-left).
+func matchColLit(b *Bin) (*Col, *Lit, Op) {
+	if c, ok := b.L.(*Col); ok {
+		if l, ok := b.R.(*Lit); ok {
+			return c, l, b.Op
+		}
+	}
+	if c, ok := b.R.(*Col); ok {
+		if l, ok := b.L.(*Lit); ok {
+			return c, l, flip(b.Op)
+		}
+	}
+	return nil, nil, b.Op
+}
+
+// Covers reports whether the cached range set rs answers any query matching
+// qs: the cache must constrain a subset of the columns the query constrains,
+// each cached interval must contain the query's interval on that column, and
+// the cache must carry no residual conjuncts (residuals make the cached set
+// narrower in ways intervals cannot compare). The query's residuals are fine:
+// they are re-applied on top of the cache scan.
+func (rs *RangeSet) Covers(qs *RangeSet) bool {
+	if len(rs.Residuals) > 0 {
+		return false
+	}
+	for col, civ := range rs.Cols {
+		qiv, ok := qs.Cols[col]
+		if !ok {
+			return false // cache constrains a column the query leaves free
+		}
+		if !civ.Covers(qiv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical renders the range set deterministically (used in cache keys and
+// tests).
+func (rs *RangeSet) Canonical() string {
+	keys := make([]string, 0, len(rs.Cols))
+	for k := range rs.Cols {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s∈%s", k, rs.Cols[k])
+	}
+	if len(rs.Residuals) > 0 {
+		res := make([]string, len(rs.Residuals))
+		for i, r := range rs.Residuals {
+			res[i] = r.Canonical()
+		}
+		sort.Strings(res)
+		if b.Len() > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(strings.Join(res, " AND "))
+	}
+	return b.String()
+}

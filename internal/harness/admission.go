@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/stats"
+	"recache/internal/workload"
+)
+
+// harnessSampleSize scales the paper's 1000-record admission sample to the
+// harness' smaller tables.
+const harnessSampleSize = 200
+
+// admissionConfigs builds the Fig 12/13 engine configurations.
+func admissionConfig(admission cache.AdmissionMode, threshold float64) cache.Config {
+	return cache.Config{
+		Admission:  admission,
+		Threshold:  threshold,
+		SampleSize: harnessSampleSize,
+		Layout:     cache.LayoutAuto,
+	}
+}
+
+// Fig12a compares per-query caching overhead under lazy, eager and
+// ReCache's adaptive admission (threshold 10%) on the TPC-H SPJ workload.
+func (r *Runner) Fig12a() error {
+	p, err := r.ensureTPCH()
+	if err != nil {
+		return err
+	}
+	queries := workload.SPJ(workload.DefaultTPCHTables(), r.nq(100), r.opts.Seed)
+	r.printf("# Fig 12a — per-query caching overhead CDF (%%), TPC-H SPJ workload\n")
+	r.printf("%10s %8s %8s %8s %8s %10s\n", "policy", "P50", "P90", "mean", "max", "meanRed")
+	var eagerMean float64
+	for _, cfg := range []struct {
+		name string
+		mode cache.AdmissionMode
+	}{
+		{"lazy", cache.AlwaysLazy},
+		{"eager", cache.AlwaysEager},
+		{"recache", cache.Adaptive},
+	} {
+		eng := newEngine(admissionConfig(cfg.mode, 0.10))
+		if err := registerTPCH(eng, p, false); err != nil {
+			return err
+		}
+		_, ovh, err := runSeqOverheads(eng, queries)
+		if err != nil {
+			return err
+		}
+		pct := make([]float64, len(ovh))
+		for i, o := range ovh {
+			pct[i] = o * 100
+		}
+		cdf := stats.NewCDF(pct)
+		if cfg.name == "eager" {
+			eagerMean = cdf.Mean()
+		}
+		red := 0.0
+		if cfg.name == "recache" && eagerMean > 0 {
+			red = 100 * (eagerMean - cdf.Mean()) / eagerMean
+		}
+		r.printf("%10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %9.1f%%\n",
+			cfg.name, cdf.Percentile(0.5), cdf.Percentile(0.9), cdf.Mean(),
+			cdf.Percentile(1), red)
+	}
+	r.printf("(paper: lazy mean 2.5%%, eager 20%%, ReCache 8.2%% — 59%% below eager)\n\n")
+	return nil
+}
+
+// Fig12b sweeps the adaptive admission threshold.
+func (r *Runner) Fig12b() error {
+	p, err := r.ensureTPCH()
+	if err != nil {
+		return err
+	}
+	queries := workload.SPJ(workload.DefaultTPCHTables(), r.nq(100), r.opts.Seed)
+	r.printf("# Fig 12b — overhead CDF vs admission threshold T\n")
+	r.printf("%14s %8s %8s %8s\n", "config", "P50", "P90", "mean")
+	run := func(name string, cfg cache.Config) error {
+		eng := newEngine(cfg)
+		if err := registerTPCH(eng, p, false); err != nil {
+			return err
+		}
+		_, ovh, err := runSeqOverheads(eng, queries)
+		if err != nil {
+			return err
+		}
+		pct := make([]float64, len(ovh))
+		for i, o := range ovh {
+			pct[i] = o * 100
+		}
+		cdf := stats.NewCDF(pct)
+		r.printf("%14s %7.1f%% %7.1f%% %7.1f%%\n", name,
+			cdf.Percentile(0.5), cdf.Percentile(0.9), cdf.Mean())
+		return nil
+	}
+	if err := run("lazy", admissionConfig(cache.AlwaysLazy, 0)); err != nil {
+		return err
+	}
+	for _, t := range []float64{0.01, 0.10, 0.20, 0.50} {
+		if err := run(pctName(t), admissionConfig(cache.Adaptive, t)); err != nil {
+			return err
+		}
+	}
+	r.printf("\n")
+	return nil
+}
+
+func pctName(t float64) string {
+	return "recache(T=" + itoaPct(t) + ")"
+}
+
+func itoaPct(t float64) string {
+	n := int(t*100 + 0.5)
+	digits := "0123456789"
+	if n < 10 {
+		return string(digits[n]) + "%"
+	}
+	return string(digits[n/10]) + string(digits[n%10]) + "%"
+}
+
+// Fig13 compares cumulative execution time of the full workload under
+// no caching, lazy, eager and ReCache admission (with subsumption reuse).
+func (r *Runner) Fig13() error {
+	p, err := r.ensureTPCH()
+	if err != nil {
+		return err
+	}
+	queries := workload.SPJ(workload.DefaultTPCHTables(), r.nq(100), r.opts.Seed)
+	series := map[string][]time.Duration{}
+	order := []struct {
+		name string
+		mode cache.AdmissionMode
+	}{
+		{"no-cache", cache.Off},
+		{"lazy", cache.AlwaysLazy},
+		{"eager", cache.AlwaysEager},
+		{"recache", cache.Adaptive},
+	}
+	for _, cfg := range order {
+		eng := newEngine(admissionConfig(cfg.mode, 0.10))
+		if err := registerTPCH(eng, p, false); err != nil {
+			return err
+		}
+		ts, err := runSeq(eng, queries)
+		if err != nil {
+			return err
+		}
+		series[cfg.name] = cumulative(ts)
+	}
+	r.printf("# Fig 13 — cumulative execution time (ms), 100 TPC-H SPJ queries\n")
+	r.printSeries([]string{"no-cache", "lazy", "eager", "recache"},
+		[][]time.Duration{series["no-cache"], series["lazy"], series["eager"], series["recache"]}, 20)
+	last := func(n string) time.Duration { s := series[n]; return s[len(s)-1] }
+	r.printf("totals: no-cache %s, lazy %s, eager %s, recache %s (ms)\n",
+		ms(last("no-cache")), ms(last("lazy")), ms(last("eager")), ms(last("recache")))
+	r.printf("recache vs no-cache: %.0f%% reduction; vs lazy: %.0f%%; vs eager: %+.0f%%\n",
+		pctReduction(last("no-cache"), last("recache")),
+		pctReduction(last("lazy"), last("recache")),
+		pctReduction(last("eager"), last("recache")))
+	r.printf("(paper: −62%% vs no-cache, −47%% vs lazy, ≈eager within 3%%)\n\n")
+	return nil
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRunner runs experiments at a very small scale so the whole suite
+// stays fast; shapes are asserted loosely (the real comparisons live in
+// EXPERIMENTS.md runs).
+func tinyRunner(t *testing.T) (*Runner, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	r := New(Options{
+		Dir:     t.TempDir(),
+		SF:      0.0005, // ~750 orders / ~3000 lineitems
+		Queries: 0.08,   // 8% of paper query counts
+		Seed:    17,
+		Out:     &buf,
+	})
+	return r, &buf
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r, _ := tinyRunner(t)
+	if err := r.Run("fig99"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Reactive Cache (ReCache)") {
+		t.Errorf("missing ReCache row:\n%s", out)
+	}
+}
+
+func TestFig1AndFig9(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "totals: columnar") {
+		t.Errorf("fig1 summary missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	for _, v := range []string{"fig9a", "fig9b", "fig9c"} {
+		if err := r.Run(v); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "recache closer to optimal") {
+		t.Errorf("fig9 summary missing:\n%s", buf.String())
+	}
+}
+
+func TestFig5AndFig6(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cardinality") {
+		t.Errorf("fig5/6 output malformed:\n%s", out)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P50 error") {
+		t.Errorf("fig7 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestFig10AndFig11(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig10a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig11a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig11b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig11c"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vs parquet") || !strings.Contains(out, "nested%") {
+		t.Errorf("fig10/11 output malformed:\n%s", out)
+	}
+}
+
+func TestFig12AndFig13(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig12a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig12b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig13"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recache vs no-cache") {
+		t.Errorf("fig13 summary missing:\n%s", out)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig14"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, pol := range fig14Policies() {
+		if !strings.Contains(out, pol) {
+			t.Errorf("fig14 missing policy %s:\n%s", pol, out)
+		}
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.Run("fig15a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig15b"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recache vs parquet/greedy") {
+		t.Errorf("fig15 summary missing:\n%s", buf.String())
+	}
+}

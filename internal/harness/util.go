@@ -1,0 +1,19 @@
+package harness
+
+import (
+	"math/rand"
+
+	"recache/internal/jsonio"
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// newRand wraps math/rand with a fixed seed (all harness randomness is
+// reproducible).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// newJSONProvider builds a raw JSON provider (used by store-level
+// experiments that bypass the engine).
+func newJSONProvider(path string, schema *value.Type) (plan.ScanProvider, error) {
+	return jsonio.New(path, schema)
+}

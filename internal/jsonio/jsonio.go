@@ -1,0 +1,715 @@
+// Package jsonio is the JSON input plugin: a schema-guided, hand-rolled
+// parser over newline-delimited JSON files. Like the CSV plugin it builds a
+// positional map on the first scan — the byte offset of each record and of
+// each top-level field's value within it — so later scans parse only the
+// fields a query needs (§3.1 of the paper). Parsing JSON is substantially
+// more expensive than CSV, which is precisely the cost heterogeneity
+// ReCache's policies react to.
+//
+// Missing object keys are normalized at ingestion: absent leaves become
+// nulls, absent records become records of nulls, absent lists become empty
+// lists. Every emitted record is therefore fully shaped by the schema,
+// which keeps the cache layouts interchangeable (see DESIGN.md).
+package jsonio
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// absentOff marks a top-level field with no value in a record.
+const absentOff = ^uint32(0)
+
+// Provider implements plan.ScanProvider for one NDJSON file.
+type Provider struct {
+	path   string
+	schema *value.Type
+	size   int64
+
+	data []byte
+
+	// Positional map.
+	recStart []int64
+	fieldOff []uint32 // nrecs × ntop: offset of field value relative to recStart
+	ntop     int
+}
+
+// New creates a provider over path with an explicit (possibly nested)
+// record schema.
+func New(path string, schema *value.Type) (*Provider, error) {
+	if schema == nil || schema.Kind != value.Record {
+		return nil, fmt.Errorf("jsonio: schema must be a record, got %s", schema)
+	}
+	if _, err := value.LeafColumns(schema); err != nil {
+		return nil, fmt.Errorf("jsonio: %w", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("jsonio: %w", err)
+	}
+	return &Provider{path: path, schema: schema, size: st.Size(), ntop: len(schema.Fields)}, nil
+}
+
+// Schema implements plan.ScanProvider.
+func (p *Provider) Schema() *value.Type { return p.schema }
+
+// NumRecords implements plan.ScanProvider: -1 before the first scan.
+func (p *Provider) NumRecords() int {
+	if p.recStart == nil {
+		return -1
+	}
+	return len(p.recStart)
+}
+
+// SizeBytes implements plan.ScanProvider.
+func (p *Provider) SizeBytes() int64 { return p.size }
+
+func (p *Provider) load() error {
+	if p.data != nil {
+		return nil
+	}
+	b, err := os.ReadFile(p.path)
+	if err != nil {
+		return fmt.Errorf("jsonio: %w", err)
+	}
+	p.data = b
+	return nil
+}
+
+// neededMask marks the top-level fields covering the needed paths; nil
+// means all fields.
+func (p *Provider) neededMask(needed []value.Path) ([]bool, error) {
+	if needed == nil {
+		return nil, nil
+	}
+	mask := make([]bool, p.ntop)
+	for _, np := range needed {
+		if len(np) == 0 {
+			continue
+		}
+		i, _ := p.schema.FieldIndex(np[0])
+		if i < 0 {
+			// Dotted flat name (post-unnest reference): match its head.
+			i, _ = p.schema.FieldIndex(np.String())
+			if i < 0 {
+				return nil, fmt.Errorf("jsonio: unknown field %q", np)
+			}
+		}
+		mask[i] = true
+	}
+	return mask, nil
+}
+
+// noComplete is the completion callback for already-complete records.
+func noComplete() error { return nil }
+
+// Scan implements plan.ScanProvider.
+func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
+	if err := p.load(); err != nil {
+		return err
+	}
+	mask, err := p.neededMask(needed)
+	if err != nil {
+		return err
+	}
+	if p.recStart == nil {
+		return p.firstScan(mask, fn)
+	}
+	row := make([]value.Value, p.ntop)
+	rec := value.Value{Kind: value.Record, L: row}
+	for ri, start := range p.recStart {
+		if err := p.parseMapped(ri, start, mask, row); err != nil {
+			return err
+		}
+		complete := noComplete
+		if mask != nil {
+			ri, start := ri, start
+			complete = func() error {
+				return p.completeMapped(ri, start, mask, row)
+			}
+		}
+		if err := fn(rec, start, complete); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// completeMapped parses the top-level fields mask skipped, via the
+// positional map.
+func (p *Provider) completeMapped(ri int, start int64, mask []bool, row []value.Value) error {
+	offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
+	for fi := 0; fi < p.ntop; fi++ {
+		if mask[fi] {
+			continue
+		}
+		if offs[fi] == absentOff {
+			row[fi] = nullFor(p.schema.Fields[fi].Type)
+			continue
+		}
+		v, _, err := parseValue(p.data, int(start)+int(offs[fi]), p.schema.Fields[fi].Type)
+		if err != nil {
+			return err
+		}
+		row[fi] = v
+	}
+	return nil
+}
+
+// firstScan parses every record fully enough to map all top-level fields,
+// materializing masked (or all) fields, and records the positional map.
+func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
+	data := p.data
+	i := skipWS(data, 0)
+	row := make([]value.Value, p.ntop)
+	rec := value.Value{Kind: value.Record, L: row}
+	offs := make([]uint32, p.ntop)
+	var recStart []int64
+	var fieldOff []uint32
+	for i < len(data) {
+		start := i
+		end, err := p.parseTopObject(data, i, mask, row, offs, int64(start))
+		if err != nil {
+			return err
+		}
+		recStart = append(recStart, int64(start))
+		fieldOff = append(fieldOff, offs...)
+		complete := noComplete
+		if mask != nil {
+			complete = func() error {
+				for fi := 0; fi < p.ntop; fi++ {
+					if mask[fi] {
+						continue
+					}
+					if offs[fi] == absentOff {
+						row[fi] = nullFor(p.schema.Fields[fi].Type)
+						continue
+					}
+					v, _, err := parseValue(data, start+int(offs[fi]), p.schema.Fields[fi].Type)
+					if err != nil {
+						return err
+					}
+					row[fi] = v
+				}
+				return nil
+			}
+		}
+		if err := fn(rec, int64(start), complete); err != nil {
+			return err
+		}
+		i = skipWS(data, end)
+	}
+	p.recStart = recStart
+	p.fieldOff = fieldOff
+	return nil
+}
+
+// parseMapped parses record ri using the positional map: only masked
+// top-level fields are parsed, each by a direct jump to its value offset.
+func (p *Provider) parseMapped(ri int, start int64, mask []bool, row []value.Value) error {
+	offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
+	for fi := 0; fi < p.ntop; fi++ {
+		if mask != nil && !mask[fi] {
+			row[fi] = value.VNull
+			continue
+		}
+		if offs[fi] == absentOff {
+			row[fi] = nullFor(p.schema.Fields[fi].Type)
+			continue
+		}
+		v, _, err := parseValue(p.data, int(start)+int(offs[fi]), p.schema.Fields[fi].Type)
+		if err != nil {
+			return fmt.Errorf("jsonio: record %d field %q: %w", ri, p.schema.Fields[fi].Name, err)
+		}
+		row[fi] = v
+	}
+	return nil
+}
+
+// ScanOffsets implements plan.ScanProvider: the lazy-cache access path.
+func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
+	if err := p.load(); err != nil {
+		return err
+	}
+	mask, err := p.neededMask(needed)
+	if err != nil {
+		return err
+	}
+	row := make([]value.Value, p.ntop)
+	rec := value.Value{Kind: value.Record, L: row}
+	offs := make([]uint32, p.ntop)
+	for _, off := range offsets {
+		if p.recStart != nil {
+			ri := sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] >= off })
+			if ri < len(p.recStart) && p.recStart[ri] == off {
+				if err := p.parseMapped(ri, off, mask, row); err != nil {
+					return err
+				}
+				complete := noComplete
+				if mask != nil {
+					ri, off := ri, off
+					complete = func() error { return p.completeMapped(ri, off, mask, row) }
+				}
+				if err := fn(rec, off, complete); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		// No positional map: parse everything so complete can be a no-op.
+		if _, err := p.parseTopObject(p.data, int(off), nil, row, offs, off); err != nil {
+			return err
+		}
+		if err := fn(rec, off, noComplete); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTopObject parses one top-level object starting at i, filling row
+// (masked fields materialized, others null), recording each field's value
+// offset into offs. Returns the index just past the object.
+func (p *Provider) parseTopObject(data []byte, i int, mask []bool, row []value.Value, offs []uint32, recStart int64) (int, error) {
+	for fi := range offs {
+		offs[fi] = absentOff
+		row[fi] = value.VNull
+	}
+	i = skipWS(data, i)
+	if i >= len(data) || data[i] != '{' {
+		return i, fmt.Errorf("jsonio: expected '{' at offset %d", i)
+	}
+	i++
+	first := true
+	for {
+		i = skipWS(data, i)
+		if i >= len(data) {
+			return i, fmt.Errorf("jsonio: unterminated object")
+		}
+		if data[i] == '}' {
+			i++
+			break
+		}
+		if !first {
+			if data[i] != ',' {
+				return i, fmt.Errorf("jsonio: expected ',' at offset %d", i)
+			}
+			i = skipWS(data, i+1)
+		}
+		first = false
+		key, ni, err := parseString(data, i)
+		if err != nil {
+			return i, err
+		}
+		i = skipWS(data, ni)
+		if i >= len(data) || data[i] != ':' {
+			return i, fmt.Errorf("jsonio: expected ':' at offset %d", i)
+		}
+		i = skipWS(data, i+1)
+		fi, ft := p.schema.FieldIndex(key)
+		if fi < 0 {
+			// Unknown key: skip its value.
+			ni, err := skipValue(data, i)
+			if err != nil {
+				return i, err
+			}
+			i = ni
+			continue
+		}
+		offs[fi] = uint32(int64(i) - recStart)
+		if mask == nil || mask[fi] {
+			v, ni, err := parseValue(data, i, ft)
+			if err != nil {
+				return i, fmt.Errorf("jsonio: field %q: %w", key, err)
+			}
+			row[fi] = v
+			i = ni
+		} else {
+			ni, err := skipValue(data, i)
+			if err != nil {
+				return i, err
+			}
+			i = ni
+		}
+	}
+	// Normalize absent fields.
+	for fi := range offs {
+		if offs[fi] == absentOff && (mask == nil || mask[fi]) {
+			row[fi] = nullFor(p.schema.Fields[fi].Type)
+		}
+	}
+	return i, nil
+}
+
+// nullFor returns the normalized null value for a type: records become
+// records of nulls, lists become empty lists, leaves become VNull.
+func nullFor(t *value.Type) value.Value {
+	switch t.Kind {
+	case value.Record:
+		fields := make([]value.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = nullFor(f.Type)
+		}
+		return value.VRecord(fields...)
+	case value.List:
+		return value.VList()
+	default:
+		return value.VNull
+	}
+}
+
+// parseValue parses a JSON value at i according to the expected type t.
+func parseValue(data []byte, i int, t *value.Type) (value.Value, int, error) {
+	i = skipWS(data, i)
+	if i >= len(data) {
+		return value.VNull, i, fmt.Errorf("unexpected end of input")
+	}
+	if data[i] == 'n' {
+		if i+4 <= len(data) && string(data[i:i+4]) == "null" {
+			return nullFor(t), i + 4, nil
+		}
+		return value.VNull, i, fmt.Errorf("bad literal at %d", i)
+	}
+	switch t.Kind {
+	case value.Record:
+		return parseObject(data, i, t)
+	case value.List:
+		return parseArray(data, i, t)
+	case value.String:
+		s, ni, err := parseString(data, i)
+		if err != nil {
+			return value.VNull, i, err
+		}
+		return value.VString(s), ni, nil
+	case value.Bool:
+		if i+4 <= len(data) && string(data[i:i+4]) == "true" {
+			return value.VBool(true), i + 4, nil
+		}
+		if i+5 <= len(data) && string(data[i:i+5]) == "false" {
+			return value.VBool(false), i + 5, nil
+		}
+		return value.VNull, i, fmt.Errorf("bad bool at %d", i)
+	case value.Int:
+		beg := i
+		ni := scanNumber(data, i)
+		if ni == beg {
+			return value.VNull, i, fmt.Errorf("bad number at %d", i)
+		}
+		n, err := strconv.ParseInt(string(data[beg:ni]), 10, 64)
+		if err != nil {
+			// The text may be a float literal; truncate.
+			f, ferr := strconv.ParseFloat(string(data[beg:ni]), 64)
+			if ferr != nil {
+				return value.VNull, i, fmt.Errorf("bad int at %d: %v", i, err)
+			}
+			return value.VInt(int64(f)), ni, nil
+		}
+		return value.VInt(n), ni, nil
+	case value.Float:
+		beg := i
+		ni := scanNumber(data, i)
+		if ni == beg {
+			return value.VNull, i, fmt.Errorf("bad number at %d", i)
+		}
+		f, err := strconv.ParseFloat(string(data[beg:ni]), 64)
+		if err != nil {
+			return value.VNull, i, fmt.Errorf("bad float at %d: %v", i, err)
+		}
+		return value.VFloat(f), ni, nil
+	}
+	return value.VNull, i, fmt.Errorf("unsupported type %s", t)
+}
+
+func parseObject(data []byte, i int, t *value.Type) (value.Value, int, error) {
+	if data[i] != '{' {
+		return value.VNull, i, fmt.Errorf("expected '{' at %d", i)
+	}
+	i++
+	fields := make([]value.Value, len(t.Fields))
+	seen := make([]bool, len(t.Fields))
+	first := true
+	for {
+		i = skipWS(data, i)
+		if i >= len(data) {
+			return value.VNull, i, fmt.Errorf("unterminated object")
+		}
+		if data[i] == '}' {
+			i++
+			break
+		}
+		if !first {
+			if data[i] != ',' {
+				return value.VNull, i, fmt.Errorf("expected ',' at %d", i)
+			}
+			i = skipWS(data, i+1)
+		}
+		first = false
+		key, ni, err := parseString(data, i)
+		if err != nil {
+			return value.VNull, i, err
+		}
+		i = skipWS(data, ni)
+		if i >= len(data) || data[i] != ':' {
+			return value.VNull, i, fmt.Errorf("expected ':' at %d", i)
+		}
+		i = skipWS(data, i+1)
+		fi, ft := t.FieldIndex(key)
+		if fi < 0 {
+			ni, err := skipValue(data, i)
+			if err != nil {
+				return value.VNull, i, err
+			}
+			i = ni
+			continue
+		}
+		v, ni2, err := parseValue(data, i, ft)
+		if err != nil {
+			return value.VNull, i, err
+		}
+		fields[fi] = v
+		seen[fi] = true
+		i = ni2
+	}
+	for fi := range fields {
+		if !seen[fi] {
+			fields[fi] = nullFor(t.Fields[fi].Type)
+		}
+	}
+	return value.VRecord(fields...), i, nil
+}
+
+func parseArray(data []byte, i int, t *value.Type) (value.Value, int, error) {
+	if data[i] != '[' {
+		return value.VNull, i, fmt.Errorf("expected '[' at %d", i)
+	}
+	i++
+	var elems []value.Value
+	first := true
+	for {
+		i = skipWS(data, i)
+		if i >= len(data) {
+			return value.VNull, i, fmt.Errorf("unterminated array")
+		}
+		if data[i] == ']' {
+			i++
+			break
+		}
+		if !first {
+			if data[i] != ',' {
+				return value.VNull, i, fmt.Errorf("expected ',' at %d", i)
+			}
+			i = skipWS(data, i+1)
+		}
+		first = false
+		v, ni, err := parseValue(data, i, t.Elem)
+		if err != nil {
+			return value.VNull, i, err
+		}
+		elems = append(elems, v)
+		i = ni
+	}
+	return value.VList(elems...), i, nil
+}
+
+// parseString parses a JSON string (handling escapes) returning its value.
+func parseString(data []byte, i int) (string, int, error) {
+	if i >= len(data) || data[i] != '"' {
+		return "", i, fmt.Errorf("expected '\"' at %d", i)
+	}
+	i++
+	beg := i
+	hasEscape := false
+	for i < len(data) {
+		c := data[i]
+		if c == '\\' {
+			hasEscape = true
+			i += 2
+			continue
+		}
+		if c == '"' {
+			if !hasEscape {
+				return string(data[beg:i]), i + 1, nil
+			}
+			return unescape(data[beg:i]), i + 1, nil
+		}
+		i++
+	}
+	return "", i, fmt.Errorf("unterminated string")
+}
+
+func unescape(b []byte) string {
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != '\\' || i+1 >= len(b) {
+			out = append(out, c)
+			continue
+		}
+		i++
+		switch b[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case 'b':
+			out = append(out, '\b')
+		case 'f':
+			out = append(out, '\f')
+		case 'u':
+			if i+4 < len(b) {
+				if n, err := strconv.ParseUint(string(b[i+1:i+5]), 16, 32); err == nil {
+					out = append(out, []byte(string(rune(n)))...)
+					i += 4
+					continue
+				}
+			}
+			out = append(out, 'u')
+		default:
+			out = append(out, b[i])
+		}
+	}
+	return string(out)
+}
+
+// skipValue advances past any JSON value without materializing it.
+func skipValue(data []byte, i int) (int, error) {
+	i = skipWS(data, i)
+	if i >= len(data) {
+		return i, fmt.Errorf("unexpected end of input")
+	}
+	switch data[i] {
+	case '"':
+		_, ni, err := parseString(data, i)
+		return ni, err
+	case '{', '[':
+		open, close := data[i], byte('}')
+		if open == '[' {
+			close = ']'
+		}
+		depth := 0
+		for ; i < len(data); i++ {
+			switch data[i] {
+			case '"':
+				_, ni, err := parseString(data, i)
+				if err != nil {
+					return i, err
+				}
+				i = ni - 1
+			case open:
+				depth++
+			case close:
+				depth--
+				if depth == 0 {
+					return i + 1, nil
+				}
+			}
+		}
+		return i, fmt.Errorf("unterminated %c", open)
+	case 't':
+		return i + 4, nil
+	case 'f':
+		return i + 5, nil
+	case 'n':
+		return i + 4, nil
+	default:
+		ni := scanNumber(data, i)
+		if ni == i {
+			return i, fmt.Errorf("bad value at %d", i)
+		}
+		return ni, nil
+	}
+}
+
+func scanNumber(data []byte, i int) int {
+	for i < len(data) {
+		c := data[i]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			i++
+			continue
+		}
+		break
+	}
+	return i
+}
+
+func skipWS(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// WriteRecord appends one record as a JSON line to buf, following the
+// schema's field order; null leaves are omitted (exercising the optional-
+// field path on re-read). It is used by the data generators.
+func WriteRecord(buf []byte, rec value.Value, schema *value.Type) []byte {
+	buf = writeValue(buf, rec, schema)
+	return append(buf, '\n')
+}
+
+func writeValue(buf []byte, v value.Value, t *value.Type) []byte {
+	switch t.Kind {
+	case value.Record:
+		buf = append(buf, '{')
+		first := true
+		for i, f := range t.Fields {
+			var fv value.Value
+			if i < len(v.L) {
+				fv = v.L[i]
+			}
+			if fv.Kind == value.Null {
+				continue // omit null fields entirely
+			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = strconv.AppendQuote(buf, f.Name)
+			buf = append(buf, ':')
+			buf = writeValue(buf, fv, f.Type)
+		}
+		return append(buf, '}')
+	case value.List:
+		buf = append(buf, '[')
+		for i := range v.L {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = writeValue(buf, v.L[i], t.Elem)
+		}
+		return append(buf, ']')
+	case value.String:
+		if v.Kind == value.Null {
+			return append(buf, "null"...)
+		}
+		return strconv.AppendQuote(buf, v.S)
+	case value.Int:
+		if v.Kind == value.Null {
+			return append(buf, "null"...)
+		}
+		return strconv.AppendInt(buf, v.I, 10)
+	case value.Float:
+		if v.Kind == value.Null {
+			return append(buf, "null"...)
+		}
+		return strconv.AppendFloat(buf, v.F, 'g', -1, 64)
+	case value.Bool:
+		if v.Kind == value.Null {
+			return append(buf, "null"...)
+		}
+		return strconv.AppendBool(buf, v.B)
+	}
+	return append(buf, "null"...)
+}

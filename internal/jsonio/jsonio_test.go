@@ -1,0 +1,305 @@
+package jsonio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recache/internal/value"
+)
+
+func orderSchema() *value.Type {
+	return value.TRecord(
+		value.F("o_orderkey", value.TInt),
+		value.F("o_totalprice", value.TFloat),
+		value.FOpt("o_comment", value.TString),
+		value.F("origin", value.TRecord(
+			value.FOpt("country", value.TString),
+			value.FOpt("ip", value.TString),
+		)),
+		value.F("lineitems", value.TList(value.TRecord(
+			value.F("l_quantity", value.TInt),
+			value.FOpt("l_discount", value.TFloat),
+		))),
+	)
+}
+
+const testData = `{"o_orderkey":1,"o_totalprice":100.5,"o_comment":"fast","origin":{"country":"CH","ip":"1.2.3.4"},"lineitems":[{"l_quantity":3,"l_discount":0.1},{"l_quantity":7}]}
+{"o_orderkey":2,"o_totalprice":50.0,"lineitems":[]}
+{"o_orderkey":3,"o_totalprice":75.25,"origin":{"country":"US"},"lineitems":[{"l_quantity":1,"l_discount":0}],"unknown_key":{"x":[1,2,{"y":"z"}]}}
+`
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "data.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func collect(t *testing.T, p *Provider, needed []value.Path) ([]value.Value, []int64) {
+	t.Helper()
+	var recs []value.Value
+	var offs []int64
+	err := p.Scan(needed, func(rec value.Value, off int64, _ func() error) error {
+		recs = append(recs, value.VRecord(append([]value.Value(nil), rec.L...)...))
+		offs = append(offs, off)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, offs
+}
+
+func TestScanFull(t *testing.T) {
+	p, err := New(writeFile(t, testData), orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, offs := collect(t, p, nil)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r0 := recs[0]
+	if r0.L[0].I != 1 || r0.L[1].F != 100.5 || r0.L[2].S != "fast" {
+		t.Errorf("rec0 = %v", r0)
+	}
+	if r0.L[3].L[0].S != "CH" {
+		t.Errorf("origin.country = %v", r0.L[3])
+	}
+	items := r0.L[4]
+	if items.Kind != value.List || len(items.L) != 2 {
+		t.Fatalf("lineitems = %v", items)
+	}
+	if items.L[0].L[0].I != 3 || items.L[0].L[1].F != 0.1 {
+		t.Errorf("item0 = %v", items.L[0])
+	}
+	// Missing l_discount normalizes to null.
+	if !items.L[1].L[1].IsNull() {
+		t.Errorf("missing l_discount = %v, want null", items.L[1].L[1])
+	}
+	// Record 2: missing origin → record of nulls; empty list stays empty.
+	r1 := recs[1]
+	if r1.L[3].Kind != value.Record || !r1.L[3].L[0].IsNull() {
+		t.Errorf("missing origin = %v, want record of nulls", r1.L[3])
+	}
+	if r1.L[4].Kind != value.List || len(r1.L[4].L) != 0 {
+		t.Errorf("empty lineitems = %v", r1.L[4])
+	}
+	if !r1.L[2].IsNull() {
+		t.Errorf("missing o_comment = %v", r1.L[2])
+	}
+	// Record 3: unknown keys skipped, partial origin.
+	r2 := recs[2]
+	if r2.L[0].I != 3 || r2.L[3].L[0].S != "US" || !r2.L[3].L[1].IsNull() {
+		t.Errorf("rec2 = %v", r2)
+	}
+	if offs[0] != 0 {
+		t.Errorf("offset 0 = %d", offs[0])
+	}
+	if p.NumRecords() != 3 {
+		t.Errorf("NumRecords = %d", p.NumRecords())
+	}
+}
+
+func TestSelectiveParseAfterPositionalMap(t *testing.T) {
+	p, err := New(writeFile(t, testData), orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, p, nil) // build positional map
+	recs, _ := collect(t, p, []value.Path{value.ParsePath("o_totalprice")})
+	if recs[0].L[1].F != 100.5 {
+		t.Errorf("o_totalprice = %v", recs[0].L[1])
+	}
+	if !recs[0].L[0].IsNull() || recs[0].L[4].Kind != value.List && !recs[0].L[4].IsNull() {
+		t.Errorf("unneeded fields should be null: %v", recs[0])
+	}
+	// Nested needed path pulls in its whole top-level subtree.
+	recs2, _ := collect(t, p, []value.Path{value.ParsePath("lineitems.l_quantity")})
+	if recs2[0].L[4].Kind != value.List || recs2[0].L[4].L[0].L[0].I != 3 {
+		t.Errorf("lineitems = %v", recs2[0].L[4])
+	}
+	// Absent optional field via positional map → normalized null record.
+	recs3, _ := collect(t, p, []value.Path{value.ParsePath("origin.country")})
+	if recs3[1].L[3].Kind != value.Record || !recs3[1].L[3].L[0].IsNull() {
+		t.Errorf("absent origin via map = %v", recs3[1].L[3])
+	}
+}
+
+func TestScanOffsets(t *testing.T) {
+	p, err := New(writeFile(t, testData), orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, offs := collect(t, p, nil)
+	var got []value.Value
+	err = p.ScanOffsets([]int64{offs[2], offs[0]}, nil, func(rec value.Value, off int64, _ func() error) error {
+		got = append(got, value.VRecord(append([]value.Value(nil), rec.L...)...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].L[0].I != 3 || got[1].L[0].I != 1 {
+		t.Errorf("ScanOffsets = %v", got)
+	}
+}
+
+func TestScanOffsetsWithoutMap(t *testing.T) {
+	p, err := New(writeFile(t, testData), orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []value.Value
+	err = p.ScanOffsets([]int64{0}, nil, func(rec value.Value, off int64, _ func() error) error {
+		got = append(got, value.VRecord(append([]value.Value(nil), rec.L...)...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].L[0].I != 1 {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	schema := value.TRecord(value.F("s", value.TString))
+	data := `{"s":"a\"b\\c\nédA"}` + "\n"
+	p, err := New(writeFile(t, data), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, p, nil)
+	want := "a\"b\\c\nédA"
+	if recs[0].L[0].S != want {
+		t.Errorf("escaped string = %q, want %q", recs[0].L[0].S, want)
+	}
+}
+
+func TestListOfPrimitives(t *testing.T) {
+	schema := value.TRecord(
+		value.F("name", value.TString),
+		value.F("categories", value.TList(value.TString)),
+	)
+	data := `{"name":"biz","categories":["food","bar"]}` + "\n"
+	p, err := New(writeFile(t, data), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, p, nil)
+	cats := recs[0].L[1]
+	if cats.Kind != value.List || len(cats.L) != 2 || cats.L[1].S != "bar" {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestFloatAsIntCoercion(t *testing.T) {
+	schema := value.TRecord(value.F("n", value.TInt))
+	p, err := New(writeFile(t, `{"n":3.7}`+"\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, p, nil)
+	if recs[0].L[0].I != 3 {
+		t.Errorf("coerced int = %v", recs[0].L[0])
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	schema := value.TRecord(value.F("n", value.TInt))
+	for _, bad := range []string{
+		`{"n":}` + "\n",
+		`{"n":1` + "\n",
+		`{"n" 1}` + "\n",
+		`[1]` + "\n",
+	} {
+		p, err := New(writeFile(t, bad), schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Scan(nil, func(value.Value, int64, func() error) error { return nil }); err == nil {
+			t.Errorf("malformed %q should fail", bad)
+		}
+	}
+}
+
+func TestWriteRecordRoundTrip(t *testing.T) {
+	schema := orderSchema()
+	rec := value.VRecord(
+		value.VInt(9),
+		value.VFloat(12.25),
+		value.VNull, // omitted on write
+		value.VRecord(value.VString("DE"), value.VNull),
+		value.VList(
+			value.VRecord(value.VInt(4), value.VFloat(0.2)),
+			value.VRecord(value.VInt(5), value.VNull),
+		),
+	)
+	var buf []byte
+	buf = WriteRecord(buf, rec, schema)
+	p, err := New(writeFile(t, string(buf)), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, p, nil)
+	if len(recs) != 1 {
+		t.Fatalf("round trip lost records")
+	}
+	if !recs[0].Equal(rec) {
+		t.Errorf("round trip:\ngot  %v\nwant %v", recs[0], rec)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	path := writeFile(t, testData)
+	if _, err := New(path, value.TInt); err == nil {
+		t.Error("non-record schema should fail")
+	}
+	doubleNested := value.TRecord(value.F("a", value.TList(value.TRecord(
+		value.F("b", value.TList(value.TInt))))))
+	if _, err := New(path, doubleNested); err == nil {
+		t.Error("double-nested lists should be rejected")
+	}
+}
+
+func TestUnknownNeededField(t *testing.T) {
+	p, _ := New(writeFile(t, testData), orderSchema())
+	err := p.Scan([]value.Path{value.ParsePath("nope.deep")}, func(value.Value, int64, func() error) error { return nil })
+	if err == nil {
+		t.Error("unknown needed field should fail")
+	}
+}
+
+func TestCompleteParsesSkippedFields(t *testing.T) {
+	p, err := New(writeFile(t, testData), orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(pass string) {
+		var prices []float64
+		var items int
+		err := p.Scan([]value.Path{value.ParsePath("o_orderkey")}, func(rec value.Value, off int64, complete func() error) error {
+			if err := complete(); err != nil {
+				return err
+			}
+			prices = append(prices, rec.L[1].F)
+			items += len(rec.L[4].L)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pass, err)
+		}
+		if len(prices) != 3 || prices[0] != 100.5 || prices[2] != 75.25 {
+			t.Errorf("%s: prices = %v", pass, prices)
+		}
+		if items != 3 {
+			t.Errorf("%s: items = %d, want 3", pass, items)
+		}
+	}
+	check("first scan")
+	check("mapped scan")
+}

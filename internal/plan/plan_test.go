@@ -1,0 +1,209 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"recache/internal/expr"
+	"recache/internal/value"
+)
+
+type stubProvider struct{ schema *value.Type }
+
+func (s *stubProvider) Schema() *value.Type { return s.schema }
+func (s *stubProvider) NumRecords() int     { return -1 }
+func (s *stubProvider) SizeBytes() int64    { return 0 }
+func (s *stubProvider) Scan([]value.Path, ScanFunc) error {
+	return nil
+}
+func (s *stubProvider) ScanOffsets([]int64, []value.Path, ScanFunc) error {
+	return nil
+}
+
+func flatDS() *Dataset {
+	return &Dataset{Name: "t", Format: FormatCSV, Provider: &stubProvider{
+		schema: value.TRecord(value.F("a", value.TInt), value.F("b", value.TFloat)),
+	}}
+}
+
+func nestedDS() *Dataset {
+	return &Dataset{Name: "n", Format: FormatJSON, Provider: &stubProvider{
+		schema: value.TRecord(
+			value.F("x", value.TInt),
+			value.F("items", value.TList(value.TRecord(value.F("q", value.TInt)))),
+		),
+	}}
+}
+
+func TestCanonicalStability(t *testing.T) {
+	ds := flatDS()
+	s1 := &Select{Pred: expr.And(
+		expr.Cmp(expr.OpGe, expr.C("a"), expr.L(1)),
+		expr.Cmp(expr.OpLt, expr.C("b"), expr.L(2.0))), Child: &Scan{DS: ds}}
+	s2 := &Select{Pred: expr.And(
+		expr.Cmp(expr.OpGt, expr.L(2.0), expr.C("b")),
+		expr.Cmp(expr.OpLe, expr.L(1), expr.C("a"))), Child: &Scan{DS: ds}}
+	if s1.Canonical() != s2.Canonical() {
+		t.Errorf("equivalent selects canonicalize differently:\n%s\n%s",
+			s1.Canonical(), s2.Canonical())
+	}
+	s3 := &Select{Pred: expr.Cmp(expr.OpGe, expr.C("a"), expr.L(2)), Child: &Scan{DS: ds}}
+	if s1.Canonical() == s3.Canonical() {
+		t.Error("different predicates canonicalize equally")
+	}
+	nilSel := &Select{Child: &Scan{DS: ds}}
+	if !strings.Contains(nilSel.Canonical(), "true") {
+		t.Errorf("nil predicate canonical = %s", nilSel.Canonical())
+	}
+}
+
+func TestUnnestSchema(t *testing.T) {
+	ds := nestedDS()
+	sel := &Select{Child: &Scan{DS: ds}}
+	u, err := NewUnnest(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := u.OutSchema()
+	if len(out.Fields) != 2 || out.Fields[1].Name != "items.q" {
+		t.Errorf("unnest schema = %s", out)
+	}
+	if u.ListPath.String() != "items" {
+		t.Errorf("list path = %s", u.ListPath)
+	}
+	// Unnest of flat data is an error.
+	if _, err := NewUnnest(&Select{Child: &Scan{DS: flatDS()}}); err == nil {
+		t.Error("unnest of flat schema should fail")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	l := &Select{Child: &Scan{DS: flatDS()}}
+	r2 := &Dataset{Name: "u", Format: FormatCSV, Provider: &stubProvider{
+		schema: value.TRecord(value.F("k", value.TInt), value.F("v", value.TString)),
+	}}
+	r := &Select{Child: &Scan{DS: r2}}
+	j, err := NewJoin(l, r, expr.C("a"), expr.C("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.OutSchema().Fields) != 4 {
+		t.Errorf("join schema = %s", j.OutSchema())
+	}
+	// Name clash.
+	if _, err := NewJoin(l, l, expr.C("a"), expr.C("a")); err == nil {
+		t.Error("self-join with clashing names should fail")
+	}
+	// Incompatible key types.
+	if _, err := NewJoin(l, r, expr.C("a"), expr.C("v")); err == nil {
+		t.Error("int-vs-string join keys should fail")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	child := &Select{Child: &Scan{DS: flatDS()}}
+	a, err := NewAggregate([]AggSpec{
+		{Func: AggSum, Arg: expr.C("b"), Name: "s"},
+		{Func: AggCount, Name: "n"},
+	}, nil, nil, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.OutSchema()
+	if out.Fields[0].Name != "s" || out.Fields[0].Type.Kind != value.Float {
+		t.Errorf("sum type = %s", out.Fields[0].Type)
+	}
+	if out.Fields[1].Type.Kind != value.Int {
+		t.Errorf("count type = %s", out.Fields[1].Type)
+	}
+	// SUM over non-numeric fails.
+	ds := &Dataset{Name: "s", Format: FormatCSV, Provider: &stubProvider{
+		schema: value.TRecord(value.F("str", value.TString)),
+	}}
+	if _, err := NewAggregate([]AggSpec{{Func: AggSum, Arg: expr.C("str"), Name: "x"}},
+		nil, nil, &Select{Child: &Scan{DS: ds}}); err == nil {
+		t.Error("SUM(string) should fail")
+	}
+	// SUM without an argument fails.
+	if _, err := NewAggregate([]AggSpec{{Func: AggSum, Name: "x"}},
+		nil, nil, child); err == nil {
+		t.Error("SUM without argument should fail")
+	}
+	// Group-by arity mismatch.
+	if _, err := NewAggregate(nil, []expr.Expr{expr.C("a")}, nil, child); err == nil {
+		t.Error("group-by arity mismatch should fail")
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	child := &Select{Child: &Scan{DS: flatDS()}}
+	p, err := NewProject([]expr.Expr{expr.C("a")}, []string{"x"}, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OutSchema().Fields[0].Name != "x" {
+		t.Errorf("project schema = %s", p.OutSchema())
+	}
+	if _, err := NewProject([]expr.Expr{expr.C("a")}, []string{"x", "y"}, child); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := NewProject([]expr.Expr{expr.C("nope")}, []string{"x"}, child); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestNonRepeatedSchema(t *testing.T) {
+	out, names, err := NonRepeatedSchema(nestedDS().Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Fields) != 1 || names[0] != "x" {
+		t.Errorf("non-repeated = %s %v", out, names)
+	}
+}
+
+func TestWalkAndExplain(t *testing.T) {
+	sel := &Select{Pred: expr.Cmp(expr.OpGt, expr.C("a"), expr.L(1)), Child: &Scan{DS: flatDS()}}
+	agg, err := NewAggregate([]AggSpec{{Func: AggCount, Name: "n"}}, nil, nil, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	Walk(agg, func(n Node) {
+		switch n.(type) {
+		case *Aggregate:
+			kinds = append(kinds, "agg")
+		case *Select:
+			kinds = append(kinds, "select")
+		case *Scan:
+			kinds = append(kinds, "scan")
+		}
+	})
+	if strings.Join(kinds, ",") != "agg,select,scan" {
+		t.Errorf("walk order = %v", kinds)
+	}
+	out := Explain(agg)
+	for _, want := range []string{"Aggregate", "Select", "Scan t [csv]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMaterializeAndCachedScanNodes(t *testing.T) {
+	sel := &Select{Child: &Scan{DS: flatDS()}}
+	m := &Materialize{Child: sel}
+	if m.OutSchema() != sel.OutSchema() {
+		t.Error("materialize schema should pass through")
+	}
+	if !strings.Contains(m.Canonical(), "materialize(") {
+		t.Errorf("canonical = %s", m.Canonical())
+	}
+	cs := &CachedScan{DS: flatDS(), Out: value.TRecord(value.F("a", value.TInt)), Label: "exact"}
+	if !strings.Contains(cs.Canonical(), "cachedscan(t") {
+		t.Errorf("canonical = %s", cs.Canonical())
+	}
+	if cs.Children() != nil || len(m.Children()) != 1 {
+		t.Error("children wrong")
+	}
+}

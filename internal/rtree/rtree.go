@@ -1,0 +1,485 @@
+// Package rtree implements a balanced R-tree over axis-aligned rectangles,
+// used by the cache manager as its query-subsumption index (§3.3 of the
+// paper): the bounding box of every cached range predicate is inserted, and
+// a new predicate looks up, in logarithmic time, the cached boxes that fully
+// contain it.
+//
+// The tree uses the classic quadratic split of Guttman's original design and
+// supports arbitrary dimensionality; ReCache uses one-dimensional boxes (one
+// tree per (dataset, numeric field) pair).
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned box: Min[i] <= Max[i] for every dimension i.
+type Rect struct {
+	Min, Max []float64
+}
+
+// NewRect builds a rect after validating bounds.
+func NewRect(min, max []float64) (Rect, error) {
+	if len(min) != len(max) {
+		return Rect{}, fmt.Errorf("rtree: dimension mismatch %d vs %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("rtree: min[%d]=%g > max[%d]=%g", i, min[i], i, max[i])
+		}
+	}
+	return Rect{Min: min, Max: max}, nil
+}
+
+// Interval1D builds a 1-dimensional rect.
+func Interval1D(lo, hi float64) Rect {
+	return Rect{Min: []float64{lo}, Max: []float64{hi}}
+}
+
+// Contains reports whether r fully contains o.
+func (r Rect) Contains(o Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > o.Min[i] || r.Max[i] < o.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and o overlap (closed boxes).
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > o.Max[i] || r.Max[i] < o.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// area returns the (hyper)volume; infinite extents clamp to a large finite
+// number so enlargement comparisons still order correctly.
+func (r Rect) area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		d := r.Max[i] - r.Min[i]
+		if math.IsInf(d, 1) {
+			d = math.MaxFloat64 / 1e10
+		}
+		a *= d
+	}
+	return a
+}
+
+// union returns the minimal box covering both rects.
+func (r Rect) union(o Rect) Rect {
+	min := make([]float64, len(r.Min))
+	max := make([]float64, len(r.Max))
+	for i := range r.Min {
+		min[i] = math.Min(r.Min[i], o.Min[i])
+		max[i] = math.Max(r.Max[i], o.Max[i])
+	}
+	return Rect{Min: min, Max: max}
+}
+
+func (r Rect) enlargement(o Rect) float64 {
+	return r.union(o).area() - r.area()
+}
+
+func (r Rect) equal(o Rect) bool {
+	if len(r.Min) != len(o.Min) {
+		return false
+	}
+	for i := range r.Min {
+		if r.Min[i] != o.Min[i] || r.Max[i] != o.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	maxEntries = 8
+	minEntries = 3
+)
+
+type entry struct {
+	rect  Rect
+	child *node  // internal entries
+	id    uint64 // leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) bbox() Rect {
+	b := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		b = b.union(e.rect)
+	}
+	return b
+}
+
+// Tree is a balanced R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	dims int
+	size int
+}
+
+// New creates an empty tree over the given dimensionality.
+func New(dims int) *Tree {
+	return &Tree{root: &node{leaf: true}, dims: dims}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a rectangle with an opaque id. Duplicate (rect, id) pairs are
+// stored independently.
+func (t *Tree) Insert(r Rect, id uint64) error {
+	if len(r.Min) != t.dims || len(r.Max) != t.dims {
+		return fmt.Errorf("rtree: insert dims %d/%d into %d-d tree", len(r.Min), len(r.Max), t.dims)
+	}
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.entries = append(leaf.entries, entry{rect: r, id: id})
+	t.size++
+	t.splitUpward(leaf)
+	return nil
+}
+
+// path records parents during descent; rebuilt per operation (no parent
+// pointers keeps nodes small).
+func (t *Tree) findPath(target *node) []*node {
+	var path []*node
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == target {
+			path = append(path, n)
+			return true
+		}
+		if n.leaf {
+			return false
+		}
+		for _, e := range n.entries {
+			if walk(e.child) {
+				path = append(path, n)
+				return true
+			}
+		}
+		return false
+	}
+	walk(t.root)
+	// reverse: root..target
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func (t *Tree) chooseLeaf(n *node, r Rect) *node {
+	for !n.leaf {
+		best := -1
+		bestEnl, bestArea := math.Inf(1), math.Inf(1)
+		for i := range n.entries {
+			enl := n.entries[i].rect.enlargement(r)
+			area := n.entries[i].rect.area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n.entries[best].rect = n.entries[best].rect.union(r)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// splitUpward splits the node if overfull and propagates to the root.
+func (t *Tree) splitUpward(n *node) {
+	for n != nil && len(n.entries) > maxEntries {
+		left, right := splitNode(n)
+		if n == t.root {
+			t.root = &node{
+				leaf: false,
+				entries: []entry{
+					{rect: left.bbox(), child: left},
+					{rect: right.bbox(), child: right},
+				},
+			}
+			return
+		}
+		path := t.findPath(n)
+		parent := path[len(path)-2]
+		// Replace n's entry with left, append right.
+		for i := range parent.entries {
+			if parent.entries[i].child == n {
+				parent.entries[i] = entry{rect: left.bbox(), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry{rect: right.bbox(), child: right})
+		n = parent
+	}
+	// Tighten ancestor boxes.
+	if n != nil && n != t.root {
+		path := t.findPath(n)
+		for i := len(path) - 2; i >= 0; i-- {
+			p := path[i]
+			for j := range p.entries {
+				if p.entries[j].child == path[i+1] {
+					p.entries[j].rect = path[i+1].bbox()
+				}
+			}
+		}
+	}
+}
+
+// splitNode performs Guttman's quadratic split, returning two new nodes.
+func splitNode(n *node) (*node, *node) {
+	es := n.entries
+	// Pick seeds: the pair wasting the most area if grouped together.
+	si, sj, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			d := es[i].rect.union(es[j].rect).area() - es[i].rect.area() - es[j].rect.area()
+			if d > worst {
+				si, sj, worst = i, j, d
+			}
+		}
+	}
+	left := &node{leaf: n.leaf, entries: []entry{es[si]}}
+	right := &node{leaf: n.leaf, entries: []entry{es[sj]}}
+	lbox, rbox := es[si].rect, es[sj].rect
+	rest := make([]entry, 0, len(es)-2)
+	for i := range es {
+		if i != si && i != sj {
+			rest = append(rest, es[i])
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment if one group must take all remaining entries.
+		if len(left.entries)+len(rest) == minEntries {
+			left.entries = append(left.entries, rest...)
+			for _, e := range rest {
+				lbox = lbox.union(e.rect)
+			}
+			break
+		}
+		if len(right.entries)+len(rest) == minEntries {
+			right.entries = append(right.entries, rest...)
+			for _, e := range rest {
+				rbox = rbox.union(e.rect)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bi, bd := -1, math.Inf(-1)
+		for i, e := range rest {
+			d := math.Abs(lbox.enlargement(e.rect) - rbox.enlargement(e.rect))
+			if d > bd {
+				bi, bd = i, d
+			}
+		}
+		e := rest[bi]
+		rest = append(rest[:bi], rest[bi+1:]...)
+		le, re := lbox.enlargement(e.rect), rbox.enlargement(e.rect)
+		if le < re || (le == re && lbox.area() < rbox.area()) ||
+			(le == re && lbox.area() == rbox.area() && len(left.entries) <= len(right.entries)) {
+			left.entries = append(left.entries, e)
+			lbox = lbox.union(e.rect)
+		} else {
+			right.entries = append(right.entries, e)
+			rbox = rbox.union(e.rect)
+		}
+	}
+	return left, right
+}
+
+// Delete removes one entry matching (rect, id). It reports whether an entry
+// was removed. Underfull nodes are condensed by reinsertion.
+func (t *Tree) Delete(r Rect, id uint64) bool {
+	var leaf *node
+	var idx int
+	var find func(n *node) bool
+	find = func(n *node) bool {
+		if n.leaf {
+			for i, e := range n.entries {
+				if e.id == id && e.rect.equal(r) {
+					leaf, idx = n, i
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range n.entries {
+			if e.rect.Contains(r) && find(e.child) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(t.root) {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+func (t *Tree) condense(n *node) {
+	var orphans []entry
+	for n != t.root {
+		path := t.findPath(n)
+		parent := path[len(path)-2]
+		if len(n.entries) < minEntries {
+			// Remove n from its parent; reinsert its leaf entries later.
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, collectLeafEntries(n)...)
+		} else {
+			for i := range parent.entries {
+				if parent.entries[i].child == n {
+					parent.entries[i].rect = n.bbox()
+				}
+			}
+		}
+		n = parent
+	}
+	if !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	for _, e := range orphans {
+		t.size--
+		_ = t.Insert(e.rect, e.id)
+	}
+}
+
+func collectLeafEntries(n *node) []entry {
+	if n.leaf {
+		return append([]entry(nil), n.entries...)
+	}
+	var out []entry
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.child)...)
+	}
+	return out
+}
+
+// Containing returns the ids of all stored rectangles that fully contain q.
+// This is the subsumption lookup: cached predicates whose region covers the
+// new predicate's region.
+func (t *Tree) Containing(q Rect) []uint64 {
+	var out []uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if !e.rect.Contains(q) {
+				continue
+			}
+			if n.leaf {
+				out = append(out, e.id)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Intersecting returns the ids of all stored rectangles overlapping q.
+func (t *Tree) Intersecting(q Rect) []uint64 {
+	var out []uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if !e.rect.Intersects(q) {
+				continue
+			}
+			if n.leaf {
+				out = append(out, e.id)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// depth returns the height of the tree (for the balance invariant tests).
+func (t *Tree) depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		n = n.entries[0].child
+	}
+	return d
+}
+
+// checkInvariants validates structural invariants, returning an error string
+// ("" if fine). Used by tests.
+func (t *Tree) checkInvariants() string {
+	depth := -1
+	var walk func(n *node, d int) string
+	walk = func(n *node, d int) string {
+		if n.leaf {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Sprintf("unbalanced: leaf at depth %d and %d", depth, d)
+			}
+			return ""
+		}
+		for _, e := range n.entries {
+			if e.child == nil {
+				return "internal entry with nil child"
+			}
+			if !e.rect.Contains(e.child.bbox()) {
+				return fmt.Sprintf("bbox %v does not contain child bbox %v", e.rect, e.child.bbox())
+			}
+			if msg := walk(e.child, d+1); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	if t.root == nil {
+		return "nil root"
+	}
+	for _, n := range t.allNodes() {
+		if n != t.root && len(n.entries) < minEntries {
+			return fmt.Sprintf("underfull node: %d entries", len(n.entries))
+		}
+		if len(n.entries) > maxEntries {
+			return fmt.Sprintf("overfull node: %d entries", len(n.entries))
+		}
+	}
+	return walk(t.root, 1)
+}
+
+func (t *Tree) allNodes() []*node {
+	var out []*node
+	var walk func(n *node)
+	walk = func(n *node) {
+		out = append(out, n)
+		if !n.leaf {
+			for _, e := range n.entries {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}

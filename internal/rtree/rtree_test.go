@@ -1,0 +1,245 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectContainsIntersects(t *testing.T) {
+	a := Interval1D(0, 10)
+	b := Interval1D(2, 8)
+	c := Interval1D(9, 15)
+	d := Interval1D(11, 20)
+	if !a.Contains(b) || b.Contains(a) {
+		t.Error("containment wrong")
+	}
+	if !a.Intersects(c) || !c.Intersects(a) {
+		t.Error("overlap wrong")
+	}
+	if a.Intersects(d) {
+		t.Error("disjoint rects reported intersecting")
+	}
+	if !a.Contains(a) {
+		t.Error("self containment")
+	}
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := NewRect([]float64{5}, []float64{1}); err == nil {
+		t.Error("min>max should fail")
+	}
+	if _, err := NewRect([]float64{0, 0}, []float64{1, 1}); err != nil {
+		t.Errorf("valid rect rejected: %v", err)
+	}
+}
+
+func TestInsertAndContaining(t *testing.T) {
+	tr := New(1)
+	// Nested intervals: [0,100] ⊃ [10,90] ⊃ [40,60]
+	ivs := []Rect{Interval1D(0, 100), Interval1D(10, 90), Interval1D(40, 60), Interval1D(200, 300)}
+	for i, r := range ivs {
+		if err := tr.Insert(r, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Containing(Interval1D(45, 55))
+	want := map[uint64]bool{0: true, 1: true, 2: true}
+	if len(got) != 3 {
+		t.Fatalf("Containing = %v, want ids 0,1,2", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected id %d", id)
+		}
+	}
+	if got := tr.Containing(Interval1D(95, 99)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Containing([95,99]) = %v, want [0]", got)
+	}
+	if got := tr.Containing(Interval1D(150, 160)); len(got) != 0 {
+		t.Errorf("Containing(disjoint) = %v, want empty", got)
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	tr := New(2)
+	if err := tr.Insert(Interval1D(0, 1), 1); err == nil {
+		t.Error("inserting 1-d rect into 2-d tree should fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 50; i++ {
+		_ = tr.Insert(Interval1D(float64(i), float64(i+10)), uint64(i))
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(Interval1D(5, 15), 5) {
+		t.Fatal("Delete existing failed")
+	}
+	if tr.Delete(Interval1D(5, 15), 5) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(Interval1D(999, 1000), 77) {
+		t.Fatal("deleting absent entry succeeded")
+	}
+	if tr.Len() != 49 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	for _, id := range tr.Containing(Interval1D(7, 8)) {
+		if id == 5 {
+			t.Error("deleted entry still found")
+		}
+	}
+	if msg := tr.checkInvariants(); msg != "" {
+		t.Errorf("invariants violated: %s", msg)
+	}
+}
+
+func TestBalanceAfterManyInserts(t *testing.T) {
+	tr := New(1)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		lo := r.Float64() * 1000
+		_ = tr.Insert(Interval1D(lo, lo+r.Float64()*100), uint64(i))
+	}
+	if msg := tr.checkInvariants(); msg != "" {
+		t.Fatalf("invariants violated: %s", msg)
+	}
+	// log_3(2000) ≈ 7 is a loose upper bound for a tree with fanout >= 3.
+	if d := tr.depth(); d > 8 {
+		t.Errorf("tree depth %d too large for 2000 entries", d)
+	}
+}
+
+// Property: Containing agrees with brute force on random workloads,
+// including after deletions.
+func TestContainingMatchesBruteForce(t *testing.T) {
+	type iv struct {
+		lo, hi float64
+		id     uint64
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(1)
+		var all []iv
+		n := 100 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			lo := math.Floor(r.Float64() * 100)
+			hi := lo + math.Floor(r.Float64()*50)
+			all = append(all, iv{lo, hi, uint64(i)})
+			_ = tr.Insert(Interval1D(lo, hi), uint64(i))
+		}
+		// Delete a random 20%.
+		alive := map[uint64]iv{}
+		for _, x := range all {
+			alive[x.id] = x
+		}
+		for _, x := range all {
+			if r.Intn(5) == 0 {
+				if !tr.Delete(Interval1D(x.lo, x.hi), x.id) {
+					return false
+				}
+				delete(alive, x.id)
+			}
+		}
+		if tr.checkInvariants() != "" {
+			return false
+		}
+		for q := 0; q < 20; q++ {
+			qlo := math.Floor(r.Float64() * 120)
+			qhi := qlo + math.Floor(r.Float64()*40)
+			want := map[uint64]bool{}
+			for id, x := range alive {
+				if x.lo <= qlo && x.hi >= qhi {
+					want[id] = true
+				}
+			}
+			got := tr.Containing(Interval1D(qlo, qhi))
+			if len(got) != len(want) {
+				return false
+			}
+			for _, id := range got {
+				if !want[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersecting(t *testing.T) {
+	tr := New(1)
+	_ = tr.Insert(Interval1D(0, 10), 1)
+	_ = tr.Insert(Interval1D(20, 30), 2)
+	got := tr.Intersecting(Interval1D(5, 25))
+	if len(got) != 2 {
+		t.Errorf("Intersecting = %v, want both", got)
+	}
+	got = tr.Intersecting(Interval1D(11, 19))
+	if len(got) != 0 {
+		t.Errorf("Intersecting(gap) = %v, want none", got)
+	}
+}
+
+func TestUnboundedIntervals(t *testing.T) {
+	tr := New(1)
+	inf := math.Inf(1)
+	_ = tr.Insert(Interval1D(math.Inf(-1), inf), 0) // no predicate: covers all
+	_ = tr.Insert(Interval1D(0, inf), 1)            // x >= 0
+	got := tr.Containing(Interval1D(10, 20))
+	if len(got) != 2 {
+		t.Errorf("Containing with unbounded entries = %v, want 2 ids", got)
+	}
+	got = tr.Containing(Interval1D(-5, 20))
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("only the full interval should contain [-5,20]: %v", got)
+	}
+}
+
+func TestMultiDimensional(t *testing.T) {
+	tr := New(2)
+	big, _ := NewRect([]float64{0, 0}, []float64{10, 10})
+	small, _ := NewRect([]float64{2, 2}, []float64{5, 5})
+	off, _ := NewRect([]float64{20, 20}, []float64{30, 30})
+	_ = tr.Insert(big, 1)
+	_ = tr.Insert(off, 2)
+	got := tr.Containing(small)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("2d Containing = %v, want [1]", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 1e6
+		_ = tr.Insert(Interval1D(lo, lo+100), uint64(i))
+	}
+}
+
+func BenchmarkContaining(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(1)
+	for i := 0; i < 10000; i++ {
+		lo := r.Float64() * 1e6
+		_ = tr.Insert(Interval1D(lo, lo+1000), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 1e6
+		tr.Containing(Interval1D(lo, lo+10))
+	}
+}

@@ -1,0 +1,137 @@
+// Package sqlparse implements the SQL subset ReCache's front end accepts:
+// select-project-aggregate and select-project-join queries with conjunctive
+// range predicates — the query shapes of the paper's evaluation (§6):
+//
+//	SELECT SUM(l_extendedprice), COUNT(*)
+//	FROM lineitem
+//	WHERE l_quantity BETWEEN 10 AND 20 AND l_shipdate < 19981201
+//
+//	SELECT AVG(total) FROM orders JOIN lineitem ON okey = l_orderkey
+//	WHERE total > 1000
+//
+//	SELECT SUM(lineitems.l_quantity) FROM orderLineitems    -- nested path
+//	WHERE lineitems.l_extendedprice < 5000 GROUP BY o_orderpriority
+//
+// Dotted identifiers address nested fields; referencing a field under a
+// repeated (list) field makes the planner unnest the list.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >= <> + - /
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "JOIN": true, "ON": true, "GROUP": true,
+	"BY": true, "AS": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; others verbatim
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9':
+			l.pos++
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+				l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+				// Don't swallow a dotted identifier suffix like 1.x.
+				if l.src[l.pos] == '.' && l.pos+1 < len(l.src) && !isDigit(l.src[l.pos+1]) {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sqlparse: unterminated string at %d", start)
+			}
+			l.pos++ // closing quote
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<' || c == '>':
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case strings.IndexByte("(),*=+-/", c) >= 0:
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

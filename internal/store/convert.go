@@ -1,0 +1,251 @@
+package store
+
+import (
+	"time"
+
+	"recache/internal/value"
+)
+
+// Specialized layout conversions. The generic Convert path reassembles
+// every nested record and re-shreds it — correct but allocation-heavy. The
+// two nested layouts are close relatives: repeated columns carry identical
+// entry sequences (one entry per list element, plus a null placeholder for
+// empty lists), so converting between them reduces to typed vector copies:
+//
+//   - Parquet → columnar: copy repeated vectors verbatim; expand each
+//     per-record vector by the record's flattened row count.
+//   - Columnar → Parquet: copy repeated vectors verbatim; gather each
+//     duplicated vector at the first row of every record; rebuild the
+//     repetition streams and list lengths from the record ids.
+//
+// This keeps the transformation cost T in the same regime as a scan, which
+// is what the paper's cost model (eq. 3) assumes.
+
+// copyVec deep-copies a vector.
+func copyVec(src *vec) *vec {
+	out := &vec{kind: src.kind}
+	out.nulls = append([]bool(nil), src.nulls...)
+	out.ints = append([]int64(nil), src.ints...)
+	out.floats = append([]float64(nil), src.floats...)
+	out.strs = append([]string(nil), src.strs...)
+	out.bools = append([]bool(nil), src.bools...)
+	return out
+}
+
+// expandVec repeats src[i] counts[i] times.
+func expandVec(src *vec, counts []int32) *vec {
+	var total int
+	for _, c := range counts {
+		total += int(c)
+	}
+	out := &vec{kind: src.kind, nulls: make([]bool, 0, total)}
+	switch src.kind {
+	case value.Int:
+		out.ints = make([]int64, 0, total)
+		for i, c := range counts {
+			for k := int32(0); k < c; k++ {
+				out.nulls = append(out.nulls, src.nulls[i])
+				out.ints = append(out.ints, src.ints[i])
+			}
+		}
+	case value.Float:
+		out.floats = make([]float64, 0, total)
+		for i, c := range counts {
+			for k := int32(0); k < c; k++ {
+				out.nulls = append(out.nulls, src.nulls[i])
+				out.floats = append(out.floats, src.floats[i])
+			}
+		}
+	case value.String:
+		out.strs = make([]string, 0, total)
+		for i, c := range counts {
+			for k := int32(0); k < c; k++ {
+				out.nulls = append(out.nulls, src.nulls[i])
+				out.strs = append(out.strs, src.strs[i])
+			}
+		}
+	default: // value.Bool
+		out.bools = make([]bool, 0, total)
+		for i, c := range counts {
+			for k := int32(0); k < c; k++ {
+				out.nulls = append(out.nulls, src.nulls[i])
+				out.bools = append(out.bools, src.bools[i])
+			}
+		}
+	}
+	return out
+}
+
+// gatherVec picks src at the given indexes.
+func gatherVec(src *vec, idx []int32) *vec {
+	out := &vec{kind: src.kind, nulls: make([]bool, 0, len(idx))}
+	switch src.kind {
+	case value.Int:
+		out.ints = make([]int64, 0, len(idx))
+		for _, i := range idx {
+			out.nulls = append(out.nulls, src.nulls[i])
+			out.ints = append(out.ints, src.ints[i])
+		}
+	case value.Float:
+		out.floats = make([]float64, 0, len(idx))
+		for _, i := range idx {
+			out.nulls = append(out.nulls, src.nulls[i])
+			out.floats = append(out.floats, src.floats[i])
+		}
+	case value.String:
+		out.strs = make([]string, 0, len(idx))
+		for _, i := range idx {
+			out.nulls = append(out.nulls, src.nulls[i])
+			out.strs = append(out.strs, src.strs[i])
+		}
+	default:
+		out.bools = make([]bool, 0, len(idx))
+		for _, i := range idx {
+			out.nulls = append(out.nulls, src.nulls[i])
+			out.bools = append(out.bools, src.bools[i])
+		}
+	}
+	return out
+}
+
+// convertParquetToColumnar performs the direct vector-level conversion.
+func convertParquetToColumnar(p *parquetStore) *columnarStore {
+	out := &columnarStore{schema: p.schema, cols: p.cols, nRecs: p.nRecs}
+	counts := make([]int32, p.nRecs)
+	for ri := 0; ri < p.nRecs; ri++ {
+		c := int32(p.card(ri))
+		if c == 0 {
+			c = 1 // placeholder row
+		}
+		counts[ri] = c
+	}
+	out.vecs = make([]*vec, len(p.cols))
+	for ci, c := range p.cols {
+		if c.Repeated {
+			out.vecs[ci] = copyVec(p.repVecs[ci])
+		} else {
+			out.vecs[ci] = expandVec(p.flatVecs[ci], counts)
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += int(c)
+	}
+	out.recID = make([]int32, 0, total)
+	out.skip = make([]bool, 0, total)
+	for ri := 0; ri < p.nRecs; ri++ {
+		empty := p.card(ri) == 0
+		for k := int32(0); k < counts[ri]; k++ {
+			out.recID = append(out.recID, int32(ri))
+			out.skip = append(out.skip, empty)
+		}
+	}
+	var sz int64
+	for _, v := range out.vecs {
+		sz += v.sizeBytes()
+	}
+	out.size = sz + int64(len(out.recID))*5
+	return out
+}
+
+// convertColumnarToParquet performs the reverse conversion.
+func convertColumnarToParquet(c *columnarStore) *parquetStore {
+	out := &parquetStore{
+		schema:   c.schema,
+		cols:     c.cols,
+		listPath: value.RepeatedField(c.schema),
+		nRecs:    c.nRecs,
+		nFlat:    len(c.recID),
+	}
+	// First physical row and cardinality of every record.
+	firstRow := make([]int32, 0, c.nRecs)
+	lengths := make([]int32, 0, c.nRecs)
+	n := len(c.recID)
+	for r := 0; r < n; {
+		id := c.recID[r]
+		end := r
+		for end < n && c.recID[end] == id {
+			end++
+		}
+		firstRow = append(firstRow, int32(r))
+		if c.skip[r] {
+			lengths = append(lengths, 0)
+		} else {
+			lengths = append(lengths, int32(end-r))
+		}
+		r = end
+	}
+	hasList := out.listPath != nil
+	if hasList {
+		out.lengths = lengths
+	}
+	out.flatVecs = make([]*vec, len(c.cols))
+	out.repVecs = make([]*vec, len(c.cols))
+	out.reps = make([][]uint8, len(c.cols))
+	// Shared repetition stream: 0 at each record's first entry, 1 after.
+	var reps []uint8
+	for ri := range firstRow {
+		cnt := lengths[ri]
+		if cnt == 0 {
+			cnt = 1
+		}
+		for k := int32(0); k < cnt; k++ {
+			if k == 0 {
+				reps = append(reps, 0)
+			} else {
+				reps = append(reps, 1)
+			}
+		}
+	}
+	for ci, col := range c.cols {
+		if col.Repeated {
+			out.repVecs[ci] = copyVec(c.vecs[ci])
+			out.reps[ci] = append([]uint8(nil), reps...)
+		} else {
+			out.flatVecs[ci] = gatherVec(c.vecs[ci], firstRow)
+		}
+	}
+	var sz int64
+	for ci := range out.cols {
+		if v := out.flatVecs[ci]; v != nil {
+			sz += v.sizeBytes()
+		}
+		if v := out.repVecs[ci]; v != nil {
+			sz += v.sizeBytes()
+			sz += int64(len(out.reps[ci]))
+		}
+	}
+	out.size = sz + int64(len(out.lengths))*4
+	return out
+}
+
+// fastConvert returns a specialized conversion when one exists.
+func fastConvert(src Store, to Layout) (Store, bool) {
+	switch s := src.(type) {
+	case *parquetStore:
+		if to == LayoutColumnar {
+			return convertParquetToColumnar(s), true
+		}
+	case *columnarStore:
+		if to == LayoutParquet {
+			return convertColumnarToParquet(s), true
+		}
+	}
+	return nil, false
+}
+
+// convertTimed wraps fastConvert with the generic fallback.
+func convertTimed(src Store, to Layout) (Store, time.Duration, error) {
+	start := time.Now()
+	if out, ok := fastConvert(src, to); ok {
+		return out, time.Since(start), nil
+	}
+	b, err := NewBuilder(to, src.Schema())
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := src.ScanNested(func(rec value.Value) error { return b.Add(rec) }); err != nil {
+		return nil, 0, err
+	}
+	return b.Finish(), time.Since(start), nil
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"recache/internal/value"
+)
+
+// colIndexByName maps dotted leaf names to column indexes.
+func colIndexByName(cols []value.LeafColumn) map[string]int {
+	m := make(map[string]int, len(cols))
+	for i, c := range cols {
+		m[c.Name()] = i
+	}
+	return m
+}
+
+// assembleRecord rebuilds one nested record from column accessors:
+// flat(ci) returns the value of non-repeated leaf column ci for this record;
+// rep(ci, e) returns the value of repeated leaf column ci for list element e;
+// card is the number of elements of the record's repeated field (0 allowed).
+//
+// The walk mirrors value.LeafColumns: records recurse, the (single) list
+// field expands card elements.
+func assembleRecord(schema *value.Type, colIdx map[string]int,
+	flat func(ci int) value.Value, card int, rep func(ci, e int) value.Value) value.Value {
+
+	var build func(t *value.Type, path value.Path) value.Value
+	var buildElem func(t *value.Type, path value.Path, e int) value.Value
+
+	build = func(t *value.Type, path value.Path) value.Value {
+		fields := make([]value.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			np := append(append(value.Path{}, path...), f.Name)
+			switch f.Type.Kind {
+			case value.Record:
+				fields[i] = build(f.Type, np)
+			case value.List:
+				elems := make([]value.Value, card)
+				for e := 0; e < card; e++ {
+					elems[e] = buildElem(f.Type.Elem, np, e)
+				}
+				fields[i] = value.VList(elems...)
+			default:
+				fields[i] = flat(colIdx[np.String()])
+			}
+		}
+		return value.VRecord(fields...)
+	}
+
+	buildElem = func(t *value.Type, path value.Path, e int) value.Value {
+		if t.Kind != value.Record {
+			// List of primitives: the leaf column is the list path itself.
+			return rep(colIdx[path.String()], e)
+		}
+		fields := make([]value.Value, len(t.Fields))
+		for i, f := range t.Fields {
+			np := append(append(value.Path{}, path...), f.Name)
+			if f.Type.Kind == value.Record {
+				fields[i] = buildElem(f.Type, np, e)
+			} else {
+				fields[i] = rep(colIdx[np.String()], e)
+			}
+		}
+		return value.VRecord(fields...)
+	}
+
+	return build(schema, nil)
+}

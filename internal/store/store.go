@@ -1,0 +1,177 @@
+// Package store implements the three in-memory cache layouts ReCache
+// chooses between (§4 of the paper):
+//
+//   - LayoutRow: relational row-oriented storage (flat schemas only),
+//   - LayoutColumnar: relational column-oriented storage of the *flattened*
+//     view of (possibly nested) records, duplicating parent values per list
+//     element exactly as §4 describes,
+//   - LayoutParquet: Dremel/Parquet-style nested columnar storage with
+//     repetition levels and per-element presence, reconstructed by an
+//     FSM-style assembler at scan time.
+//
+// All layouts expose the same Store interface with two scan granularities:
+// ScanFlat emits the flattened rows (the view produced by unnesting the
+// repeated field), while ScanRecords emits one row per top-level record and
+// may only project non-repeated columns. The two granularities have very
+// different costs per layout — Parquet reads short per-record columns in
+// ScanRecords but pays FSM assembly in ScanFlat; the flattened columnar
+// layout always iterates every flattened row — and that asymmetry is the
+// heart of the paper's layout-selection problem.
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"recache/internal/value"
+)
+
+// Layout identifies a cache storage layout.
+type Layout uint8
+
+// The supported layouts.
+const (
+	LayoutRow Layout = iota
+	LayoutColumnar
+	LayoutParquet
+)
+
+// String names the layout as the paper's figures do.
+func (l Layout) String() string {
+	switch l {
+	case LayoutRow:
+		return "row"
+	case LayoutColumnar:
+		return "columnar"
+	case LayoutParquet:
+		return "parquet"
+	}
+	return fmt.Sprintf("layout(%d)", uint8(l))
+}
+
+// ScanStats reports the cost split of one scan: DataNanos is time spent
+// loading values from the store (D_i in the paper's cost model), and
+// ComputeNanos the time spent in level decoding, record assembly and other
+// branching work (C_i). RowsScanned is r_i.
+type ScanStats struct {
+	DataNanos    int64
+	ComputeNanos int64
+	RowsScanned  int64
+}
+
+// Add accumulates another scan's stats.
+func (s *ScanStats) Add(o ScanStats) {
+	s.DataNanos += o.DataNanos
+	s.ComputeNanos += o.ComputeNanos
+	s.RowsScanned += o.RowsScanned
+}
+
+// EmitFunc receives one projected row. The slice is reused across calls;
+// callers must copy if they retain it.
+type EmitFunc func(row []value.Value) error
+
+// Store is an immutable in-memory cache of records.
+type Store interface {
+	// Layout identifies the physical layout.
+	Layout() Layout
+	// Schema returns the nested schema of the stored records.
+	Schema() *value.Type
+	// Columns enumerates the leaf columns of Schema in document order;
+	// scan projections are indexes into this slice.
+	Columns() []value.LeafColumn
+	// NumRecords is the number of top-level records stored.
+	NumRecords() int
+	// NumFlatRows is R: the number of rows in the flattened view
+	// (records with an empty repeated field count one placeholder row).
+	NumFlatRows() int
+	// SizeBytes estimates the in-memory footprint (B in the benefit metric).
+	SizeBytes() int64
+	// ScanFlat emits the flattened rows projected to cols (indexes into
+	// Columns()). Records whose repeated field is empty emit no rows
+	// (inner-unnest semantics).
+	ScanFlat(cols []int, emit EmitFunc) (ScanStats, error)
+	// ScanRecords emits one row per record projected to cols, all of which
+	// must be non-repeated columns.
+	ScanRecords(cols []int, emit EmitFunc) (ScanStats, error)
+	// ScanNested reconstructs and emits the original nested records; used
+	// for layout conversion and round-trip testing.
+	ScanNested(emit func(rec value.Value) error) error
+}
+
+// Builder accumulates records and produces an immutable Store.
+type Builder interface {
+	// Add appends one record (matching the schema the builder was built with).
+	Add(rec value.Value) error
+	// Finish seals the builder. The builder must not be used afterwards.
+	Finish() Store
+	// SizeBytes estimates the bytes buffered so far (for admission/eviction
+	// decisions taken mid-build).
+	SizeBytes() int64
+}
+
+// NewBuilder returns a builder for the given layout and record schema.
+// LayoutRow requires a flat schema.
+func NewBuilder(layout Layout, schema *value.Type) (Builder, error) {
+	cols, err := value.LeafColumns(schema)
+	if err != nil {
+		return nil, err
+	}
+	switch layout {
+	case LayoutRow:
+		if value.RepeatedField(schema) != nil {
+			return nil, fmt.Errorf("store: row layout requires a flat schema, got %s", schema)
+		}
+		return newRowBuilder(schema, cols), nil
+	case LayoutColumnar:
+		return newColumnarBuilder(schema, cols), nil
+	case LayoutParquet:
+		return newParquetBuilder(schema, cols), nil
+	}
+	return nil, fmt.Errorf("store: unknown layout %v", layout)
+}
+
+// Convert rebuilds a store in another layout, returning the new store and
+// the wall-clock transformation time (the T term of the paper's cost
+// model, eq. 3). Conversions between the two nested columnar layouts take
+// a direct vector-copy fast path (see convert.go); other pairs replay the
+// nested records through a builder.
+func Convert(src Store, to Layout) (Store, time.Duration, error) {
+	return convertTimed(src, to)
+}
+
+// ColumnIndexes resolves dotted column names against the store's columns.
+func ColumnIndexes(s Store, names []string) ([]int, error) {
+	cols := s.Columns()
+	out := make([]int, len(names))
+	for i, n := range names {
+		found := -1
+		for j := range cols {
+			if cols[j].Name() == n {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("store: no column %q in schema %s", n, s.Schema())
+		}
+		out[i] = found
+	}
+	return out, nil
+}
+
+// sampleEvery controls the record-granularity cost sampling inside scans:
+// one record in 2^7 = 128 gets explicit clock reads (the paper's "<1% of
+// records"), and the measured split is extrapolated over the whole scan.
+const sampleShift = 7
+
+// splitByRatio attributes a measured total duration to data/compute by a
+// sampled ratio. If nothing was sampled, everything is data time.
+func splitByRatio(total time.Duration, sampledData, sampledCompute int64) (int64, int64) {
+	tot := total.Nanoseconds()
+	s := sampledData + sampledCompute
+	if s <= 0 {
+		return tot, 0
+	}
+	c := tot * sampledCompute / s
+	return tot - c, c
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+
+	"recache/internal/value"
+)
+
+// vec is a typed column vector with a null bitmap. It is the unit of
+// storage for both the columnar and Parquet layouts.
+type vec struct {
+	kind   value.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  []bool
+}
+
+func newVec(t *value.Type) *vec {
+	return &vec{kind: t.Kind}
+}
+
+func (v *vec) len() int { return len(v.nulls) }
+
+// appendVal appends one value, converting numerics to the column's kind.
+func (v *vec) appendVal(val value.Value) {
+	isNull := val.Kind == value.Null
+	v.nulls = append(v.nulls, isNull)
+	switch v.kind {
+	case value.Int:
+		if isNull {
+			v.ints = append(v.ints, 0)
+		} else {
+			v.ints = append(v.ints, val.AsInt())
+		}
+	case value.Float:
+		if isNull {
+			v.floats = append(v.floats, 0)
+		} else {
+			v.floats = append(v.floats, val.AsFloat())
+		}
+	case value.String:
+		if isNull {
+			v.strs = append(v.strs, "")
+		} else {
+			v.strs = append(v.strs, val.S)
+		}
+	case value.Bool:
+		if isNull {
+			v.bools = append(v.bools, false)
+		} else {
+			v.bools = append(v.bools, val.B)
+		}
+	default:
+		panic(fmt.Sprintf("store: vec of unsupported kind %s", v.kind))
+	}
+}
+
+// get materializes the i-th value.
+func (v *vec) get(i int) value.Value {
+	if v.nulls[i] {
+		return value.VNull
+	}
+	switch v.kind {
+	case value.Int:
+		return value.VInt(v.ints[i])
+	case value.Float:
+		return value.VFloat(v.floats[i])
+	case value.String:
+		return value.VString(v.strs[i])
+	case value.Bool:
+		return value.VBool(v.bools[i])
+	}
+	return value.VNull
+}
+
+// sizeBytes estimates the memory footprint of the vector.
+func (v *vec) sizeBytes() int64 {
+	var sz int64 = int64(len(v.nulls)) // null bitmap, 1B/entry
+	switch v.kind {
+	case value.Int:
+		sz += int64(len(v.ints)) * 8
+	case value.Float:
+		sz += int64(len(v.floats)) * 8
+	case value.Bool:
+		sz += int64(len(v.bools))
+	case value.String:
+		sz += int64(len(v.strs)) * 16
+		for _, s := range v.strs {
+			sz += int64(len(s))
+		}
+	}
+	return sz
+}

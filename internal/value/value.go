@@ -1,0 +1,395 @@
+// Package value defines the type system and value model shared by every
+// layer of the engine: a small set of primitive kinds plus nested lists and
+// records, mirroring the data model of raw CSV (flat records) and JSON
+// (arbitrarily nested records) sources.
+//
+// The package also enumerates the leaf columns of a nested schema together
+// with their Dremel-style maximum repetition and definition levels, which is
+// the information the Parquet-style store in internal/store needs to shred
+// and reassemble records.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value or the shape of a Type.
+type Kind uint8
+
+// The supported kinds. Null is the kind of missing/undefined values (JSON
+// fields absent from an object, or SQL NULL).
+const (
+	Null Kind = iota
+	Bool
+	Int
+	Float
+	String
+	List
+	Record
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case List:
+		return "list"
+	case Record:
+		return "record"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Field is a named component of a record type.
+type Field struct {
+	Name     string
+	Type     *Type
+	Optional bool // field may be absent (JSON objects with missing keys)
+}
+
+// Type describes the static type of values. A Type is a tree: primitives are
+// leaves, List has an Elem, Record has Fields.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // set iff Kind == List
+	Fields []Field // set iff Kind == Record
+}
+
+// Primitive singletons. Types are immutable once built, so sharing is safe.
+var (
+	TBool   = &Type{Kind: Bool}
+	TInt    = &Type{Kind: Int}
+	TFloat  = &Type{Kind: Float}
+	TString = &Type{Kind: String}
+)
+
+// TList returns a list type with the given element type.
+func TList(elem *Type) *Type { return &Type{Kind: List, Elem: elem} }
+
+// TRecord returns a record type with the given fields.
+func TRecord(fields ...Field) *Type { return &Type{Kind: Record, Fields: fields} }
+
+// F is shorthand for constructing a required Field.
+func F(name string, t *Type) Field { return Field{Name: name, Type: t} }
+
+// FOpt is shorthand for constructing an optional Field.
+func FOpt(name string, t *Type) Field { return Field{Name: name, Type: t, Optional: true} }
+
+// IsNumeric reports whether the type is Int or Float.
+func (t *Type) IsNumeric() bool { return t.Kind == Int || t.Kind == Float }
+
+// IsPrimitive reports whether the type is a leaf (non-list, non-record).
+func (t *Type) IsPrimitive() bool { return t.Kind != List && t.Kind != Record }
+
+// FieldIndex returns the index and type of the named field of a record type,
+// or (-1, nil) if absent or t is not a record.
+func (t *Type) FieldIndex(name string) (int, *Type) {
+	if t == nil || t.Kind != Record {
+		return -1, nil
+	}
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return i, t.Fields[i].Type
+		}
+	}
+	return -1, nil
+}
+
+// String renders a canonical representation of the type, used in plan
+// canonicalization and error messages.
+func (t *Type) String() string {
+	var b strings.Builder
+	t.writeTo(&b)
+	return b.String()
+}
+
+func (t *Type) writeTo(b *strings.Builder) {
+	if t == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	switch t.Kind {
+	case List:
+		b.WriteString("list<")
+		t.Elem.writeTo(b)
+		b.WriteByte('>')
+	case Record:
+		b.WriteString("record{")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f.Name)
+			if f.Optional {
+				b.WriteByte('?')
+			}
+			b.WriteByte(':')
+			f.Type.writeTo(b)
+		}
+		b.WriteByte('}')
+	default:
+		b.WriteString(t.Kind.String())
+	}
+}
+
+// Equal reports deep structural equality of two types, including field names
+// and optionality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case List:
+		return t.Elem.Equal(o.Elem)
+	case Record:
+		if len(t.Fields) != len(o.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if t.Fields[i].Name != o.Fields[i].Name ||
+				t.Fields[i].Optional != o.Fields[i].Optional ||
+				!t.Fields[i].Type.Equal(o.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Value is the runtime representation of data flowing through the engine.
+// It is a tagged union; exactly the field matching Kind is meaningful.
+// The zero Value is Null.
+type Value struct {
+	Kind Kind
+	B    bool
+	I    int64
+	F    float64
+	S    string
+	L    []Value // List elements or Record fields (aligned with Type.Fields)
+}
+
+// Convenience constructors.
+
+// VNull is the null value.
+var VNull = Value{Kind: Null}
+
+// VBool wraps a bool.
+func VBool(b bool) Value { return Value{Kind: Bool, B: b} }
+
+// VInt wraps an int64.
+func VInt(i int64) Value { return Value{Kind: Int, I: i} }
+
+// VFloat wraps a float64.
+func VFloat(f float64) Value { return Value{Kind: Float, F: f} }
+
+// VString wraps a string.
+func VString(s string) Value { return Value{Kind: String, S: s} }
+
+// VList wraps a slice of values as a list.
+func VList(elems ...Value) Value { return Value{Kind: List, L: elems} }
+
+// VRecord wraps field values (aligned with the record type's Fields).
+func VRecord(fields ...Value) Value { return Value{Kind: Record, L: fields} }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Kind == Null }
+
+// AsFloat coerces a numeric value to float64. Non-numeric values yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case Int:
+		return float64(v.I)
+	case Float:
+		return v.F
+	case Bool:
+		if v.B {
+			return 1
+		}
+	}
+	return 0
+}
+
+// AsInt coerces a numeric value to int64. Non-numeric values yield 0.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case Int:
+		return v.I
+	case Float:
+		return int64(v.F)
+	case Bool:
+		if v.B {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Truthy reports whether the value counts as true in a predicate position.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case Bool:
+		return v.B
+	case Int:
+		return v.I != 0
+	case Float:
+		return v.F != 0
+	case String:
+		return v.S != ""
+	case Null:
+		return false
+	}
+	return true
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// Numeric kinds compare numerically across Int/Float. Null sorts first.
+// Lists and records compare lexicographically element-wise.
+func (v Value) Compare(o Value) int {
+	if v.Kind == Null || o.Kind == Null {
+		switch {
+		case v.Kind == Null && o.Kind == Null:
+			return 0
+		case v.Kind == Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKind(v.Kind) && numericKind(o.Kind) {
+		a, b := v.AsFloat(), o.AsFloat()
+		// Avoid float rounding when both sides are ints.
+		if v.Kind == Int && o.Kind == Int {
+			switch {
+			case v.I < o.I:
+				return -1
+			case v.I > o.I:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.Kind != o.Kind {
+		// Mixed non-numeric kinds: order by kind tag for determinism.
+		switch {
+		case v.Kind < o.Kind:
+			return -1
+		case v.Kind > o.Kind:
+			return 1
+		}
+		return 0
+	}
+	switch v.Kind {
+	case Bool:
+		switch {
+		case !v.B && o.B:
+			return -1
+		case v.B && !o.B:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(v.S, o.S)
+	case List, Record:
+		n := min(len(v.L), len(o.L))
+		for i := 0; i < n; i++ {
+			if c := v.L[i].Compare(o.L[i]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(v.L) < len(o.L):
+			return -1
+		case len(v.L) > len(o.L):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func numericKind(k Kind) bool { return k == Int || k == Float || k == Bool }
+
+// Equal reports deep equality (Compare == 0 plus identical kinds for
+// non-numeric values; numeric values are equal if they compare equal).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the value for display and debugging; strings are quoted.
+func (v Value) String() string {
+	var b strings.Builder
+	v.writeTo(&b)
+	return b.String()
+}
+
+func (v Value) writeTo(b *strings.Builder) {
+	switch v.Kind {
+	case Null:
+		b.WriteString("null")
+	case Bool:
+		b.WriteString(strconv.FormatBool(v.B))
+	case Int:
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case Float:
+		b.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+	case String:
+		b.WriteString(strconv.Quote(v.S))
+	case List:
+		b.WriteByte('[')
+		for i := range v.L {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			v.L[i].writeTo(b)
+		}
+		b.WriteByte(']')
+	case Record:
+		b.WriteByte('{')
+		for i := range v.L {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			v.L[i].writeTo(b)
+		}
+		b.WriteByte('}')
+	}
+}
+
+// ShallowSize estimates the in-memory footprint of the value in bytes,
+// used for cache accounting (B in the benefit metric).
+func (v Value) ShallowSize() int64 {
+	const header = 16 // tag + padding, approximate
+	switch v.Kind {
+	case String:
+		return header + int64(len(v.S))
+	case List, Record:
+		sz := int64(header)
+		for i := range v.L {
+			sz += v.L[i].ShallowSize()
+		}
+		return sz
+	default:
+		return header
+	}
+}

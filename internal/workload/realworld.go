@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SymantecAttrs returns the numeric attributes of the Symantec-like JSON
+// log (nested ones live under the urls list) and of the companion CSV.
+func SymantecAttrs() (json []Attr, csv []Attr) {
+	json = []Attr{
+		{Name: "ts", Min: 1_500_000_000, Max: 1_600_000_000, Integer: true},
+		{Name: "size", Min: 200, Max: 100200, Integer: true},
+		{Name: "body_len", Min: 50, Max: 20050, Integer: true},
+		{Name: "score", Min: 0, Max: 100},
+		{Name: "urls.path_len", Min: 1, Max: 121, Integer: true, Nested: true},
+		{Name: "urls.port", Min: 80, Max: 8080, Integer: true, Nested: true},
+	}
+	csv = []Attr{
+		{Name: "cscore", Min: 0, Max: 100},
+		{Name: "flags", Min: 0, Max: 255, Integer: true},
+		{Name: "cluster", Min: 0, Max: 4999, Integer: true},
+	}
+	return json, csv
+}
+
+// SymantecOptions configures the Symantec workload mix (Figs. 10, 11a, 11c,
+// 15a).
+type SymantecOptions struct {
+	JSONTable string // registered name of the JSON log
+	CSVTable  string // registered name of the classification CSV
+	N         int    // number of queries
+	NestedPct int    // % of JSON queries accessing nested attributes
+	JSONPct   int    // % of queries over the JSON table (rest over CSV)
+	JoinPct   int    // % of queries joining CSV with JSON on id
+	// NestedLastHalfOnly restricts nested access to the last 50% of the
+	// sequence (the Fig. 11c setup).
+	NestedLastHalfOnly bool
+	Seed               int64
+}
+
+// Symantec generates the Symantec workload: SPA queries over the JSON log
+// and the CSV classifications, plus an optional share of SPJ queries
+// joining the two on the mail id.
+func Symantec(o SymantecOptions) []string {
+	r := rand.New(rand.NewSource(o.Seed))
+	jsonAttrs, csvAttrs := SymantecAttrs()
+	jsonFlat := nonNested(jsonAttrs)
+	out := make([]string, o.N)
+	for i := 0; i < o.N; i++ {
+		pct := r.Intn(100)
+		nestedOK := !o.NestedLastHalfOnly || i >= o.N/2
+		if pct < o.JoinPct {
+			// SPJ across CSV and JSON: join the classification output with
+			// the raw log on the mail id.
+			a := csvAttrs[r.Intn(len(csvAttrs))]
+			lo, hi := randRange(r, a)
+			ja := jsonFlat[r.Intn(len(jsonFlat))]
+			out[i] = fmt.Sprintf(
+				"SELECT COUNT(*), AVG(%s) FROM %s JOIN %s ON mail_id = id WHERE %s BETWEEN %s AND %s",
+				ja.Name, o.CSVTable, o.JSONTable, a.Name, lo, hi)
+			continue
+		}
+		if pct < o.JoinPct+(100-o.JoinPct)*o.JSONPct/100 {
+			pool := jsonFlat
+			if nestedOK && r.Intn(100) < o.NestedPct {
+				pool = jsonAttrs
+			}
+			out[i] = spa(r, o.JSONTable, pool)
+		} else {
+			out[i] = spa(r, o.CSVTable, csvAttrs)
+		}
+	}
+	return out
+}
+
+// YelpTables names the registered Yelp tables.
+type YelpTables struct {
+	Business, User, Review string
+}
+
+// yelp numeric attributes per table (non-nested; the nested fields of the
+// Yelp-like schemas are string lists, accessed through COUNT aggregates).
+func yelpAttrs() map[string][]Attr {
+	return map[string][]Attr{
+		"business": {
+			{Name: "stars", Min: 1, Max: 5},
+			{Name: "review_count", Min: 0, Max: 3000, Integer: true},
+			{Name: "is_open", Min: 0, Max: 1, Integer: true},
+		},
+		"user": {
+			{Name: "review_count", Min: 0, Max: 2000, Integer: true},
+			{Name: "average_stars", Min: 1, Max: 5},
+			{Name: "useful", Min: 0, Max: 10000, Integer: true},
+			{Name: "fans", Min: 0, Max: 500, Integer: true},
+		},
+		"review": {
+			{Name: "stars", Min: 1, Max: 5, Integer: true},
+			{Name: "useful", Min: 0, Max: 100, Integer: true},
+			{Name: "funny", Min: 0, Max: 50, Integer: true},
+			{Name: "text_len", Min: 20, Max: 400, Integer: true},
+		},
+	}
+}
+
+// nested list column per Yelp table ("" = flat table).
+func yelpNestedCol(which string) string {
+	switch which {
+	case "business":
+		return "categories"
+	case "user":
+		return "friends"
+	}
+	return ""
+}
+
+// Yelp generates n SPA queries over the three Yelp files; nestedPct % of
+// the business/user queries additionally aggregate over the table's string
+// list (COUNT over the unnested elements), which forces flattened access.
+func Yelp(tables YelpTables, n, nestedPct int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	attrs := yelpAttrs()
+	names := map[string]string{"business": tables.Business, "user": tables.User,
+		"review": tables.Review}
+	kinds := []string{"business", "user", "review"}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		kind := kinds[r.Intn(len(kinds))]
+		pool := attrs[kind]
+		a := pool[r.Intn(len(pool))]
+		p := pool[r.Intn(len(pool))]
+		lo, hi := randRange(r, p)
+		nestedCol := yelpNestedCol(kind)
+		if nestedCol != "" && r.Intn(100) < nestedPct {
+			out[i] = fmt.Sprintf(
+				"SELECT COUNT(%s), AVG(%s) FROM %s WHERE %s BETWEEN %s AND %s",
+				nestedCol, a.Name, names[kind], p.Name, lo, hi)
+		} else {
+			fn := []string{"SUM", "AVG", "MIN", "MAX"}[r.Intn(4)]
+			out[i] = fmt.Sprintf(
+				"SELECT %s(%s), COUNT(*) FROM %s WHERE %s BETWEEN %s AND %s",
+				fn, a.Name, names[kind], p.Name, lo, hi)
+		}
+	}
+	return out
+}

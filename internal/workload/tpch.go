@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// TPCHTables names the registered TPC-H tables; the Fig. 14 variant
+// substitutes a JSON-backed lineitem.
+type TPCHTables struct {
+	Customer, Orders, Lineitem, Partsupp, Part string
+}
+
+// DefaultTPCHTables uses the generator's table names.
+func DefaultTPCHTables() TPCHTables {
+	return TPCHTables{Customer: "customer", Orders: "orders", Lineitem: "lineitem",
+		Partsupp: "partsupp", Part: "part"}
+}
+
+// TPCHAttrs returns the numeric attributes of each TPC-H table.
+func TPCHAttrs() map[string][]Attr {
+	return map[string][]Attr{
+		"customer": {
+			{Name: "c_nationkey", Min: 0, Max: 24, Integer: true},
+			{Name: "c_acctbal", Min: -999, Max: 9001},
+		},
+		"orders": {
+			{Name: "o_totalprice", Min: 100, Max: 500100},
+			{Name: "o_orderdate", Min: 19920101, Max: 19990101, Integer: true},
+			{Name: "o_shippriority", Min: 0, Max: 1, Integer: true},
+		},
+		"lineitem": {
+			{Name: "l_quantity", Min: 1, Max: 50, Integer: true},
+			{Name: "l_extendedprice", Min: 900, Max: 100900},
+			{Name: "l_discount", Min: 0, Max: 0.10},
+			{Name: "l_tax", Min: 0, Max: 0.08},
+			{Name: "l_shipdate", Min: 19920101, Max: 19990301, Integer: true},
+		},
+		"partsupp": {
+			{Name: "ps_availqty", Min: 1, Max: 10000, Integer: true},
+			{Name: "ps_supplycost", Min: 1, Max: 1001},
+		},
+		"part": {
+			{Name: "p_size", Min: 1, Max: 50, Integer: true},
+			{Name: "p_retailprice", Min: 900, Max: 2100},
+		},
+	}
+}
+
+// tpch join graph: table pairs and their join columns.
+type tpchEdge struct {
+	a, b       int // indices into the canonical table order
+	aCol, bCol string
+}
+
+// canonical order: customer, orders, lineitem, partsupp, part.
+var tpchEdges = []tpchEdge{
+	{0, 1, "c_custkey", "o_custkey"},
+	{1, 2, "o_orderkey", "l_orderkey"},
+	{2, 3, "l_partkey", "ps_partkey"},
+	{2, 4, "l_partkey", "p_partkey"},
+}
+
+// SPJ generates n select-project-join queries following §6's description:
+// each table is included with probability 1/2 (bridging tables are added to
+// keep the join graph connected), one aggregate attribute per included
+// table, equi-joins on the common keys, and one random-selectivity range
+// predicate per included table.
+func SPJ(tables TPCHTables, n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	names := []string{tables.Customer, tables.Orders, tables.Lineitem,
+		tables.Partsupp, tables.Part}
+	attrKey := []string{"customer", "orders", "lineitem", "partsupp", "part"}
+	attrs := TPCHAttrs()
+
+	out := make([]string, n)
+	for qi := 0; qi < n; qi++ {
+		in := make([]bool, 5)
+		cnt := 0
+		for i := range in {
+			if r.Intn(2) == 0 {
+				in[i] = true
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			in[2] = true // default to lineitem
+		}
+		bridge(in)
+		// Aggregates and predicates.
+		var aggs, preds []string
+		for i := 0; i < 5; i++ {
+			if !in[i] {
+				continue
+			}
+			pool := attrs[attrKey[i]]
+			a := pool[r.Intn(len(pool))]
+			fn := []string{"SUM", "AVG", "MIN", "MAX"}[r.Intn(4)]
+			aggs = append(aggs, fmt.Sprintf("%s(%s)", fn, a.Name))
+			p := pool[r.Intn(len(pool))]
+			lo, hi := randRange(r, p)
+			preds = append(preds, fmt.Sprintf("%s BETWEEN %s AND %s", p.Name, lo, hi))
+		}
+		// FROM clause: BFS over the join graph starting from the first
+		// included table, emitting JOIN ... ON per edge.
+		var from strings.Builder
+		added := make([]bool, 5)
+		first := -1
+		for i := 0; i < 5; i++ {
+			if in[i] {
+				first = i
+				break
+			}
+		}
+		from.WriteString(names[first])
+		added[first] = true
+		for changed := true; changed; {
+			changed = false
+			for _, e := range tpchEdges {
+				if in[e.a] && in[e.b] && added[e.a] != added[e.b] {
+					nw, l, rr := e.b, e.aCol, e.bCol
+					if added[e.b] {
+						nw, l, rr = e.a, e.bCol, e.aCol
+					}
+					fmt.Fprintf(&from, " JOIN %s ON %s = %s", names[nw], l, rr)
+					added[nw] = true
+					changed = true
+				}
+			}
+		}
+		out[qi] = fmt.Sprintf("SELECT %s FROM %s WHERE %s",
+			strings.Join(aggs, ", "), from.String(), strings.Join(preds, " AND "))
+	}
+	return out
+}
+
+// bridge adds the tables needed to connect the included set: customer
+// reaches the rest through orders, part/partsupp through lineitem.
+func bridge(in []bool) {
+	cnt := 0
+	for _, b := range in {
+		if b {
+			cnt++
+		}
+	}
+	if cnt <= 1 {
+		return
+	}
+	// customer with anything else needs orders.
+	if in[0] && (in[2] || in[3] || in[4]) {
+		in[1] = true
+	}
+	if in[0] && in[1] {
+		// connected pair; continue below for the part side
+		_ = cnt
+	}
+	// orders with part-side tables needs lineitem.
+	if (in[0] || in[1]) && (in[3] || in[4]) {
+		in[2] = true
+	}
+	if in[1] && in[2] {
+		return
+	}
+	// part and partsupp together need lineitem.
+	if in[3] && in[4] {
+		in[2] = true
+	}
+	// customer+orders pair or orders+lineitem pair are already connected.
+	if in[0] && !in[1] && (in[2] || in[3] || in[4]) {
+		in[1] = true
+	}
+}

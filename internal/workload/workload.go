@@ -1,0 +1,130 @@
+// Package workload generates the query sequences of the paper's evaluation
+// (§6): phased select-project-aggregate workloads over the nested
+// orderLineitems file (Figs. 1, 9), select-project-join workloads over the
+// TPC-H tables (Figs. 12–14), and the Symantec and Yelp workloads with
+// nested-access and JSON-access knobs (Figs. 10, 11, 15). Generators are
+// deterministic given a seed and emit SQL strings for the public engine.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Attr describes a numeric attribute and its value domain, so predicates
+// with random selectivity can be generated.
+type Attr struct {
+	Name    string
+	Min     float64
+	Max     float64
+	Integer bool
+	Nested  bool
+}
+
+// OrderLineitemsAttrs returns the numeric attributes of the nested
+// orderLineitems file with the domains the generator uses.
+func OrderLineitemsAttrs() []Attr {
+	return []Attr{
+		{Name: "o_custkey", Min: 1, Max: 150000, Integer: true},
+		{Name: "o_totalprice", Min: 100, Max: 500100},
+		{Name: "o_orderdate", Min: 19920101, Max: 19990101, Integer: true},
+		{Name: "o_shippriority", Min: 0, Max: 1, Integer: true},
+		{Name: "lineitems.l_quantity", Min: 1, Max: 50, Integer: true, Nested: true},
+		{Name: "lineitems.l_extendedprice", Min: 900, Max: 100900, Nested: true},
+		{Name: "lineitems.l_discount", Min: 0, Max: 0.10, Nested: true},
+		{Name: "lineitems.l_tax", Min: 0, Max: 0.08, Nested: true},
+		{Name: "lineitems.l_shipdate", Min: 19920101, Max: 19990301, Integer: true, Nested: true},
+	}
+}
+
+// nonNested filters the attribute pool.
+func nonNested(attrs []Attr) []Attr {
+	var out []Attr
+	for _, a := range attrs {
+		if !a.Nested {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// randRange draws a predicate interval with random position and width
+// ("random selectivity" in the paper's phrasing).
+func randRange(r *rand.Rand, a Attr) (string, string) {
+	span := a.Max - a.Min
+	lo := a.Min + r.Float64()*span*0.9
+	width := r.Float64() * (a.Max - lo)
+	hi := lo + width
+	if a.Integer {
+		return fmt.Sprintf("%d", int64(lo)), fmt.Sprintf("%d", int64(hi))
+	}
+	return fmt.Sprintf("%.4f", lo), fmt.Sprintf("%.4f", hi)
+}
+
+// spa builds one select-project-aggregate query over a table from an
+// attribute pool: 1–3 aggregates, 1–2 range predicates.
+func spa(r *rand.Rand, table string, pool []Attr) string {
+	nAgg := 1 + r.Intn(3)
+	var aggs []string
+	seen := map[string]bool{}
+	for i := 0; i < nAgg; i++ {
+		a := pool[r.Intn(len(pool))]
+		if seen[a.Name] {
+			continue
+		}
+		seen[a.Name] = true
+		fn := []string{"SUM", "AVG", "MIN", "MAX"}[r.Intn(4)]
+		aggs = append(aggs, fmt.Sprintf("%s(%s)", fn, a.Name))
+	}
+	if len(aggs) == 0 {
+		aggs = []string{"COUNT(*)"}
+	}
+	nPred := 1 + r.Intn(2)
+	var preds []string
+	predSeen := map[string]bool{}
+	for i := 0; i < nPred; i++ {
+		a := pool[r.Intn(len(pool))]
+		if predSeen[a.Name] {
+			continue
+		}
+		predSeen[a.Name] = true
+		lo, hi := randRange(r, a)
+		preds = append(preds, fmt.Sprintf("%s BETWEEN %s AND %s", a.Name, lo, hi))
+	}
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %s",
+		strings.Join(aggs, ", "), table, strings.Join(preds, " AND "))
+}
+
+// Pattern selects which queries may access nested attributes — the phased
+// workloads of Figure 1 and Figure 9.
+type Pattern func(qi, n int) bool
+
+// PhaseSwitch: the first half draws from all attributes, the second half
+// from non-nested attributes only (Fig. 1 / 9a).
+func PhaseSwitch(qi, n int) bool { return qi < n/2 }
+
+// Alternate100: the pool alternates every 100 queries (Fig. 9b): queries
+// 1–100, 201–300, 401–500 use all attributes.
+func Alternate100(qi, n int) bool { return (qi/100)%2 == 0 }
+
+// Random50: each query flips a fair coin (Fig. 9c).
+func Random50(qi, n int) bool { return qi%2 == 0 }
+
+// PhasedSPA generates n SPA queries over a nested table: queries for which
+// pattern returns true draw attributes from the full pool, the others from
+// non-nested attributes only.
+func PhasedSPA(table string, attrs []Attr, n int, pattern Pattern, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	all := attrs
+	flat := nonNested(attrs)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		pool := flat
+		if pattern(i, n) {
+			pool = all
+		}
+		out[i] = spa(r, table, pool)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"recache/internal/sqlparse"
+)
+
+func mustParseAll(t *testing.T, queries []string) {
+	t.Helper()
+	for _, q := range queries {
+		if _, err := sqlparse.Parse(q); err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", q, err)
+		}
+	}
+}
+
+func TestPhasedSPAPatterns(t *testing.T) {
+	attrs := OrderLineitemsAttrs()
+	qs := PhasedSPA("orderlineitems", attrs, 100, PhaseSwitch, 1)
+	if len(qs) != 100 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	mustParseAll(t, qs)
+	// Second half must not reference nested attributes.
+	for i := 50; i < 100; i++ {
+		if strings.Contains(qs[i], "lineitems.") {
+			t.Errorf("query %d in non-nested phase references nested attr: %s", i, qs[i])
+		}
+	}
+	// First half should reference nested attributes at least sometimes.
+	nested := 0
+	for i := 0; i < 50; i++ {
+		if strings.Contains(qs[i], "lineitems.") {
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Error("no nested references in the all-attributes phase")
+	}
+}
+
+func TestAlternate100(t *testing.T) {
+	if !Alternate100(0, 600) || Alternate100(150, 600) || !Alternate100(250, 600) {
+		t.Error("Alternate100 pattern wrong")
+	}
+}
+
+func TestPhasedSPADeterministic(t *testing.T) {
+	attrs := OrderLineitemsAttrs()
+	a := PhasedSPA("x", attrs, 20, Random50, 5)
+	b := PhasedSPA("x", attrs, 20, Random50, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	c := PhasedSPA("x", attrs, 20, Random50, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical workload")
+	}
+}
+
+func TestSPJConnectivityAndParse(t *testing.T) {
+	qs := SPJ(DefaultTPCHTables(), 200, 3)
+	mustParseAll(t, qs)
+	joins := 0
+	for _, q := range qs {
+		ast, err := sqlparse.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each query's FROM clause must connect all tables: tables count
+		// equals joins count + 1.
+		if len(ast.Tables) != len(ast.Joins)+1 {
+			t.Errorf("disconnected FROM clause: %s", q)
+		}
+		if len(ast.Joins) > 0 {
+			joins++
+		}
+		// One predicate per included table.
+		if ast.Where == nil {
+			t.Errorf("no predicate: %s", q)
+		}
+	}
+	if joins == 0 {
+		t.Error("no multi-table queries generated")
+	}
+}
+
+func TestSPJBridging(t *testing.T) {
+	// Force many iterations; every customer+part combination must include
+	// the bridge tables.
+	qs := SPJ(DefaultTPCHTables(), 500, 11)
+	for _, q := range qs {
+		hasCustomer := strings.Contains(q, "customer")
+		hasPart := strings.Contains(q, " part") || strings.Contains(q, "part ") ||
+			strings.Contains(q, "JOIN part ON")
+		hasOrders := strings.Contains(q, "orders")
+		hasLineitem := strings.Contains(q, "lineitem")
+		if hasCustomer && hasPart && (!hasOrders || !hasLineitem) {
+			t.Errorf("customer⋈part without bridges: %s", q)
+		}
+	}
+}
+
+func TestSymantecWorkload(t *testing.T) {
+	qs := Symantec(SymantecOptions{
+		JSONTable: "sjson", CSVTable: "scsv",
+		N: 300, NestedPct: 50, JSONPct: 80, JoinPct: 10, Seed: 2,
+	})
+	mustParseAll(t, qs)
+	var nJoin, nJSON, nCSV, nNested int
+	for _, q := range qs {
+		switch {
+		case strings.Contains(q, "JOIN"):
+			nJoin++
+		case strings.Contains(q, "FROM sjson"):
+			nJSON++
+		default:
+			nCSV++
+		}
+		if strings.Contains(q, "urls.") {
+			nNested++
+		}
+	}
+	if nJoin == 0 || nJSON == 0 || nCSV == 0 || nNested == 0 {
+		t.Errorf("mix missing categories: join=%d json=%d csv=%d nested=%d",
+			nJoin, nJSON, nCSV, nNested)
+	}
+	if nJSON < nCSV {
+		t.Errorf("JSONPct=80 but json=%d < csv=%d", nJSON, nCSV)
+	}
+}
+
+func TestSymantecNestedLastHalfOnly(t *testing.T) {
+	qs := Symantec(SymantecOptions{
+		JSONTable: "sjson", CSVTable: "scsv",
+		N: 200, NestedPct: 100, JSONPct: 100, NestedLastHalfOnly: true, Seed: 4,
+	})
+	for i := 0; i < 100; i++ {
+		if strings.Contains(qs[i], "urls.") {
+			t.Errorf("query %d nested before half: %s", i, qs[i])
+		}
+	}
+	nested := 0
+	for i := 100; i < 200; i++ {
+		if strings.Contains(qs[i], "urls.") {
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Error("no nested queries in last half")
+	}
+}
+
+func TestYelpWorkload(t *testing.T) {
+	qs := Yelp(YelpTables{Business: "b", User: "u", Review: "r"}, 300, 60, 7)
+	mustParseAll(t, qs)
+	var nNested int
+	for _, q := range qs {
+		if strings.Contains(q, "COUNT(categories)") || strings.Contains(q, "COUNT(friends)") {
+			nNested++
+		}
+	}
+	if nNested == 0 {
+		t.Error("no nested (list-aggregating) queries")
+	}
+	// 0% nested: none.
+	qs0 := Yelp(YelpTables{Business: "b", User: "u", Review: "r"}, 100, 0, 7)
+	for _, q := range qs0 {
+		if strings.Contains(q, "COUNT(categories)") || strings.Contains(q, "COUNT(friends)") {
+			t.Errorf("nested query at 0%%: %s", q)
+		}
+	}
+}

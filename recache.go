@@ -1,0 +1,382 @@
+// Package recache is a reactive cache-accelerated analytics engine for raw
+// heterogeneous data, reproducing the system of "ReCache: Reactive Caching
+// for Fast Analytics over Heterogeneous Data" (Azim, Karpathiotakis,
+// Ailamaki; PVLDB 11(3), 2017).
+//
+// An Engine runs read-only SQL analytics directly over CSV and
+// newline-delimited JSON files. As queries execute, the engine caches the
+// outputs of low-level selection operators in memory and reuses them for
+// later queries that match exactly or are subsumed by a cached range
+// predicate. The cache is reactive along three axes:
+//
+//   - Layout: nested data is cached in a Parquet-style nested columnar
+//     layout or a flattened relational columnar layout, whichever the
+//     observed workload favors, with automatic switching driven by a cost
+//     model over measured scan costs; flat data similarly chooses between
+//     row and column orientation.
+//   - Admission: eager (fully parsed tuples) versus lazy (satisfying-tuple
+//     file offsets) caching is decided per operator by sampling the actual
+//     caching overhead at the start of each scan.
+//   - Eviction: a Greedy-Dual policy whose benefit metric is recomputed
+//     from live cost measurements, alongside classic policies (LRU, LFU,
+//     cost-based and offline oracles) for comparison.
+//
+// Quickstart:
+//
+//	eng, _ := recache.Open(recache.Config{})
+//	_ = eng.RegisterCSV("lineitem", "lineitem.csv",
+//	    "l_orderkey int, l_quantity int, l_extendedprice float", '|')
+//	res, _ := eng.Query("SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 25")
+//	fmt.Println(res.Rows[0][0])
+package recache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/csvio"
+	"recache/internal/eviction"
+	"recache/internal/exec"
+	"recache/internal/jsonio"
+	"recache/internal/plan"
+	"recache/internal/sqlparse"
+	"recache/internal/value"
+)
+
+// Config configures an Engine. The zero value enables every ReCache
+// mechanism with the paper's defaults: unlimited cache, Greedy-Dual
+// eviction, adaptive admission (10% threshold, 1000-record samples),
+// automatic layout selection, and subsumption matching.
+type Config struct {
+	// CacheCapacity limits the cache size in bytes (0 = unlimited).
+	CacheCapacity int64
+	// Eviction selects the eviction policy: "recache" (default), "lru",
+	// "lfu", "lru-json-over-csv", "cost-vectorwise", "cost-monetdb",
+	// "offline-farthest-first", "offline-log-optimal".
+	Eviction string
+	// Admission selects cache admission: "adaptive" (default), "eager",
+	// "lazy", or "off" (no caching).
+	Admission string
+	// AdmissionThreshold is the overhead fraction above which adaptive
+	// admission switches to lazy caching (default 0.10).
+	AdmissionThreshold float64
+	// AdmissionSampleSize is the sampling window in records (default 1000).
+	AdmissionSampleSize int
+	// Layout selects the cache layout strategy: "auto" (default),
+	// "parquet", "columnar", or "row".
+	Layout string
+	// DisableSubsumption turns off R-tree range-subsumption matching.
+	DisableSubsumption bool
+}
+
+func (c Config) toCacheConfig() (cache.Config, error) {
+	out := cache.Config{
+		Capacity:           c.CacheCapacity,
+		Threshold:          c.AdmissionThreshold,
+		SampleSize:         c.AdmissionSampleSize,
+		DisableSubsumption: c.DisableSubsumption,
+	}
+	switch c.Eviction {
+	case "", "recache", "greedy-dual":
+		out.Policy = eviction.NewGreedyDual()
+	default:
+		p := eviction.New(c.Eviction)
+		if p == nil {
+			return out, fmt.Errorf("recache: unknown eviction policy %q (valid: %v)", c.Eviction, eviction.Names())
+		}
+		out.Policy = p
+	}
+	switch c.Admission {
+	case "", "adaptive":
+		out.Admission = cache.Adaptive
+	case "eager":
+		out.Admission = cache.AlwaysEager
+	case "lazy":
+		out.Admission = cache.AlwaysLazy
+	case "off", "none":
+		out.Admission = cache.Off
+	default:
+		return out, fmt.Errorf("recache: unknown admission mode %q", c.Admission)
+	}
+	switch c.Layout {
+	case "", "auto":
+		out.Layout = cache.LayoutAuto
+	case "parquet":
+		out.Layout = cache.LayoutFixedParquet
+	case "columnar":
+		out.Layout = cache.LayoutFixedColumnar
+	case "row":
+		out.Layout = cache.LayoutFixedRow
+	default:
+		return out, fmt.Errorf("recache: unknown layout mode %q", c.Layout)
+	}
+	return out, nil
+}
+
+// Engine executes SQL queries over registered raw datasets with reactive
+// caching. Engines are safe for sequential use; queries are executed one at
+// a time (the paper's single-threaded setting).
+type Engine struct {
+	mu       sync.Mutex
+	datasets map[string]*plan.Dataset
+	manager  *cache.Manager
+}
+
+// Open creates an engine.
+func Open(cfg Config) (*Engine, error) {
+	cc, err := cfg.toCacheConfig()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		datasets: make(map[string]*plan.Dataset),
+		manager:  cache.NewManager(cc),
+	}, nil
+}
+
+// OpenWithManager creates an engine around a pre-configured cache manager.
+// It exists for in-module tooling (the benchmark harness configures
+// internal knobs such as eviction oracles); library users should call Open.
+func OpenWithManager(m *cache.Manager) *Engine {
+	return &Engine{datasets: make(map[string]*plan.Dataset), manager: m}
+}
+
+// Manager exposes the underlying cache manager for in-module tooling.
+func (e *Engine) Manager() *cache.Manager { return e.manager }
+
+// RegisterCSV registers a CSV file as a table. schema uses the ParseSchema
+// DSL; an empty schema infers column types from the file (first row, '|'
+// delimited unless delim says otherwise; a header row is detected when
+// inference is used and every first-row field is a string).
+func (e *Engine) RegisterCSV(name, path, schema string, delim byte) error {
+	opts := csvio.Options{Delim: delim}
+	var st *value.Type
+	var err error
+	if schema == "" {
+		st, err = csvio.InferSchema(path, opts)
+	} else {
+		st, err = ParseSchema(schema)
+	}
+	if err != nil {
+		return err
+	}
+	prov, err := csvio.New(path, st, opts)
+	if err != nil {
+		return err
+	}
+	return e.register(&plan.Dataset{Name: name, Format: plan.FormatCSV, Provider: prov})
+}
+
+// RegisterJSON registers a newline-delimited JSON file as a table; schema
+// (ParseSchema DSL) is required because JSON structure is not sampled.
+func (e *Engine) RegisterJSON(name, path, schema string) error {
+	st, err := ParseSchema(schema)
+	if err != nil {
+		return err
+	}
+	prov, err := jsonio.New(path, st)
+	if err != nil {
+		return err
+	}
+	return e.register(&plan.Dataset{Name: name, Format: plan.FormatJSON, Provider: prov})
+}
+
+func (e *Engine) register(ds *plan.Dataset) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.datasets[ds.Name]; dup {
+		return fmt.Errorf("recache: table %q already registered", ds.Name)
+	}
+	e.datasets[ds.Name] = ds
+	return nil
+}
+
+// Tables lists the registered table names.
+func (e *Engine) Tables() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.datasets))
+	for n := range e.datasets {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// TableSchema returns the schema DSL of a registered table.
+func (e *Engine) TableSchema(name string) (string, error) {
+	e.mu.Lock()
+	ds, ok := e.datasets[name]
+	e.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("recache: unknown table %q", name)
+	}
+	return FormatSchema(ds.Schema()), nil
+}
+
+// QueryStats reports the cost accounting of one query.
+type QueryStats struct {
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+	// CacheBuild is the caching overhead spent building cache entries.
+	CacheBuild time.Duration
+	// CacheScan is time spent reading from in-memory caches.
+	CacheScan time.Duration
+	// LayoutSwitch is time spent converting cache layouts.
+	LayoutSwitch time.Duration
+	// Overhead is CacheBuild / Wall (the paper's t_c/t_o).
+	Overhead float64
+	// Rows is the number of result rows.
+	Rows int
+}
+
+// Result is a fully materialized query result. Row values are Go natives:
+// int64, float64, string, bool, or nil for SQL NULL.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	Stats   QueryStats
+}
+
+// Query parses, plans, rewrites against the cache, and executes one SQL
+// query.
+func (e *Engine) Query(sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pl, err := e.buildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	e.manager.BeginQuery()
+	root := e.manager.Rewrite(pl.root, pl.neededNames)
+	res, stats, err := exec.Run(root, exec.Deps{Manager: e.manager, Needed: pl.neededPaths})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns: res.Columns,
+		Rows:    make([][]any, len(res.Rows)),
+		Stats: QueryStats{
+			Wall:         stats.Wall,
+			CacheBuild:   time.Duration(stats.CacheBuildNanos),
+			CacheScan:    time.Duration(stats.CacheScanNanos),
+			LayoutSwitch: time.Duration(stats.LayoutSwitchNanos),
+			Overhead:     stats.Overhead(),
+			Rows:         stats.RowsOut,
+		},
+	}
+	for i, row := range res.Rows {
+		out.Rows[i] = toNative(row)
+	}
+	return out, nil
+}
+
+// Explain returns the rewritten physical plan of a query as indented text,
+// showing cache hits (CachedScan) and materializers.
+func (e *Engine) Explain(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pl, err := e.buildPlan(q)
+	if err != nil {
+		return "", err
+	}
+	// Note: Explain performs the cache lookup (so it shows what Query would
+	// do) but does not advance reuse counters meaningfully beyond that.
+	root := e.manager.Rewrite(pl.root, pl.neededNames)
+	return plan.Explain(root), nil
+}
+
+func toNative(row []value.Value) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch v.Kind {
+		case value.Int:
+			out[i] = v.I
+		case value.Float:
+			out[i] = v.F
+		case value.String:
+			out[i] = v.S
+		case value.Bool:
+			out[i] = v.B
+		case value.Null:
+			out[i] = nil
+		default:
+			out[i] = v.String()
+		}
+	}
+	return out
+}
+
+// CacheStats summarizes cache behaviour since the engine opened.
+type CacheStats struct {
+	Queries        int64
+	ExactHits      int64
+	SubsumedHits   int64
+	Misses         int64
+	Evictions      int64
+	LayoutSwitches int64
+	LazyUpgrades   int64
+	Inserted       int64
+	Entries        int
+	TotalBytes     int64
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	s := e.manager.Stats()
+	return CacheStats{
+		Queries:        s.Queries,
+		ExactHits:      s.ExactHits,
+		SubsumedHits:   s.SubsumedHits,
+		Misses:         s.Misses,
+		Evictions:      s.Evictions,
+		LayoutSwitches: s.LayoutSwitches,
+		LazyUpgrades:   s.LazyUpgrades,
+		Inserted:       s.Inserted,
+		Entries:        s.Entries,
+		TotalBytes:     s.TotalBytes,
+	}
+}
+
+// EntryInfo describes one live cache entry.
+type EntryInfo struct {
+	ID        uint64
+	Table     string
+	Predicate string
+	Mode      string // "eager" or "lazy"
+	Layout    string // "parquet", "columnar", "row", or "offsets"
+	Bytes     int64
+	Reuses    int64
+}
+
+// CacheEntries lists the live cache entries (sorted by id).
+func (e *Engine) CacheEntries() []EntryInfo {
+	entries := e.manager.Entries()
+	out := make([]EntryInfo, len(entries))
+	for i, en := range entries {
+		layout := "offsets"
+		if en.Mode == cache.Eager && en.Store != nil {
+			layout = en.Store.Layout().String()
+		}
+		out[i] = EntryInfo{
+			ID:        en.ID,
+			Table:     en.Dataset.Name,
+			Predicate: en.PredCanon,
+			Mode:      en.Mode.String(),
+			Layout:    layout,
+			Bytes:     en.SizeBytes(),
+			Reuses:    en.Reuses,
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package recache
+
+import (
+	"fmt"
+	"strings"
+
+	"recache/internal/value"
+)
+
+// ParseSchema parses the schema DSL used when registering datasets:
+//
+//	"okey int, total float, comment string?,
+//	 origin record(country string?, ip string?),
+//	 lineitems list(qty int, price float),
+//	 tags list(string)"
+//
+// Primitive types are int, float, string and bool; a trailing '?' marks the
+// field optional (it may be absent from JSON objects). list(...) with a
+// field list is a list of records; list(<type>) is a list of primitives;
+// record(...) is a nested record. At most one list field may appear on any
+// root-to-leaf path (the storage layer's single-repeated-field rule).
+func ParseSchema(src string) (*value.Type, error) {
+	p := &schemaParser{src: src}
+	t, err := p.parseFieldList()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("recache: schema: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	// Validate the single-repeated-field constraint early.
+	if _, err := value.LeafColumns(t); err != nil {
+		return nil, fmt.Errorf("recache: schema: %w", err)
+	}
+	return t, nil
+}
+
+type schemaParser struct {
+	src string
+	pos int
+}
+
+func (p *schemaParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *schemaParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *schemaParser) accept(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *schemaParser) parseFieldList() (*value.Type, error) {
+	var fields []value.Field
+	for {
+		name := p.ident()
+		if name == "" {
+			return nil, fmt.Errorf("recache: schema: expected field name at %d", p.pos)
+		}
+		t, opt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, value.Field{Name: name, Type: t, Optional: opt})
+		if !p.accept(',') {
+			break
+		}
+	}
+	return value.TRecord(fields...), nil
+}
+
+func (p *schemaParser) parseType() (*value.Type, bool, error) {
+	kw := strings.ToLower(p.ident())
+	var t *value.Type
+	switch kw {
+	case "int":
+		t = value.TInt
+	case "float", "double":
+		t = value.TFloat
+	case "string", "text":
+		t = value.TString
+	case "bool", "boolean":
+		t = value.TBool
+	case "record":
+		if !p.accept('(') {
+			return nil, false, fmt.Errorf("recache: schema: record requires '(' at %d", p.pos)
+		}
+		inner, err := p.parseFieldList()
+		if err != nil {
+			return nil, false, err
+		}
+		if !p.accept(')') {
+			return nil, false, fmt.Errorf("recache: schema: missing ')' at %d", p.pos)
+		}
+		t = inner
+	case "list":
+		if !p.accept('(') {
+			return nil, false, fmt.Errorf("recache: schema: list requires '(' at %d", p.pos)
+		}
+		// list(<primitive>) or list(<field list>).
+		save := p.pos
+		kw2 := strings.ToLower(p.ident())
+		p.skipSpace()
+		isPrim := (kw2 == "int" || kw2 == "float" || kw2 == "double" || kw2 == "string" ||
+			kw2 == "text" || kw2 == "bool" || kw2 == "boolean") &&
+			p.pos < len(p.src) && p.src[p.pos] == ')'
+		p.pos = save
+		if isPrim {
+			elem, _, err := p.parseType()
+			if err != nil {
+				return nil, false, err
+			}
+			if !p.accept(')') {
+				return nil, false, fmt.Errorf("recache: schema: missing ')' at %d", p.pos)
+			}
+			t = value.TList(elem)
+		} else {
+			inner, err := p.parseFieldList()
+			if err != nil {
+				return nil, false, err
+			}
+			if !p.accept(')') {
+				return nil, false, fmt.Errorf("recache: schema: missing ')' at %d", p.pos)
+			}
+			t = value.TList(inner)
+		}
+	case "":
+		return nil, false, fmt.Errorf("recache: schema: expected type at %d", p.pos)
+	default:
+		return nil, false, fmt.Errorf("recache: schema: unknown type %q", kw)
+	}
+	opt := p.accept('?')
+	return t, opt, nil
+}
+
+// FormatSchema renders a schema back into the DSL (approximately inverse to
+// ParseSchema; used by the CLI's \d command).
+func FormatSchema(t *value.Type) string {
+	var b strings.Builder
+	writeSchemaFields(&b, t)
+	return b.String()
+}
+
+func writeSchemaFields(b *strings.Builder, t *value.Type) {
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		writeSchemaType(b, f.Type)
+		if f.Optional {
+			b.WriteByte('?')
+		}
+	}
+}
+
+func writeSchemaType(b *strings.Builder, t *value.Type) {
+	switch t.Kind {
+	case value.Record:
+		b.WriteString("record(")
+		writeSchemaFields(b, t)
+		b.WriteByte(')')
+	case value.List:
+		b.WriteString("list(")
+		if t.Elem.Kind == value.Record {
+			writeSchemaFields(b, t.Elem)
+		} else {
+			writeSchemaType(b, t.Elem)
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteString(t.Kind.String())
+	}
+}
