@@ -6,7 +6,12 @@
 //
 //	recache-bench -exp fig14 [-sf 0.002] [-queries 1.0] [-dir /tmp/data] [-seed 42]
 //	recache-bench -exp all
+//	recache-bench -parallel 4
 //	recache-bench -list
+//
+// -parallel N measures aggregate queries/sec of a cache-hit-heavy workload
+// run concurrently from 1 and N goroutines against one shared engine (the
+// concurrent-execution harness; not a paper figure).
 package main
 
 import (
@@ -20,21 +25,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (table1, fig1, fig5..fig15b, all)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		dir     = flag.String("dir", "", "dataset workspace (default: temp dir)")
-		sf      = flag.Float64("sf", 0, "TPC-H scale factor (default 0.002)")
-		queries = flag.Float64("queries", 0, "workload length multiplier (default 1.0)")
-		seed    = flag.Int64("seed", 0, "generator seed (default 42)")
+		exp      = flag.String("exp", "", "experiment id (table1, fig1, fig5..fig15b, parallel, all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		dir      = flag.String("dir", "", "dataset workspace (default: temp dir)")
+		sf       = flag.Float64("sf", 0, "TPC-H scale factor (default 0.002)")
+		queries  = flag.Float64("queries", 0, "workload length multiplier (default 1.0)")
+		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
+		parallel = flag.Int("parallel", 0, "measure concurrent throughput at 1 and N goroutines")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(append(harness.Experiments(), "all"), "\n"))
+		fmt.Println(strings.Join(append(harness.Experiments(), "parallel", "all"), "\n"))
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "recache-bench: -exp required (use -list for ids)")
+	if *exp == "" && *parallel <= 0 {
+		fmt.Fprintln(os.Stderr, "recache-bench: -exp or -parallel required (use -list for ids)")
+		os.Exit(2)
+	}
+	if *exp != "" && *parallel > 0 {
+		fmt.Fprintln(os.Stderr, "recache-bench: -exp and -parallel are mutually exclusive")
 		os.Exit(2)
 	}
 	r := harness.New(harness.Options{
@@ -44,6 +54,17 @@ func main() {
 		Seed:    *seed,
 		Out:     os.Stdout,
 	})
+	if *parallel > 0 {
+		workers := []int{1, *parallel}
+		if *parallel == 1 {
+			workers = []int{1}
+		}
+		if err := r.Parallel(workers); err != nil {
+			fmt.Fprintln(os.Stderr, "recache-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := r.Run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "recache-bench:", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module recache
+
+go 1.24

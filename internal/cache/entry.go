@@ -8,7 +8,6 @@ package cache
 
 import (
 	"fmt"
-	"sync"
 
 	"recache/internal/expr"
 	"recache/internal/plan"
@@ -39,6 +38,13 @@ func (m Mode) String() string {
 // Entry is one cached operator result: the output of a select over a raw
 // scan, together with all the accounting the benefit metric needs
 // (Figure 8: n, t, c, s, l, B).
+//
+// Concurrency: every mutable field is guarded by the owning Manager's lock.
+// The executor reads Mode/Store/Offsets through Manager.Payload (a locked
+// snapshot); stores are immutable once built, so a snapshotted store stays
+// valid across concurrent upgrades, layout conversions, and evictions
+// (deferred removal keeps pinned entries alive). Direct field access is
+// reserved for single-threaded tests and tooling.
 type Entry struct {
 	ID        uint64
 	Dataset   *plan.Dataset
@@ -67,7 +73,11 @@ type Entry struct {
 
 	advisor advisorState
 
-	mu sync.Mutex
+	// Reader/lifecycle state, guarded by the Manager's lock.
+	pins       int  // active CachedScan readers (Txn pins)
+	doomed     bool // evicted while pinned; removal deferred to last unpin
+	converting bool // a layout conversion is in flight
+	upgrading  bool // a lazy→eager upgrade is in flight
 }
 
 // SizeBytes is B: the entry's memory footprint.

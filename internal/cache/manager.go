@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recache/internal/eviction"
@@ -46,6 +47,8 @@ type Config struct {
 	// Capacity is the cache size limit in bytes; 0 means unlimited.
 	Capacity int64
 	// Policy is the eviction policy (default: ReCache Greedy-Dual).
+	// Policies need no internal locking: the manager invokes every Policy
+	// method under its own lock (see internal/eviction).
 	Policy eviction.Policy
 	// Admission selects the materializer behaviour.
 	Admission AdmissionMode
@@ -85,7 +88,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats aggregates manager-level counters for reporting.
+// Stats aggregates manager-level counters for reporting. It is a plain
+// snapshot: Manager.Stats assembles it from the live atomic counters.
 type Stats struct {
 	Queries        int64
 	ExactHits      int64
@@ -99,13 +103,38 @@ type Stats struct {
 	Entries        int
 }
 
+// counters holds the manager's live statistics. Counters are atomics so hot
+// paths (query admission, hit classification) can bump them without
+// serializing on the manager lock, and so Stats() can take a consistent-ish
+// snapshot while queries are in flight.
+type counters struct {
+	queries        atomic.Int64
+	exactHits      atomic.Int64
+	subsumedHits   atomic.Int64
+	misses         atomic.Int64
+	evictions      atomic.Int64
+	layoutSwitches atomic.Int64
+	lazyUpgrades   atomic.Int64
+	inserted       atomic.Int64
+}
+
 // Manager owns the cache: entries, the exact-match table, the per-(dataset,
 // column) R-tree subsumption indexes, and the eviction policy state.
+//
+// A Manager is safe for concurrent use by many queries. The concurrency
+// design has three pieces:
+//
+//   - One mutex (mu) guards all lookup structures, entry mutation, and the
+//     eviction policy; it is held only for short bookkeeping sections, never
+//     across a raw-file scan, a cache scan, or a layout conversion.
+//   - Statistics counters and the logical query clock are atomics.
+//   - Per-query state (pinned entries, reserved single-flight build slots)
+//     lives in a Txn handed out by Begin; Txn.Close releases everything, so
+//     a query that errors mid-execution cannot leak pins or build slots.
 type Manager struct {
 	mu      sync.Mutex
 	cfg     Config
 	nextID  uint64
-	clock   int64
 	entries map[uint64]*Entry
 	byKey   map[string]*Entry
 	// Subsumption indexes: one 1-D R-tree per (dataset, numeric column).
@@ -113,52 +142,75 @@ type Manager struct {
 	// Entries with no range constraints and no residuals (full-table and
 	// residual-free caches) per dataset: they can subsume anything.
 	uncon map[string]map[uint64]*Entry
+	// building is the single-flight table: entry key → id of the Txn whose
+	// materializer is building that entry. While a key is present, other
+	// queries missing on it scan raw instead of duplicating the build.
+	building map[string]uint64
 
+	// total is the bytes held, guarded by mu. It includes doomed entries —
+	// entries evicted while pinned, gone from every lookup structure but
+	// kept alive (through their readers' Txn references and their doomed
+	// flag) until the last reader unpins.
 	total int64
-	stats Stats
+
+	clock  atomic.Int64  // logical time: one tick per query
+	nextTx atomic.Uint64 // Txn id generator
+	stats  counters
 }
 
 // NewManager creates a manager.
 func NewManager(cfg Config) *Manager {
 	return &Manager{
-		cfg:     cfg.withDefaults(),
-		entries: make(map[uint64]*Entry),
-		byKey:   make(map[string]*Entry),
-		indexes: make(map[string]*rtree.Tree),
-		uncon:   make(map[string]map[uint64]*Entry),
+		cfg:      cfg.withDefaults(),
+		entries:  make(map[uint64]*Entry),
+		byKey:    make(map[string]*Entry),
+		indexes:  make(map[string]*rtree.Tree),
+		uncon:    make(map[string]map[uint64]*Entry),
+		building: make(map[string]uint64),
 	}
 }
 
 // Config returns the active configuration (with defaults applied).
 func (m *Manager) Config() Config { return m.cfg }
 
-// BeginQuery advances the logical clock; one tick per query.
+// BeginQuery advances the logical clock; one tick per query. Callers that
+// need pin tracking and single-flight deduplication use Begin instead.
 func (m *Manager) BeginQuery() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.clock++
-	m.stats.Queries++
+	m.clock.Add(1)
+	m.stats.queries.Add(1)
 }
 
 // Clock returns the logical time (queries seen).
 func (m *Manager) Clock() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.clock
+	return m.clock.Load()
 }
 
-// Stats returns a snapshot of manager counters.
+// Stats returns a snapshot of manager counters. The outcome counters are
+// loaded before Queries: a query increments Queries at Begin and classifies
+// later, so this order keeps ExactHits+SubsumedHits+Misses <= Queries in
+// any mid-flight snapshot (equality once the workload quiesces).
 func (m *Manager) Stats() Stats {
+	s := Stats{
+		ExactHits:      m.stats.exactHits.Load(),
+		SubsumedHits:   m.stats.subsumedHits.Load(),
+		Misses:         m.stats.misses.Load(),
+		Evictions:      m.stats.evictions.Load(),
+		LayoutSwitches: m.stats.layoutSwitches.Load(),
+		LazyUpgrades:   m.stats.lazyUpgrades.Load(),
+		Inserted:       m.stats.inserted.Load(),
+	}
+	s.Queries = m.stats.queries.Load()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.stats
 	s.TotalBytes = m.total
 	s.Entries = len(m.entries)
+	m.mu.Unlock()
 	return s
 }
 
 // Entries returns a snapshot of all live entries (sorted by ID, for
-// deterministic output).
+// deterministic output). The *Entry values are shared with the manager:
+// single-threaded tooling and tests may read their fields directly, but
+// concurrent callers must use Payload / Snapshot instead.
 func (m *Manager) Entries() []*Entry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -168,6 +220,113 @@ func (m *Manager) Entries() []*Entry {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// EntryView is a plain-data snapshot of one live entry, copied under the
+// manager lock so it is safe to read while queries run.
+type EntryView struct {
+	ID        uint64
+	Dataset   string
+	PredCanon string
+	Mode      Mode
+	Layout    store.Layout // meaningful when HasStore
+	HasStore  bool
+	Bytes     int64
+	Reuses    int64
+}
+
+// Snapshot returns race-free views of all live entries, sorted by ID.
+func (m *Manager) Snapshot() []EntryView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EntryView, 0, len(m.entries))
+	for _, e := range m.entries {
+		v := EntryView{
+			ID:        e.ID,
+			Dataset:   e.Dataset.Name,
+			PredCanon: e.PredCanon,
+			Mode:      e.Mode,
+			HasStore:  e.Store != nil,
+			Bytes:     e.SizeBytes(),
+			Reuses:    e.Reuses,
+		}
+		if e.Store != nil {
+			v.Layout = e.Store.Layout()
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Payload returns a consistent view of the entry's mode and payload for a
+// reader. The returned store / offsets slice stay valid even if the entry
+// is concurrently upgraded, converted, or evicted: stores are immutable
+// once built, and deferred removal keeps pinned entries alive.
+func (m *Manager) Payload(e *Entry) (Mode, store.Store, []int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return e.Mode, e.Store, e.Offsets
+}
+
+// Txn tracks one query's interaction with the cache: the entries it pinned
+// (hits being scanned) and the single-flight build slots it reserved
+// (misses being materialized). Close releases both; it must always run,
+// even when the query fails.
+type Txn struct {
+	m      *Manager
+	id     uint64
+	pinned []*Entry
+	slots  []string
+	closed bool
+}
+
+// Begin starts a query: it advances the logical clock and returns the Txn
+// that tracks the query's pins and build reservations.
+func (m *Manager) Begin() *Txn {
+	m.BeginQuery()
+	return &Txn{m: m, id: m.nextTx.Add(1)}
+}
+
+// Rewrite is Manager.Rewrite with pin tracking and single-flight
+// deduplication: cache hits are pinned until Close, and at most one
+// in-flight query builds a given (dataset, predicate) entry — concurrent
+// identical misses scan raw instead.
+func (t *Txn) Rewrite(root plan.Node, needed map[string][]string) plan.Node {
+	return t.m.rewriteRoot(root, needed, t, false)
+}
+
+// Close unpins every entry this query pinned and releases any build slots
+// its materializers did not complete. Idempotent.
+func (t *Txn) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, key := range t.slots {
+		if m.building[key] == t.id {
+			delete(m.building, key)
+		}
+	}
+	for _, e := range t.pinned {
+		m.unpinLocked(e)
+	}
+	t.pinned, t.slots = nil, nil
+}
+
+// unpinLocked drops one reader reference; the last unpin of a doomed entry
+// finalizes its eviction (releases its bytes).
+func (m *Manager) unpinLocked(e *Entry) {
+	if e.pins > 0 {
+		e.pins--
+	}
+	if e.pins == 0 && e.doomed {
+		e.doomed = false
+		m.total -= e.SizeBytes()
+	}
 }
 
 // BuildSpec instructs a materializer (internal/exec) how to admit one
@@ -188,6 +347,10 @@ type BuildSpec struct {
 	// Naive uses the sample-local overhead ratio instead of the
 	// two-timestamp extrapolation (ablation).
 	Naive bool
+	// SlotKey / SlotTx identify the single-flight build slot this spec
+	// reserved (SlotTx == 0: none). CompleteBuild releases the slot.
+	SlotKey string
+	SlotTx  uint64
 }
 
 // Rewrite walks a plan bottom-up, replacing cacheable subtrees
@@ -195,63 +358,107 @@ type BuildSpec struct {
 // remaining cacheable selects in Materialize nodes on misses. needed maps
 // dataset name → the dotted leaf columns the query actually uses (the
 // projection pushed into cache scans).
+//
+// Rewrite performs no pin tracking or single-flight deduplication; it is
+// the single-caller path kept for tests and tooling. Concurrent queries go
+// through Begin / Txn.Rewrite / Txn.Close.
 func (m *Manager) Rewrite(root plan.Node, needed map[string][]string) plan.Node {
+	return m.rewriteRoot(root, needed, nil, false)
+}
+
+// Peek is a side-effect-free Rewrite: it shows what Rewrite would do (the
+// same CachedScan / Materialize tree shapes) without touching reuse
+// counters, eviction-policy state, statistics, pins, or build slots.
+// EXPLAIN uses it so that explaining a query never perturbs the cache.
+func (m *Manager) Peek(root plan.Node, needed map[string][]string) plan.Node {
+	return m.rewriteRoot(root, needed, nil, true)
+}
+
+func (m *Manager) rewriteRoot(root plan.Node, needed map[string][]string, tx *Txn, readOnly bool) plan.Node {
 	if m.cfg.Admission == Off {
 		return root
 	}
-	return m.rewrite(root, needed)
+	return m.rewrite(root, needed, tx, readOnly)
 }
 
-func (m *Manager) rewrite(n plan.Node, needed map[string][]string) plan.Node {
+func (m *Manager) rewrite(n plan.Node, needed map[string][]string, tx *Txn, readOnly bool) plan.Node {
 	switch x := n.(type) {
 	case *plan.Unnest:
 		if sel, ok := x.Child.(*plan.Select); ok {
 			if scan, ok2 := sel.Child.(*plan.Scan); ok2 {
-				if repl := m.lookupAndRewrite(scan.DS, sel.Pred, true, needed[scan.DS.Name]); repl != nil {
+				if repl := m.lookupAndRewrite(scan.DS, sel.Pred, true, needed[scan.DS.Name], tx, readOnly); repl != nil {
 					return repl
 				}
 				// Miss: materialize the select, keep the unnest above it.
-				x.Child = m.wrapMaterialize(sel, scan.DS)
+				x.Child = m.wrapMaterialize(sel, scan.DS, tx, readOnly)
 				return x
 			}
 		}
-		x.Child = m.rewrite(x.Child, needed)
+		x.Child = m.rewrite(x.Child, needed, tx, readOnly)
 		return x
 	case *plan.Select:
 		if scan, ok := x.Child.(*plan.Scan); ok {
-			if repl := m.lookupAndRewrite(scan.DS, x.Pred, false, needed[scan.DS.Name]); repl != nil {
+			if repl := m.lookupAndRewrite(scan.DS, x.Pred, false, needed[scan.DS.Name], tx, readOnly); repl != nil {
 				return repl
 			}
-			return m.wrapMaterialize(x, scan.DS)
+			return m.wrapMaterialize(x, scan.DS, tx, readOnly)
 		}
-		x.Child = m.rewrite(x.Child, needed)
+		x.Child = m.rewrite(x.Child, needed, tx, readOnly)
 		return x
 	case *plan.Project:
-		x.Child = m.rewrite(x.Child, needed)
+		x.Child = m.rewrite(x.Child, needed, tx, readOnly)
 		return x
 	case *plan.Aggregate:
-		x.Child = m.rewrite(x.Child, needed)
+		x.Child = m.rewrite(x.Child, needed, tx, readOnly)
 		return x
 	case *plan.Join:
-		x.Left = m.rewrite(x.Left, needed)
-		x.Right = m.rewrite(x.Right, needed)
+		x.Left = m.rewrite(x.Left, needed, tx, readOnly)
+		x.Right = m.rewrite(x.Right, needed, tx, readOnly)
 		return x
 	default:
 		return n
 	}
 }
 
-// wrapMaterialize attaches a BuildSpec to a missed select.
-func (m *Manager) wrapMaterialize(sel *plan.Select, ds *plan.Dataset) plan.Node {
+// wrapMaterialize attaches a BuildSpec to a missed select. With a Txn it
+// first consults the single-flight table: if another in-flight query is
+// already building the same entry, the select executes raw (still counted
+// as a miss) rather than duplicating the build.
+func (m *Manager) wrapMaterialize(sel *plan.Select, ds *plan.Dataset, tx *Txn, readOnly bool) plan.Node {
+	if readOnly {
+		// Peek: show what Query would do without reserving or counting —
+		// untypeable predicates execute raw (mirroring the path below).
+		if _, err := expr.ExtractRanges(sel.Pred, ds.Schema()); err != nil {
+			return sel
+		}
+		return &plan.Materialize{Child: sel}
+	}
 	canon := "true"
 	if sel.Pred != nil {
 		canon = sel.Pred.Canonical()
 	}
+	// Every cache-eligible select that was not a hit counts as a miss —
+	// including untypeable predicates and single-flight raw fallbacks below
+	// — so that ExactHits + SubsumedHits + Misses always equals the number
+	// of rewritten selects. (Before the concurrency refactor, untypeable
+	// predicates were left uncounted.)
+	m.stats.misses.Add(1)
 	ranges, err := expr.ExtractRanges(sel.Pred, ds.Schema())
 	if err != nil {
 		return sel // untypeable predicate: execute without caching
 	}
+	key := entryKey(ds.Name, canon)
 	m.mu.Lock()
+	if tx != nil {
+		if owner, busy := m.building[key]; busy && owner != tx.id {
+			// Single-flight: another query is already materializing this
+			// exact entry. Scan raw; by the next miss the entry will exist.
+			m.mu.Unlock()
+			return sel
+		}
+		m.building[key] = tx.id
+		tx.slots = append(tx.slots, key)
+	}
 	// Working-set fast path (§5.2): only a live *eager* entry from the same
 	// file justifies skipping the sampler — it proves eager caching of this
 	// file was affordable and the file is still hot.
@@ -262,30 +469,31 @@ func (m *Manager) wrapMaterialize(sel *plan.Select, ds *plan.Dataset) plan.Node 
 			break
 		}
 	}
-	layout := m.ChooseLayout(ds)
-	m.stats.Misses++
 	m.mu.Unlock()
-	return &plan.Materialize{
-		Child: sel,
-		Spec: &BuildSpec{
-			Manager:    m,
-			Dataset:    ds,
-			Pred:       sel.Pred,
-			PredCanon:  canon,
-			Ranges:     ranges,
-			Layout:     layout,
-			Admission:  m.cfg.Admission,
-			Threshold:  m.cfg.Threshold,
-			SampleSize: m.cfg.SampleSize,
-			WorkingSet: ws,
-			Naive:      m.cfg.NaiveAdmission,
-		},
+	spec := &BuildSpec{
+		Manager:    m,
+		Dataset:    ds,
+		Pred:       sel.Pred,
+		PredCanon:  canon,
+		Ranges:     ranges,
+		Layout:     m.ChooseLayout(ds),
+		Admission:  m.cfg.Admission,
+		Threshold:  m.cfg.Threshold,
+		SampleSize: m.cfg.SampleSize,
+		WorkingSet: ws,
+		Naive:      m.cfg.NaiveAdmission,
+		SlotKey:    key,
 	}
+	if tx != nil {
+		spec.SlotTx = tx.id
+	}
+	return &plan.Materialize{Child: sel, Spec: spec}
 }
 
 // ChooseLayout picks the initial layout for a new entry: nested data
 // defaults to Parquet (§4.2: cheaper to build, smaller), flat data to
-// columnar; fixed modes override.
+// columnar; fixed modes override. It reads only immutable configuration,
+// so it needs no lock.
 func (m *Manager) ChooseLayout(ds *plan.Dataset) store.Layout {
 	nested := value.RepeatedField(ds.Schema()) != nil
 	switch m.cfg.Layout {
@@ -308,34 +516,45 @@ func (m *Manager) ChooseLayout(ds *plan.Dataset) store.Layout {
 
 // lookupAndRewrite searches for an exact or subsuming entry. On a hit it
 // returns the replacement CachedScan (with lookup time l charged to the
-// entry); on a miss it returns nil.
-func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, neededCols []string) plan.Node {
+// entry); on a miss it returns nil. With a Txn the hit entry is pinned
+// until Txn.Close; in readOnly mode no counter, policy, or pin state moves.
+func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, neededCols []string, tx *Txn, readOnly bool) plan.Node {
 	start := time.Now()
 	canon := "true"
 	if pred != nil {
 		canon = pred.Canonical()
 	}
+	// Compute the output schema before touching any counters so that a
+	// schema failure degrades to a plain miss instead of a half-counted hit.
+	out, err := cachedScanSchema(ds, flat, neededCols)
+	if err != nil {
+		return nil
+	}
 	m.mu.Lock()
 	e, exact := m.lookupLocked(ds, pred, canon)
-	if e != nil {
+	if e != nil && !readOnly {
 		l := time.Since(start).Nanoseconds()
 		e.LookupNs = l
 		e.Reuses++
 		e.Freq++
-		e.LastAccess = m.clock
+		e.LastAccess = m.clock.Load()
 		m.cfg.Policy.OnAccess(e.ID)
-		if exact {
-			m.stats.ExactHits++
-		} else {
-			m.stats.SubsumedHits++
+		if tx != nil {
+			e.pins++
+			tx.pinned = append(tx.pinned, e)
 		}
+		if exact {
+			m.stats.exactHits.Add(1)
+		} else {
+			m.stats.subsumedHits.Add(1)
+		}
+	}
+	mode := Eager
+	if e != nil {
+		mode = e.Mode
 	}
 	m.mu.Unlock()
 	if e == nil {
-		return nil
-	}
-	out, err := cachedScanSchema(ds, flat, neededCols)
-	if err != nil {
 		return nil
 	}
 	var residual expr.Expr
@@ -344,7 +563,7 @@ func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, 
 		residual = pred
 		label = "subsumed"
 	}
-	if e.Mode == Lazy {
+	if mode == Lazy {
 		label += "+lazy"
 	}
 	return &plan.CachedScan{
@@ -456,12 +675,16 @@ func cachedScanSchema(ds *plan.Dataset, flat bool, neededCols []string) (*value.
 
 // CompleteBuild registers a finished cache entry (called by a materializer
 // when its query finishes). opNanos and cacheNanos are the measured t and c.
-// It returns the entry (nil if an identical entry raced in first).
+// It returns the entry (nil if an identical entry raced in first), and
+// releases the single-flight build slot the spec reserved.
 func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64,
 	mode Mode, opNanos, cacheNanos int64) *Entry {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if spec.SlotTx != 0 && m.building[spec.SlotKey] == spec.SlotTx {
+		delete(m.building, spec.SlotKey)
+	}
 	key := entryKey(spec.Dataset.Name, spec.PredCanon)
 	if _, dup := m.byKey[key]; dup {
 		return nil
@@ -478,8 +701,8 @@ func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64
 		Offsets:    offsets,
 		OpNanos:    opNanos,
 		CacheNanos: cacheNanos,
-		LastAccess: m.clock,
-		InsertedAt: m.clock,
+		LastAccess: m.clock.Load(),
+		InsertedAt: m.clock.Load(),
 		Freq:       1,
 		frozenOp:   opNanos, frozenCache: cacheNanos,
 	}
@@ -491,7 +714,7 @@ func (m *Manager) insertLocked(e *Entry) {
 	m.entries[e.ID] = e
 	m.byKey[e.Key()] = e
 	m.total += e.SizeBytes()
-	m.stats.Inserted++
+	m.stats.inserted.Add(1)
 	m.cfg.Policy.OnInsert(e.ID)
 	if len(e.Ranges.Residuals) == 0 {
 		if len(e.Ranges.Cols) == 0 {
@@ -516,7 +739,10 @@ func (m *Manager) insertLocked(e *Entry) {
 	m.evictLocked()
 }
 
-// removeLocked detaches an entry from every index.
+// removeLocked detaches an entry from every lookup structure. If readers
+// still pin the entry, the removal of its bytes is deferred: the entry
+// moves to the doomed set and the last unpin finalizes it — so eviction
+// never frees a store out from under a running CachedScan.
 func (m *Manager) removeLocked(e *Entry) {
 	delete(m.entries, e.ID)
 	if m.byKey[e.Key()] == e {
@@ -532,8 +758,12 @@ func (m *Manager) removeLocked(e *Entry) {
 			}
 		}
 	}
-	m.total -= e.SizeBytes()
 	m.cfg.Policy.OnRemove(e.ID)
+	if e.pins > 0 {
+		e.doomed = true
+		return // bytes stay in m.total until the last reader unpins
+	}
+	m.total -= e.SizeBytes()
 }
 
 // evictLocked enforces the capacity limit through the configured policy.
@@ -550,7 +780,7 @@ func (m *Manager) evictLocked() {
 	for _, id := range victims {
 		if e, ok := m.entries[id]; ok {
 			m.removeLocked(e)
-			m.stats.Evictions++
+			m.stats.evictions.Add(1)
 		}
 	}
 }
@@ -565,7 +795,7 @@ func (m *Manager) itemFor(e *Entry) eviction.Item {
 	}
 	next := int64(math.MaxInt64)
 	if m.cfg.Oracle != nil {
-		next = m.cfg.Oracle(e, m.clock)
+		next = m.cfg.Oracle(e, m.clock.Load())
 	}
 	return eviction.Item{
 		ID:         e.ID,
@@ -582,6 +812,27 @@ func (m *Manager) itemFor(e *Entry) eviction.Item {
 	}
 }
 
+// TryStartUpgrade reserves the lazy→eager upgrade of e for one caller, so
+// concurrent replays of the same lazy entry build at most one eager store.
+// A successful reservation must be resolved by UpgradeLazy or CancelUpgrade.
+func (m *Manager) TryStartUpgrade(e *Entry) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.Mode != Lazy || e.doomed || e.upgrading {
+		return false
+	}
+	e.upgrading = true
+	return true
+}
+
+// CancelUpgrade releases an upgrade reservation whose build did not finish
+// (the replaying query failed).
+func (m *Manager) CancelUpgrade(e *Entry) {
+	m.mu.Lock()
+	e.upgrading = false
+	m.mu.Unlock()
+}
+
 // UpgradeLazy replaces a lazy entry's offsets with a freshly built eager
 // store (§5.2: a reused lazy item is replaced by an eager cache). The
 // build time adds to c, the replay time becomes the observed scan cost s,
@@ -589,7 +840,8 @@ func (m *Manager) itemFor(e *Entry) eviction.Item {
 func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNanos int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if e.Mode != Lazy {
+	e.upgrading = false
+	if e.Mode != Lazy || e.doomed {
 		return
 	}
 	m.total -= e.SizeBytes()
@@ -602,7 +854,7 @@ func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNano
 		e.frozenScan = scanWallNanos
 	}
 	m.total += e.SizeBytes()
-	m.stats.LazyUpgrades++
+	m.stats.lazyUpgrades.Add(1)
 	m.evictLocked()
 }
 
@@ -610,8 +862,14 @@ func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNano
 // and the layout advisor; it performs any recommended layout switch
 // in-line (the conversion cost lands in the running query, producing the
 // switch spikes visible in Fig. 9) and returns the conversion duration.
+// At most one conversion per entry runs at a time; readers that snapshotted
+// the old store via Payload keep scanning it safely (stores are immutable).
 func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNanos int64) time.Duration {
 	m.mu.Lock()
+	if e.doomed {
+		m.mu.Unlock()
+		return 0
+	}
 	e.ScanNanos = scanWallNanos
 	if e.frozenScan == 0 {
 		e.frozenScan = scanWallNanos
@@ -646,17 +904,21 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 			dec = e.advisor.rowcol.decide(e.Store.Layout())
 		}
 	}
-	if !dec.doSwitch {
+	if !dec.doSwitch || e.converting {
 		m.mu.Unlock()
 		return 0
 	}
+	e.converting = true
+	oldStore := e.Store
 	oldSize := e.SizeBytes()
 	m.mu.Unlock()
 	// Conversion outside the lock: it can be slow.
-	newStore, dur, err := store.Convert(e.Store, dec.switchTo)
+	newStore, dur, err := store.Convert(oldStore, dec.switchTo)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err != nil {
+	e.converting = false
+	if err != nil || e.doomed || e.Store != oldStore {
+		// Evicted or mutated while converting: drop the conversion.
 		return 0
 	}
 	e.Store = newStore
@@ -664,7 +926,7 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 	e.advisor.rowcol = rowColCost{}
 	e.advisor.lastConvNanos = dur.Nanoseconds()
 	m.total += e.SizeBytes() - oldSize
-	m.stats.LayoutSwitches++
+	m.stats.layoutSwitches.Add(1)
 	m.evictLocked()
 	return dur
 }

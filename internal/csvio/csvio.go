@@ -12,6 +12,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"recache/internal/plan"
 	"recache/internal/value"
@@ -33,15 +35,24 @@ func (o Options) delim() byte {
 }
 
 // Provider implements plan.ScanProvider for one CSV file.
+//
+// Providers are safe for concurrent scans: file contents and the
+// positional map are published once behind atomic flags and immutable
+// afterwards. Concurrent first scans each tokenize independently (the
+// per-scan row buffers are local); the first to finish publishes the map.
 type Provider struct {
 	path   string
 	schema *value.Type
 	opts   Options
 	size   int64
 
+	mu     sync.Mutex  // guards publication of data and the positional map
+	loaded atomic.Bool // data is published
+	mapped atomic.Bool // recStart/fieldOff are published
+
 	data []byte // file contents, loaded on first scan (warm-cache model)
 
-	// Positional map, built during the first scan.
+	// Positional map, built during the first scan, immutable once mapped.
 	recStart []int64
 	fieldOff []uint32 // nrecs × nfields, offsets relative to recStart
 	nfields  int
@@ -75,7 +86,7 @@ func (p *Provider) Schema() *value.Type { return p.schema }
 
 // NumRecords implements plan.ScanProvider: -1 before the first scan.
 func (p *Provider) NumRecords() int {
-	if p.recStart == nil {
+	if !p.mapped.Load() {
 		return -1
 	}
 	return len(p.recStart)
@@ -84,8 +95,14 @@ func (p *Provider) NumRecords() int {
 // SizeBytes implements plan.ScanProvider.
 func (p *Provider) SizeBytes() int64 { return p.size }
 
+// load publishes the file contents exactly once (double-checked).
 func (p *Provider) load() error {
-	if p.data != nil {
+	if p.loaded.Load() {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.loaded.Load() {
 		return nil
 	}
 	b, err := os.ReadFile(p.path)
@@ -93,6 +110,7 @@ func (p *Provider) load() error {
 		return fmt.Errorf("csvio: %w", err)
 	}
 	p.data = b
+	p.loaded.Store(true)
 	return nil
 }
 
@@ -126,7 +144,7 @@ func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
 	if err != nil {
 		return err
 	}
-	if p.recStart == nil {
+	if !p.mapped.Load() {
 		return p.firstScan(mask, fn)
 	}
 	row := make([]value.Value, p.nfields)
@@ -235,8 +253,15 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 		}
 		i++ // past newline
 	}
-	p.recStart = recStart
-	p.fieldOff = fieldOff
+	// Publish the positional map; under concurrent first scans the first
+	// finisher wins and the rest discard their identical local copies.
+	p.mu.Lock()
+	if !p.mapped.Load() {
+		p.recStart = recStart
+		p.fieldOff = fieldOff
+		p.mapped.Store(true)
+	}
+	p.mu.Unlock()
 	return nil
 }
 
@@ -311,8 +336,9 @@ func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.Sca
 	}
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
+	hasMap := p.mapped.Load()
 	for _, off := range offsets {
-		if p.recStart != nil {
+		if hasMap {
 			ri := sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] >= off })
 			if ri < len(p.recStart) && p.recStart[ri] == off {
 				if err := p.parseAt(ri, off, mask, row); err != nil {

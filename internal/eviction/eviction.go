@@ -9,6 +9,13 @@
 // eviction decision a fresh snapshot of per-entry accounting (Item), so the
 // benefit metric is recomputed from its current components every time — the
 // paper found freezing it costs up to 6% of execution time.
+//
+// Concurrency contract: policies keep no locks of their own. The cache
+// manager serializes every Policy method call (OnInsert, OnAccess,
+// OnRemove, Victims) under its lock, so implementations may freely mutate
+// internal state (e.g. Greedy-Dual's L(p) table) without synchronization —
+// and, conversely, must never be called from outside the manager while
+// concurrent queries run.
 package eviction
 
 import (
@@ -53,7 +60,8 @@ func (it Item) Benefit() float64 {
 
 // Policy decides which entries to evict. Implementations may keep state
 // keyed by entry ID (Greedy-Dual's L(p)); OnInsert/OnAccess/OnRemove keep
-// that state in sync with the cache.
+// that state in sync with the cache. Implementations need no internal
+// locking: the cache manager invokes every method under its own lock.
 type Policy interface {
 	Name() string
 	OnInsert(id uint64)

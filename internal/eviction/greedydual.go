@@ -20,6 +20,10 @@ import (
 //     still covers the remainder. This evicts far fewer items than plain
 //     Greedy-Dual while never evicting anything plain Greedy-Dual would
 //     have kept (the knapsack heuristic of §5.1).
+//
+// GreedyDual carries per-entry state (the L(p) table) without internal
+// locking; the cache manager serializes all calls under its lock (see the
+// package-level concurrency contract).
 type GreedyDual struct {
 	l     float64            // the global baseline L
 	lp    map[uint64]float64 // L(p) at last insert/access

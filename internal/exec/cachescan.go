@@ -18,6 +18,13 @@ import (
 // eager cache as §5.2 prescribes. Residual predicates (subsumption hits)
 // are recompiled against the projected output schema and applied on top.
 // Every scan's cost split feeds the layout advisor via Manager.RecordScan.
+//
+// Concurrency: the entry's mode and payload are snapshotted through
+// Manager.Payload at execution time, so the scan keeps reading a consistent
+// immutable store even if the entry is concurrently upgraded, converted to
+// another layout, or evicted (the query's Txn pin keeps it alive). Lazy
+// upgrades go through Manager.TryStartUpgrade so that N concurrent replays
+// of one lazy entry build at most one eager store.
 func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 	entry, ok := cs.Entry.(*cache.Entry)
 	if !ok || entry == nil {
@@ -33,13 +40,18 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 	}
 
 	return func(ctx *qctx, out emitFn) error {
-		if entry.Mode == cache.Lazy {
+		mode, st, offsets := entry.Mode, entry.Store, entry.Offsets
+		if deps.Manager != nil {
+			mode, st, offsets = deps.Manager.Payload(entry)
+		}
+		if mode == cache.Lazy {
 			// §5.2: ReCache upgrades a reused lazy item to an eager cache.
 			// The always-lazy baseline (Fig. 12/13) keeps replaying offsets.
-			upgrade := deps.Manager != nil && deps.Manager.Config().Admission == cache.Adaptive
-			return lazyReplay(ctx, cs, entry, outNames, residual, out, deps, upgrade)
+			upgrade := deps.Manager != nil &&
+				deps.Manager.Config().Admission == cache.Adaptive &&
+				deps.Manager.TryStartUpgrade(entry)
+			return lazyReplay(ctx, cs, entry, offsets, outNames, residual, out, deps, upgrade)
 		}
-		st := entry.Store
 		idx, err := store.ColumnIndexes(st, outNames)
 		if err != nil {
 			return err
@@ -82,11 +94,20 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 }
 
 // lazyReplay streams a lazy entry's satisfying records from the raw file
-// (through the positional map), rebuilds an eager store along the way, and
-// upgrades the entry.
-func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry,
-	outNames []string, residual expr.Predicate, out emitFn, deps Deps, upgrade bool) error {
+// (through the positional map), optionally rebuilding an eager store along
+// the way and upgrading the entry. offsets is the caller's snapshot of the
+// entry's satisfying-record offsets.
+func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry, offsets []int64,
+	outNames []string, residual expr.Predicate, out emitFn, deps Deps, upgrade bool) (err error) {
 
+	upgraded := false
+	if upgrade {
+		defer func() {
+			if !upgraded {
+				deps.Manager.CancelUpgrade(entry)
+			}
+		}()
+	}
 	schema := entry.Dataset.Schema()
 	cols, err := value.LeafColumns(schema)
 	if err != nil {
@@ -126,7 +147,7 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry,
 
 	buf := make([]value.Value, len(outNames))
 	wall0 := time.Now()
-	err = entry.Dataset.Provider.ScanOffsets(entry.Offsets, needed,
+	err = entry.Dataset.Provider.ScanOffsets(offsets, needed,
 		func(rec value.Value, off int64, complete func() error) error {
 			if builder != nil {
 				if sampled := buildTimer.Begin(); sampled {
@@ -174,5 +195,6 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry,
 	build += time.Since(fin).Nanoseconds()
 	ctx.stats.CacheBuildNanos += build
 	deps.Manager.UpgradeLazy(entry, st, build, wall.Nanoseconds())
+	upgraded = true
 	return nil
 }

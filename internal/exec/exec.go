@@ -7,6 +7,13 @@
 // reactive admission, §5.2) and CachedScan (cache reuse across the three
 // layouts, with lazy→eager upgrades and cost feedback into the layout
 // advisor); both live in their own files.
+//
+// Concurrency: Run may be called from many goroutines against one shared
+// cache manager. Each call compiles its own closure pipeline — all mutable
+// execution state (admission sampling windows, timers, hash tables, row
+// buffers) lives in per-call closures and the per-query qctx, so compiled
+// pipelines share nothing but the immutable plan inputs, the scan
+// providers, and the manager, each of which synchronizes internally.
 package exec
 
 import (
@@ -23,7 +30,10 @@ import (
 
 // Deps carries the per-query execution environment.
 type Deps struct {
-	// Manager is the cache manager; nil runs without any caching.
+	// Manager is the cache manager; nil runs without any caching. The
+	// manager is shared across concurrent queries: cache scans snapshot
+	// entry payloads through it, materializers hand finished builds back
+	// through it, and lazy upgrades reserve their slot through it.
 	Manager *cache.Manager
 	// Needed maps dataset name → the column paths the query references.
 	// A present-but-empty slice means "no fields" (e.g. COUNT(*)); a

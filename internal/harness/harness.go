@@ -126,8 +126,12 @@ func (r *Runner) Run(exp string) error {
 		return r.Fig15a()
 	case "fig15b":
 		return r.Fig15b()
+	case "parallel":
+		// Not a paper figure: the concurrent-throughput harness for the
+		// shared-cache engine (see parallel.go). Excluded from "all".
+		return r.Parallel(nil)
 	}
-	return fmt.Errorf("harness: unknown experiment %q (valid: %v, all)", exp, Experiments())
+	return fmt.Errorf("harness: unknown experiment %q (valid: %v, parallel, all)", exp, Experiments())
 }
 
 // nq scales a workload length.

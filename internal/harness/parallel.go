@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recache"
+	"recache/internal/cache"
+)
+
+// Parallel measures aggregate query throughput of the shared-cache engine
+// under concurrent load: a cache-hit-heavy workload (a fixed set of range
+// selections, warmed once) is replayed from N goroutines against one
+// engine, for each N in workers. It prints queries/sec per worker count
+// and the speedup over the single-goroutine baseline.
+//
+// This is not a paper figure: the paper evaluates ReCache single-threaded.
+// It is the regression harness for the concurrent-execution refactor (see
+// DESIGN.md, "Concurrency model"): with the engine-wide query lock gone,
+// aggregate throughput should scale with goroutines up to the core count.
+func (r *Runner) Parallel(workers []int) error {
+	if len(workers) == 0 {
+		workers = []int{1, 4, 16}
+	}
+	paths, err := r.ensureTPCH()
+	if err != nil {
+		return err
+	}
+	eng := newEngine(cache.Config{Admission: cache.AlwaysEager})
+	if err := registerTPCH(eng, paths, false); err != nil {
+		return err
+	}
+	// A fixed pool of overlapping range queries: after one warm pass every
+	// replay is an exact cache hit, so the measured path is lookup + cache
+	// scan + aggregation — the hot path concurrency must not serialize.
+	var queries []string
+	for i := 0; i < 16; i++ {
+		lo := 1 + (i*3)%40
+		hi := lo + 8
+		queries = append(queries,
+			fmt.Sprintf("SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity BETWEEN %d AND %d", lo, hi))
+	}
+	for _, q := range queries {
+		if _, err := eng.Query(q); err != nil {
+			return err
+		}
+	}
+
+	total := r.nq(2000)
+	r.printf("concurrent throughput: %d cache-hit queries per worker count (shared engine)\n", total)
+	r.printf("%12s %14s %10s\n", "goroutines", "queries/sec", "speedup")
+	var base float64
+	for _, w := range workers {
+		qps, err := replayParallel(eng, queries, total, w)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = qps
+		}
+		r.printf("%12d %14.0f %9.2fx\n", w, qps, qps/base)
+	}
+	return nil
+}
+
+// replayParallel runs total queries round-robin from the pool across w
+// goroutines and returns the aggregate queries/sec.
+func replayParallel(eng *recache.Engine, queries []string, total, w int) (float64, error) {
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				if _, err := eng.Query(queries[i%int64(len(queries))]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}

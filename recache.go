@@ -116,10 +116,16 @@ func (c Config) toCacheConfig() (cache.Config, error) {
 }
 
 // Engine executes SQL queries over registered raw datasets with reactive
-// caching. Engines are safe for sequential use; queries are executed one at
-// a time (the paper's single-threaded setting).
+// caching. Engines are safe for concurrent use: any number of goroutines
+// may call Query (and the read-only methods) simultaneously against one
+// shared cache. Concurrent identical cold queries are deduplicated by
+// single-flight materialization — exactly one builds the cache entry, the
+// others scan raw — and eviction defers freeing an entry's store until the
+// last in-flight reader of that entry finishes.
 type Engine struct {
-	mu       sync.Mutex
+	// mu guards only the dataset registry; query execution takes no
+	// engine-wide lock (the cache manager synchronizes internally).
+	mu       sync.RWMutex
 	datasets map[string]*plan.Dataset
 	manager  *cache.Manager
 }
@@ -195,8 +201,8 @@ func (e *Engine) register(ds *plan.Dataset) error {
 
 // Tables lists the registered table names.
 func (e *Engine) Tables() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.datasets))
 	for n := range e.datasets {
 		out = append(out, n)
@@ -207,9 +213,9 @@ func (e *Engine) Tables() []string {
 
 // TableSchema returns the schema DSL of a registered table.
 func (e *Engine) TableSchema(name string) (string, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	ds, ok := e.datasets[name]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("recache: unknown table %q", name)
 	}
@@ -241,20 +247,25 @@ type Result struct {
 }
 
 // Query parses, plans, rewrites against the cache, and executes one SQL
-// query.
+// query. Query is safe to call from many goroutines at once; each call
+// runs a private compiled pipeline against the shared cache.
 func (e *Engine) Query(sql string) (*Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
 	pl, err := e.buildPlan(q)
+	e.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
-	e.manager.BeginQuery()
-	root := e.manager.Rewrite(pl.root, pl.neededNames)
+	// The Txn pins every cache entry the rewrite hits (so eviction cannot
+	// free a store mid-scan) and reserves single-flight build slots for the
+	// misses; Close releases both even when execution fails.
+	tx := e.manager.Begin()
+	defer tx.Close()
+	root := tx.Rewrite(pl.root, pl.neededNames)
 	res, stats, err := exec.Run(root, exec.Deps{Manager: e.manager, Needed: pl.neededPaths})
 	if err != nil {
 		return nil, err
@@ -278,21 +289,22 @@ func (e *Engine) Query(sql string) (*Result, error) {
 }
 
 // Explain returns the rewritten physical plan of a query as indented text,
-// showing cache hits (CachedScan) and materializers.
+// showing cache hits (CachedScan) and materializers. Explain is free of
+// side effects: it performs the cache lookup through the manager's
+// read-only path, so reuse counters, hit/miss statistics, and eviction
+// state are untouched.
 func (e *Engine) Explain(sql string) (string, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
 	pl, err := e.buildPlan(q)
+	e.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
-	// Note: Explain performs the cache lookup (so it shows what Query would
-	// do) but does not advance reuse counters meaningfully beyond that.
-	root := e.manager.Rewrite(pl.root, pl.neededNames)
+	root := e.manager.Peek(pl.root, pl.neededNames)
 	return plan.Explain(root), nil
 }
 
@@ -331,7 +343,9 @@ type CacheStats struct {
 	TotalBytes     int64
 }
 
-// CacheStats returns a snapshot of the cache counters.
+// CacheStats returns a snapshot of the cache counters. The counters are
+// maintained atomically, so the snapshot is safe to take while queries are
+// running (individual counters are exact; the set is weakly consistent).
 func (e *Engine) CacheStats() CacheStats {
 	s := e.manager.Stats()
 	return CacheStats{
@@ -359,23 +373,25 @@ type EntryInfo struct {
 	Reuses    int64
 }
 
-// CacheEntries lists the live cache entries (sorted by id).
+// CacheEntries lists the live cache entries (sorted by id). The returned
+// snapshot is taken under the cache lock, so it is safe to call while
+// queries are running.
 func (e *Engine) CacheEntries() []EntryInfo {
-	entries := e.manager.Entries()
-	out := make([]EntryInfo, len(entries))
-	for i, en := range entries {
+	views := e.manager.Snapshot()
+	out := make([]EntryInfo, len(views))
+	for i, v := range views {
 		layout := "offsets"
-		if en.Mode == cache.Eager && en.Store != nil {
-			layout = en.Store.Layout().String()
+		if v.Mode == cache.Eager && v.HasStore {
+			layout = v.Layout.String()
 		}
 		out[i] = EntryInfo{
-			ID:        en.ID,
-			Table:     en.Dataset.Name,
-			Predicate: en.PredCanon,
-			Mode:      en.Mode.String(),
+			ID:        v.ID,
+			Table:     v.Dataset,
+			Predicate: v.PredCanon,
+			Mode:      v.Mode.String(),
 			Layout:    layout,
-			Bytes:     en.SizeBytes(),
-			Reuses:    en.Reuses,
+			Bytes:     v.Bytes,
+			Reuses:    v.Reuses,
 		}
 	}
 	return out
