@@ -465,6 +465,54 @@ func BenchmarkParallelCachedQueries(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedColdScans measures the miss path under work sharing: each
+// iteration fires N concurrent *identical cold* queries (a fresh disjoint
+// predicate per iteration, so nothing hits the cache) and reports how many
+// raw parses of the file the burst cost. Before the shared-scan
+// coordinator every miss parsed the file (N parses per burst); with it,
+// concurrent misses batch into shared cycles — steady state is one parse
+// per burst, and the very first burst typically pays two (the in-flight
+// private scan plus one shared cycle behind it; scheduling stragglers can
+// add another cycle).
+func BenchmarkSharedColdScans(b *testing.B) {
+	dir := b.TempDir()
+	// A larger scale than the other benches: the raw scan must outlast the
+	// scheduler's preemption quantum for concurrent misses to overlap (and
+	// thus have anything to share) even on a single core.
+	paths, err := datagen.TPCH(dir, 0.01, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("misses=%d", n), func(b *testing.B) {
+			eng, err := recache.Open(recache.Config{Admission: "eager"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.RegisterCSV("lineitem", paths.Lineitem, datagen.LineitemSchema, '|'); err != nil {
+				b.Fatal(err)
+			}
+			var parses int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Disjoint ranges (stride > width): no exact or subsumed hit
+				// across iterations — every burst is pure cold misses.
+				lo := i * 8
+				q := fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN %d AND %d", lo, lo+6)
+				burst, err := harness.RunBurst(eng, "lineitem", q, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				parses += burst
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(parses)/float64(b.N), "raw-scans/burst")
+			st := eng.CacheStats()
+			b.ReportMetric(float64(st.SharedConsumers-st.SharedScans)/float64(b.N), "scans-avoided/burst")
+		})
+	}
+}
+
 func BenchmarkEndToEndCachedQuery(b *testing.B) {
 	dir := b.TempDir()
 	paths, err := datagen.TPCH(dir, 0.001, 42)

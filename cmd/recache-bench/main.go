@@ -10,8 +10,10 @@
 //	recache-bench -list
 //
 // -parallel N measures aggregate queries/sec of a cache-hit-heavy workload
-// run concurrently from 1 and N goroutines against one shared engine (the
-// concurrent-execution harness; not a paper figure).
+// run concurrently from 1 and N goroutines against one shared engine, then
+// a cold-miss phase reporting raw-file parses per burst of N concurrent
+// identical cold queries (the work-sharing harness: one shared scan serves
+// every concurrent miss; not a paper figure).
 package main
 
 import (

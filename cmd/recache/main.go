@@ -173,6 +173,8 @@ func metaCommand(eng *recache.Engine, line string) (quit bool) {
 		fmt.Printf("queries=%d exact=%d subsumed=%d misses=%d evictions=%d switches=%d upgrades=%d entries=%d bytes=%d\n",
 			s.Queries, s.ExactHits, s.SubsumedHits, s.Misses, s.Evictions,
 			s.LayoutSwitches, s.LazyUpgrades, s.Entries, s.TotalBytes)
+		fmt.Printf("shared-scans=%d shared-consumers=%d (raw scans avoided=%d)\n",
+			s.SharedScans, s.SharedConsumers, s.SharedConsumers-s.SharedScans)
 	case "\\explain":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
 		out, err := eng.Explain(sql)

@@ -99,8 +99,14 @@ type Stats struct {
 	LayoutSwitches int64
 	LazyUpgrades   int64
 	Inserted       int64
-	TotalBytes     int64
-	Entries        int
+	// SharedScans counts coordinator-led shared raw scans (work sharing:
+	// each is one parse of a raw file serving every concurrent miss that
+	// attached); SharedConsumers counts the attached consumers, so
+	// SharedConsumers − SharedScans is the number of raw scans avoided.
+	SharedScans     int64
+	SharedConsumers int64
+	TotalBytes      int64
+	Entries         int
 }
 
 // counters holds the manager's live statistics. Counters are atomics so hot
@@ -108,14 +114,16 @@ type Stats struct {
 // serializing on the manager lock, and so Stats() can take a consistent-ish
 // snapshot while queries are in flight.
 type counters struct {
-	queries        atomic.Int64
-	exactHits      atomic.Int64
-	subsumedHits   atomic.Int64
-	misses         atomic.Int64
-	evictions      atomic.Int64
-	layoutSwitches atomic.Int64
-	lazyUpgrades   atomic.Int64
-	inserted       atomic.Int64
+	queries         atomic.Int64
+	exactHits       atomic.Int64
+	subsumedHits    atomic.Int64
+	misses          atomic.Int64
+	evictions       atomic.Int64
+	layoutSwitches  atomic.Int64
+	lazyUpgrades    atomic.Int64
+	inserted        atomic.Int64
+	sharedScans     atomic.Int64
+	sharedConsumers atomic.Int64
 }
 
 // Manager owns the cache: entries, the exact-match table, the per-(dataset,
@@ -185,19 +193,30 @@ func (m *Manager) Clock() int64 {
 	return m.clock.Load()
 }
 
+// NoteSharedScan records one coordinator-led shared raw scan that served n
+// consumers. It is wired as the share.Coordinator's OnShared callback by
+// the engine, so work-sharing activity shows up next to the reuse counters
+// in Stats.
+func (m *Manager) NoteSharedScan(n int) {
+	m.stats.sharedScans.Add(1)
+	m.stats.sharedConsumers.Add(int64(n))
+}
+
 // Stats returns a snapshot of manager counters. The outcome counters are
 // loaded before Queries: a query increments Queries at Begin and classifies
 // later, so this order keeps ExactHits+SubsumedHits+Misses <= Queries in
 // any mid-flight snapshot (equality once the workload quiesces).
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		ExactHits:      m.stats.exactHits.Load(),
-		SubsumedHits:   m.stats.subsumedHits.Load(),
-		Misses:         m.stats.misses.Load(),
-		Evictions:      m.stats.evictions.Load(),
-		LayoutSwitches: m.stats.layoutSwitches.Load(),
-		LazyUpgrades:   m.stats.lazyUpgrades.Load(),
-		Inserted:       m.stats.inserted.Load(),
+		ExactHits:       m.stats.exactHits.Load(),
+		SubsumedHits:    m.stats.subsumedHits.Load(),
+		Misses:          m.stats.misses.Load(),
+		Evictions:       m.stats.evictions.Load(),
+		LayoutSwitches:  m.stats.layoutSwitches.Load(),
+		LazyUpgrades:    m.stats.lazyUpgrades.Load(),
+		Inserted:        m.stats.inserted.Load(),
+		SharedScans:     m.stats.sharedScans.Load(),
+		SharedConsumers: m.stats.sharedConsumers.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
 	m.mu.Lock()

@@ -50,6 +50,11 @@ type Provider struct {
 	loaded atomic.Bool // data is published
 	mapped atomic.Bool // recStart/fieldOff are published
 
+	// scans counts full-file Scan calls (not ScanOffsets replays); the
+	// work-sharing bench and tests use it to assert how many raw parses a
+	// burst of concurrent misses actually paid for.
+	scans atomic.Int64
+
 	data []byte // file contents, loaded on first scan (warm-cache model)
 
 	// Positional map, built during the first scan, immutable once mapped.
@@ -95,6 +100,9 @@ func (p *Provider) NumRecords() int {
 // SizeBytes implements plan.ScanProvider.
 func (p *Provider) SizeBytes() int64 { return p.size }
 
+// Scans returns the number of full-file scans performed so far.
+func (p *Provider) Scans() int64 { return p.scans.Load() }
+
 // load publishes the file contents exactly once (double-checked).
 func (p *Provider) load() error {
 	if p.loaded.Load() {
@@ -137,6 +145,7 @@ func noComplete() error { return nil }
 // file and builds the positional map; later calls parse only needed fields.
 // The complete callback handed to fn parses the skipped fields in place.
 func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
+	p.scans.Add(1)
 	if err := p.load(); err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ import (
 	"recache/internal/cache"
 	"recache/internal/expr"
 	"recache/internal/plan"
+	"recache/internal/share"
 	"recache/internal/value"
 )
 
@@ -35,6 +36,11 @@ type Deps struct {
 	// entry payloads through it, materializers hand finished builds back
 	// through it, and lazy upgrades reserve their slot through it.
 	Manager *cache.Manager
+	// Share is the shared-scan coordinator; nil (or a nil pointer) scans
+	// raw files privately. When set, every raw full-file scan — including
+	// the ones under a Materialize — routes through it so concurrent
+	// misses on the same dataset cost one parse (see internal/share).
+	Share *share.Coordinator
 	// Needed maps dataset name → the column paths the query references.
 	// A present-but-empty slice means "no fields" (e.g. COUNT(*)); a
 	// missing key means all fields.
@@ -141,8 +147,12 @@ func compileScan(s *plan.Scan, deps Deps) (runFn, error) {
 		needed = []value.Path{}
 	}
 	prov := s.DS.Provider
+	coord := deps.Share
 	return func(ctx *qctx, out emitFn) error {
-		return prov.Scan(needed, func(rec value.Value, off int64, complete func() error) error {
+		// The record callback may run on the shared-scan leader's goroutine
+		// during a fan-out; the coordinator's completion channel provides
+		// the happens-before edge back to this query's goroutine.
+		return coord.Scan(prov, needed, func(rec value.Value, off int64, complete func() error) error {
 			ctx.curOffset = off
 			ctx.curComplete = complete
 			return out(rec.L)

@@ -8,6 +8,7 @@ import (
 
 	"recache"
 	"recache/internal/cache"
+	"recache/internal/datagen"
 )
 
 // Parallel measures aggregate query throughput of the shared-cache engine
@@ -62,7 +63,70 @@ func (r *Runner) Parallel(workers []int) error {
 		}
 		r.printf("%12d %14.0f %9.2fx\n", w, qps, qps/base)
 	}
+	return r.coldShared(paths, workers)
+}
+
+// coldShared is the miss-path half of the concurrency harness: for each
+// worker count it fires W concurrent *identical cold* queries at a fresh
+// engine and reports how many raw-file parses the burst cost. Without work
+// sharing every miss parses the file (W parses per burst); with the
+// shared-scan coordinator the first burst typically pays two (one
+// in-flight private scan plus one shared cycle for everyone who piled up
+// behind it) and later bursts — batched inside the window by burst
+// memory — pay one.
+func (r *Runner) coldShared(paths *datagen.TPCHPaths, workers []int) error {
+	r.printf("\nshared cold scans: raw lineitem parses per burst of W concurrent identical cold queries\n")
+	r.printf("(was W parses per burst before work sharing)\n")
+	r.printf("%12s %14s %14s %14s %16s\n", "goroutines", "burst1 parses", "burst2 parses", "shared cycles", "consumers served")
+	for _, w := range workers {
+		eng := newEngine(cache.Config{Admission: cache.AlwaysEager})
+		if err := registerTPCH(eng, paths, false); err != nil {
+			return err
+		}
+		// Two bursts on disjoint predicates: the first establishes the
+		// coordinator's burst memory, the second shows the steady state.
+		b1, err := RunBurst(eng, "lineitem", "SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN 1 AND 5", w)
+		if err != nil {
+			return err
+		}
+		b2, err := RunBurst(eng, "lineitem", "SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN 10 AND 14", w)
+		if err != nil {
+			return err
+		}
+		st := eng.Manager().Stats()
+		r.printf("%12d %14d %14d %14d %16d\n", w, b1, b2, st.SharedScans, st.SharedConsumers)
+	}
 	return nil
+}
+
+// RunBurst fires w concurrent copies of one query (start-barrier released)
+// and returns how many raw scans of table the burst cost. It is exported
+// so BenchmarkSharedColdScans measures bursts the same way the harness
+// reports them.
+func RunBurst(eng *recache.Engine, table, query string, w int) (int64, error) {
+	before := eng.RawScans(table)
+	if before < 0 {
+		return 0, fmt.Errorf("harness: table %q is not registered or its provider does not count raw scans", table)
+	}
+	start := make(chan struct{})
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			_, errs[g] = eng.Query(query)
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return eng.RawScans(table) - before, nil
 }
 
 // replayParallel runs total queries round-robin from the pool across w

@@ -42,6 +42,11 @@ type Provider struct {
 	loaded atomic.Bool // data is published
 	mapped atomic.Bool // recStart/fieldOff are published
 
+	// scans counts full-file Scan calls (not ScanOffsets replays); the
+	// work-sharing bench and tests use it to assert how many raw parses a
+	// burst of concurrent misses actually paid for.
+	scans atomic.Int64
+
 	data []byte
 
 	// Positional map, immutable once mapped.
@@ -79,6 +84,9 @@ func (p *Provider) NumRecords() int {
 
 // SizeBytes implements plan.ScanProvider.
 func (p *Provider) SizeBytes() int64 { return p.size }
+
+// Scans returns the number of full-file scans performed so far.
+func (p *Provider) Scans() int64 { return p.scans.Load() }
 
 // load publishes the file contents exactly once (double-checked).
 func (p *Provider) load() error {
@@ -128,6 +136,7 @@ func noComplete() error { return nil }
 
 // Scan implements plan.ScanProvider.
 func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
+	p.scans.Add(1)
 	if err := p.load(); err != nil {
 		return err
 	}

@@ -425,35 +425,46 @@ func Walk(n Node, visit func(Node)) {
 }
 
 // Explain renders an indented operator tree for CLI/debug output.
-func Explain(n Node) string {
+func Explain(n Node) string { return ExplainAnnotated(n, nil) }
+
+// ExplainAnnotated renders the operator tree like Explain, appending the
+// annotator's note (when non-empty) to each node's line. The engine uses it
+// to decorate raw Scan nodes with live shared-scan coordination state.
+func ExplainAnnotated(n Node, note func(Node) string) string {
 	var b strings.Builder
 	var rec func(n Node, depth int)
 	rec = func(n Node, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		switch x := n.(type) {
 		case *Scan:
-			fmt.Fprintf(&b, "Scan %s [%s]\n", x.DS.Name, x.DS.Format)
+			fmt.Fprintf(&b, "Scan %s [%s]", x.DS.Name, x.DS.Format)
 		case *Select:
 			p := "true"
 			if x.Pred != nil {
 				p = x.Pred.Canonical()
 			}
-			fmt.Fprintf(&b, "Select %s\n", p)
+			fmt.Fprintf(&b, "Select %s", p)
 		case *Unnest:
-			fmt.Fprintf(&b, "Unnest %s\n", x.ListPath)
+			fmt.Fprintf(&b, "Unnest %s", x.ListPath)
 		case *Project:
-			fmt.Fprintf(&b, "Project %s\n", strings.Join(x.Names, ", "))
+			fmt.Fprintf(&b, "Project %s", strings.Join(x.Names, ", "))
 		case *Join:
-			fmt.Fprintf(&b, "Join %s = %s\n", x.LeftKey.Canonical(), x.RightKey.Canonical())
+			fmt.Fprintf(&b, "Join %s = %s", x.LeftKey.Canonical(), x.RightKey.Canonical())
 		case *Aggregate:
-			fmt.Fprintf(&b, "Aggregate %s\n", x.Canonical())
+			fmt.Fprintf(&b, "Aggregate %s", x.Canonical())
 		case *CachedScan:
-			fmt.Fprintf(&b, "CachedScan %s (%s)\n", x.DS.Name, x.Label)
+			fmt.Fprintf(&b, "CachedScan %s (%s)", x.DS.Name, x.Label)
 		case *Materialize:
-			b.WriteString("Materialize\n")
+			b.WriteString("Materialize")
 		default:
-			fmt.Fprintf(&b, "%T\n", n)
+			fmt.Fprintf(&b, "%T", n)
 		}
+		if note != nil {
+			if s := note(n); s != "" {
+				b.WriteString(" (" + s + ")")
+			}
+		}
+		b.WriteByte('\n')
 		for _, c := range n.Children() {
 			rec(c, depth+1)
 		}

@@ -1,0 +1,451 @@
+// Package share is the shared-scan work-sharing coordinator: it lets N
+// concurrent cache-miss queries that each need a raw scan of the same
+// dataset pay for **one** parse of the underlying file instead of N.
+//
+// ReCache makes *reuse* cheap; this subsystem makes the *miss* path cheap
+// too, following the observation of Sioulas et al. ("Real-Time Analytics by
+// Coordinating Reuse and Work Sharing") that reuse and work sharing are
+// complementary and must be coordinated. Under single-flight
+// materialization (PR 1), N concurrent identical cold queries produced one
+// cache build — but the N−1 non-builders each re-read and re-parsed the
+// raw file privately. With the coordinator, they attach to one shared scan.
+//
+// # Semantics
+//
+// Every cache-miss raw scan calls Coordinator.Scan instead of
+// plan.ScanProvider.Scan. The coordinator then decides between three paths:
+//
+//   - Bypass (single-consumer fast path): when no other raw scan of the
+//     dataset is in flight and none was batched recently, the caller runs a
+//     private scan immediately, parsing only its own needed fields — the
+//     exact cost and latency of the pre-coordinator code.
+//   - Join: when a cycle is *gathering* (a leader is holding the batching
+//     window open and has not started scanning), the caller attaches its
+//     record callback to that cycle and blocks until the cycle completes.
+//     Joining is only possible before the scan starts, so a consumer never
+//     observes a partial scan.
+//   - Lead: when a raw scan of the dataset is already running (the arrival
+//     is a *late* arrival — it cannot use the in-flight scan, whose earlier
+//     records are gone) or concurrent demand was observed recently ("burst
+//     memory"), the caller opens the *next* cycle, holds the batching
+//     window open for further arrivals, then runs one scan of the union of
+//     all consumers' needed fields and fans every decoded record out to
+//     each consumer's compiled pipeline closure.
+//
+// A gathering cycle seals when its window expires, or as soon as the last
+// running scan of the dataset finishes (early seal: the scan whose
+// in-flightness triggered batching is the natural thing to wait for).
+//
+// # Per-consumer accounting
+//
+// Fan-out preserves ReCache's per-query cost model (§5.2): each consumer's
+// callback chain contains its own admission sampler, sampled timers, and
+// materializer, so caching overhead is still measured and charged per
+// query even though the record stream is shared. The complete() callback
+// (parse-the-skipped-fields) is memoized per record, so when several eager
+// materializers share one cycle the skipped fields are parsed once.
+//
+// # Concurrency
+//
+// One mutex guards the per-dataset states; it is never held across a
+// provider scan or a consumer callback. Consumers block on a per-consumer
+// done channel; the leader's goroutine drives the provider scan and every
+// consumer pipeline, and the channel close publishes all pipeline state
+// back to the consumer's goroutine (happens-before).
+package share
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Window is how long a cycle leader holds the batching window open for
+	// further arrivals (default 2ms). It is only paid after concurrent
+	// demand on the dataset was observed: never on the cold fast path. A
+	// lone query arriving inside the burst memory waits it out once — and
+	// a window that gathers nobody clears the memory, so the next lone
+	// query bypasses again.
+	Window time.Duration
+	// HotFor is the burst memory: after concurrent demand on a dataset is
+	// observed, new raw scans of it keep batching (rather than bypassing)
+	// for this long (default max(50ms, 25×Window)).
+	HotFor time.Duration
+	// OnShared, when set, is invoked after every coordinator-led cycle with
+	// the number of consumers it served (wired to the cache manager's
+	// SharedScans/SharedConsumers counters).
+	OnShared func(consumers int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.HotFor <= 0 {
+		c.HotFor = 25 * c.Window
+		if c.HotFor < 50*time.Millisecond {
+			c.HotFor = 50 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// Stats summarizes coordinator activity since creation.
+type Stats struct {
+	// SharedScans counts coordinator-led scan cycles (each is exactly one
+	// parse of the raw file).
+	SharedScans int64
+	// SharedConsumers counts the consumers those cycles served; the excess
+	// over SharedScans is the number of raw scans work sharing avoided.
+	SharedConsumers int64
+	// PrivateScans counts scans that served one consumer: bypass fast-path
+	// scans plus led cycles that gathered no companions.
+	PrivateScans int64
+}
+
+// consumer is one attached query-side record callback.
+type consumer struct {
+	needed []value.Path // nil means all fields, empty means none
+	fn     plan.ScanFunc
+	err    error
+	failed bool          // pipeline errored mid-fanout; detached
+	done   chan struct{} // closed by the leader when the cycle completes
+}
+
+// cycle is one gathering/running shared scan.
+type cycle struct {
+	consumers []*consumer
+	// wake is nudged (buffered, non-blocking) when the dataset's last
+	// running scan finishes, sealing the cycle before the window expires.
+	wake chan struct{}
+	// fromMemory marks a cycle opened on burst memory alone (no scan was in
+	// flight): if its window then gathers nobody, the memory is cleared —
+	// unless a later arrival re-stamped it past memStamp (the stamp seen at
+	// this cycle's creation) while the solo scan was running.
+	fromMemory bool
+	memStamp   time.Time
+}
+
+// dsState is the coordinator's per-dataset state, guarded by Coordinator.mu.
+// The counters here are the single source of truth: Stats sums them and
+// Status reads them directly (the cache manager keeps its own mirror, fed
+// through Config.OnShared, for the engine's stats surface).
+type dsState struct {
+	active    int    // raw scans of this dataset currently running
+	pending   *cycle // gathering cycle, nil when none
+	lastBurst time.Time
+	cycles    int64 // completed shared cycles
+	consumers int64 // consumers those cycles served
+	privates  int64 // bypassing single-consumer fast-path scans
+}
+
+// Coordinator batches concurrent raw scans per dataset. A nil *Coordinator
+// is valid and degrades every call to a private provider scan.
+type Coordinator struct {
+	cfg    Config
+	mu     sync.Mutex
+	states map[plan.ScanProvider]*dsState
+}
+
+// New creates a coordinator.
+func New(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:    cfg.withDefaults(),
+		states: make(map[plan.ScanProvider]*dsState),
+	}
+}
+
+// Stats returns a snapshot of the coordinator counters (summed over
+// datasets).
+func (c *Coordinator) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Stats
+	for _, st := range c.states {
+		s.SharedScans += st.cycles
+		s.SharedConsumers += st.consumers
+		s.PrivateScans += st.privates
+	}
+	return s
+}
+
+// Status reports the live coordination state of one dataset: consumers
+// waiting in a gathering cycle, raw scans currently running, and the
+// dataset's completed shared cycles / consumers served so far.
+func (c *Coordinator) Status(prov plan.ScanProvider) (waiting, running int, cycles, consumers int64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.states[prov]
+	if st == nil {
+		return 0, 0, 0, 0
+	}
+	if st.pending != nil {
+		waiting = len(st.pending.consumers)
+	}
+	return waiting, st.active, st.cycles, st.consumers
+}
+
+// Scan streams every record of prov to fn, sharing the underlying parse
+// with any other queries concurrently scanning the same provider. It blocks
+// until fn has seen the whole file (or failed) and returns fn's error, the
+// provider's error, or nil. needed follows plan.ScanProvider.Scan: nil
+// means all fields, empty means none.
+func (c *Coordinator) Scan(prov plan.ScanProvider, needed []value.Path, fn plan.ScanFunc) error {
+	if c == nil {
+		return prov.Scan(needed, fn)
+	}
+	now := time.Now()
+	c.mu.Lock()
+	st := c.states[prov]
+	if st == nil {
+		st = &dsState{}
+		c.states[prov] = st
+	}
+	if cy := st.pending; cy != nil {
+		// A cycle is gathering and has not started its scan: join it.
+		con := &consumer{needed: needed, fn: fn, done: make(chan struct{})}
+		cy.consumers = append(cy.consumers, con)
+		st.lastBurst = now
+		c.mu.Unlock()
+		<-con.done
+		return con.err
+	}
+	if st.active == 0 && now.Sub(st.lastBurst) > c.cfg.HotFor {
+		// Single-consumer fast path: no concurrent demand, so scan
+		// privately (own needed fields only, zero added latency). The
+		// deferred release keeps the active count honest even if the
+		// caller's pipeline panics mid-scan.
+		st.active++
+		st.privates++
+		c.mu.Unlock()
+		defer c.scanDone(st)
+		return prov.Scan(needed, fn)
+	}
+	// Concurrent demand: a raw scan of this dataset is in flight (this is a
+	// late arrival relative to it — it must wait for the *next* full scan),
+	// or one was batched within the burst memory. Open the next cycle and
+	// lead it.
+	if st.active > 0 {
+		st.lastBurst = now
+	}
+	con := &consumer{needed: needed, fn: fn, done: make(chan struct{})}
+	cy := &cycle{
+		consumers:  []*consumer{con},
+		wake:       make(chan struct{}, 1),
+		fromMemory: st.active == 0,
+		memStamp:   st.lastBurst,
+	}
+	st.pending = cy
+	c.mu.Unlock()
+	c.lead(prov, st, cy)
+	return con.err
+}
+
+// scanDone retires one running scan; when the dataset goes idle it seals
+// any gathering cycle early (no point holding the window open longer: the
+// in-flight scan the cycle was batching behind is gone).
+func (c *Coordinator) scanDone(st *dsState) {
+	c.mu.Lock()
+	st.active--
+	if st.active == 0 && st.pending != nil {
+		select {
+		case st.pending.wake <- struct{}{}:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// lead runs cy: hold the batching window open, seal, run one shared scan,
+// fan records out to every consumer, and release everyone.
+func (c *Coordinator) lead(prov plan.ScanProvider, st *dsState, cy *cycle) {
+	timer := time.NewTimer(c.cfg.Window)
+	select {
+	case <-timer.C:
+	case <-cy.wake:
+		timer.Stop()
+	}
+	c.mu.Lock()
+	if st.pending == cy {
+		st.pending = nil // sealed: later arrivals go to the next cycle
+	}
+	st.active++
+	consumers := cy.consumers
+	c.mu.Unlock()
+
+	// Deferred release, mirroring Txn.Close's stance: even if a consumer's
+	// pipeline panics on this (the leader's) goroutine, the active count is
+	// retired and every co-consumer is unblocked with an error rather than
+	// waiting forever on its done channel.
+	finished := false
+	defer func() {
+		c.scanDone(st)
+		for _, con := range consumers {
+			if con.failed {
+				continue // detached mid-fanout; released (and closed) there
+			}
+			if !finished && con.err == nil {
+				con.err = errCycleAborted
+			}
+			close(con.done)
+		}
+	}()
+
+	scanErr := runCycle(prov, consumers)
+	served := 0
+	for _, con := range consumers {
+		if !con.failed {
+			if scanErr != nil {
+				con.err = scanErr
+			} else {
+				served++
+			}
+		}
+	}
+	finished = true
+	c.mu.Lock()
+	switch {
+	case len(consumers) == 1:
+		// The window gathered nobody. If the cycle existed only because of
+		// burst memory — and no later arrival re-stamped the memory while
+		// this solo scan ran — demand has decayed: clear it, so the next
+		// lone query bypasses instead of paying the window again. (A solo
+		// cycle opened behind a running scan keeps the memory — that WAS
+		// concurrent demand.)
+		if cy.fromMemory && !st.lastBurst.After(cy.memStamp) {
+			st.lastBurst = time.Time{}
+		}
+		if scanErr == nil {
+			st.privates++ // a delayed private scan
+		}
+	case scanErr != nil || served == 0:
+		// The provider scan died, or every consumer detached: nobody was
+		// served, so the cycle counts toward no sharing statistic. Burst
+		// memory stays as stamped at the gathered arrivals — demand exists
+		// even though this cycle failed.
+	case served == 1:
+		// Companions gathered but detached with errors: demand exists (keep
+		// the burst memory as stamped at their arrivals), yet only one
+		// consumer was served — no sharing to report.
+		st.privates++
+	default:
+		st.cycles++
+		st.consumers += int64(served)
+		// Genuine sharing happened: refresh the burst memory at completion,
+		// so steady-state bursts on files whose parse outlasts HotFor keep
+		// batching.
+		st.lastBurst = time.Now()
+	}
+	c.mu.Unlock()
+	if served >= 2 && scanErr == nil && c.cfg.OnShared != nil {
+		c.cfg.OnShared(served)
+	}
+}
+
+// errAllDetached aborts the provider scan once every consumer has failed;
+// it never escapes runCycle.
+var errAllDetached = errors.New("share: every consumer detached")
+
+// errCycleAborted is handed to co-consumers when their shared cycle dies
+// without completing (a pipeline panic on the leader's goroutine).
+var errCycleAborted = errors.New("share: shared scan aborted")
+
+// runCycle performs the single shared parse: one provider scan over the
+// union of the consumers' needed fields, each record fanned out to every
+// live consumer. A consumer whose pipeline errors is detached — it keeps
+// its own error and the scan continues for the others — so one bad query
+// cannot poison the shared scan. Detachment covers *pipeline* errors only:
+// a provider-side error (I/O, malformed field) fails every consumer, even
+// one whose private mask would have skipped the bad field, because by then
+// all consumers have absorbed a partial stream that cannot be retried
+// inside the same pipeline without duplicating rows. Corrupt files thus
+// fail a little wider under sharing; see DESIGN.md.
+func runCycle(prov plan.ScanProvider, consumers []*consumer) error {
+	live := len(consumers)
+	// Memoize complete(): several eager materializers sharing the cycle
+	// parse the skipped fields once, not once each. A sampling materializer
+	// that runs after a co-consumer already completed the record therefore
+	// measures a near-zero caching cost — which is its true *marginal* cost
+	// here, since the parse was already paid for; under fan-out, admission
+	// legitimately leans more eager. One memo (and one method value) serves
+	// the whole cycle, reset per record, to keep the fan-out allocation-free.
+	var memo completeMemo
+	once := memo.call
+	err := prov.Scan(unionNeeded(consumers), func(rec value.Value, off int64, complete func() error) error {
+		memo.complete, memo.done = complete, false
+		for _, con := range consumers {
+			if con.failed {
+				continue
+			}
+			if cerr := con.fn(rec, off, once); cerr != nil {
+				// Detach and release immediately: the failed query gets its
+				// error now instead of after the rest of the shared parse.
+				con.err = cerr
+				con.failed = true
+				close(con.done)
+				live--
+				if live == 0 {
+					return errAllDetached
+				}
+			}
+		}
+		return nil
+	})
+	if errors.Is(err, errAllDetached) {
+		return nil // every consumer already carries its own error
+	}
+	return err
+}
+
+// completeMemo caches one record's complete() result across the cycle's
+// consumers (valid for the current record only, like complete itself).
+type completeMemo struct {
+	complete func() error
+	done     bool
+}
+
+func (m *completeMemo) call() error {
+	if m.done {
+		return nil
+	}
+	if err := m.complete(); err != nil {
+		return err
+	}
+	m.done = true
+	return nil
+}
+
+// unionNeeded merges the consumers' needed-field sets: nil (all fields) if
+// any consumer needs everything, else the deduplicated union. Only fields
+// that NO consumer asked for arrive as nulls — a field requested by any
+// co-consumer is parsed for everyone (its value is correct either way, and
+// consumers only read columns they asked for); complete() still parses the
+// union-skipped rest on demand.
+func unionNeeded(consumers []*consumer) []value.Path {
+	seen := make(map[string]bool)
+	union := []value.Path{}
+	for _, con := range consumers {
+		if con.needed == nil {
+			return nil
+		}
+		for _, p := range con.needed {
+			k := p.String()
+			if !seen[k] {
+				seen[k] = true
+				union = append(union, p)
+			}
+		}
+	}
+	return union
+}

@@ -1,0 +1,731 @@
+package share
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// fakeProv is a controllable ScanProvider: nRecs single-int records, with
+// optional hooks at scan start and between records (for gating scans at
+// deterministic points) and a log of the needed sets each scan received.
+type fakeProv struct {
+	nRecs int
+
+	mu        sync.Mutex
+	scans     int
+	neededLog [][]value.Path
+
+	onScanStart func(scan int)            // called before the first record
+	betweenRecs func(scan, nextRec int)   // called before each record
+	completes   atomic.Int64              // complete() invocations observed
+}
+
+func newFakeProv(nRecs int) *fakeProv { return &fakeProv{nRecs: nRecs} }
+
+func (f *fakeProv) Schema() *value.Type { return value.TRecord(value.F("a", value.TInt)) }
+func (f *fakeProv) NumRecords() int     { return f.nRecs }
+func (f *fakeProv) SizeBytes() int64    { return int64(f.nRecs) * 10 }
+func (f *fakeProv) ScanOffsets([]int64, []value.Path, plan.ScanFunc) error {
+	return errors.New("fakeProv: ScanOffsets unused")
+}
+
+func (f *fakeProv) Scan(needed []value.Path, fn plan.ScanFunc) error {
+	f.mu.Lock()
+	f.scans++
+	scan := f.scans
+	f.neededLog = append(f.neededLog, needed)
+	f.mu.Unlock()
+	if f.onScanStart != nil {
+		f.onScanStart(scan)
+	}
+	row := []value.Value{value.VNull}
+	rec := value.Value{Kind: value.Record, L: row}
+	for r := 0; r < f.nRecs; r++ {
+		if f.betweenRecs != nil {
+			f.betweenRecs(scan, r)
+		}
+		row[0] = value.VInt(int64(r))
+		if err := fn(rec, int64(r)*10, func() error { f.completes.Add(1); return nil }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fakeProv) numScans() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.scans
+}
+
+// counting consumer callback: counts records and remembers offsets seen.
+func countingFn(n *atomic.Int64) plan.ScanFunc {
+	return func(rec value.Value, off int64, complete func() error) error {
+		n.Add(1)
+		return nil
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A lone consumer with no concurrent demand must bypass the coordinator:
+// one private provider scan with exactly the consumer's own needed set,
+// zero shared cycles.
+func TestSingleConsumerBypass(t *testing.T) {
+	f := newFakeProv(5)
+	c := New(Config{Window: time.Hour}) // a window wait would hang the test
+	need := []value.Path{{"a"}}
+	var n atomic.Int64
+	if err := c.Scan(f, need, countingFn(&n)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 5 {
+		t.Errorf("records seen = %d, want 5", n.Load())
+	}
+	if f.numScans() != 1 {
+		t.Errorf("provider scans = %d, want 1", f.numScans())
+	}
+	if got := f.neededLog[0]; len(got) != 1 || got[0].String() != "a" {
+		t.Errorf("bypass scan needed = %v, want the consumer's own [a]", got)
+	}
+	st := c.Stats()
+	if st.PrivateScans != 1 || st.SharedScans != 0 {
+		t.Errorf("stats = %+v, want 1 private / 0 shared", st)
+	}
+}
+
+// While one raw scan is running, later arrivals must gather into ONE next
+// cycle that performs exactly one additional provider scan, fanning the
+// full file out to every consumer (a late arrival never observes a partial
+// scan).
+func TestConcurrentMissesShareOneScan(t *testing.T) {
+	const followers = 8
+	f := newFakeProv(20)
+	gate := make(chan struct{})
+	started := make(chan int, 4)
+	f.onScanStart = func(scan int) {
+		started <- scan
+		if scan == 1 {
+			<-gate // hold the first (bypass) scan so followers pile up
+		}
+	}
+	c := New(Config{Window: time.Hour}) // rely on early seal, not the timer
+
+	var wg sync.WaitGroup
+	var firstN atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := c.Scan(f, nil, countingFn(&firstN)); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started // scan 1 running (blocked on gate)
+
+	counts := make([]atomic.Int64, followers)
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Scan(f, nil, countingFn(&counts[i]))
+		}(i)
+	}
+	waitFor(t, "all followers to gather", func() bool {
+		waiting, _, _, _ := c.Status(f)
+		return waiting == followers
+	})
+	close(gate) // scan 1 finishes → dataset idle → cycle seals early
+	wg.Wait()
+
+	if f.numScans() != 2 {
+		t.Fatalf("provider scans = %d, want 2 (one bypass + one shared cycle)", f.numScans())
+	}
+	if firstN.Load() != 20 {
+		t.Errorf("first consumer saw %d records, want 20", firstN.Load())
+	}
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Errorf("follower %d error: %v", i, errs[i])
+		}
+		if counts[i].Load() != 20 {
+			t.Errorf("follower %d saw %d records, want the full 20", i, counts[i].Load())
+		}
+	}
+	st := c.Stats()
+	if st.SharedScans != 1 || st.SharedConsumers != followers || st.PrivateScans != 1 {
+		t.Errorf("stats = %+v, want 1 shared cycle serving %d consumers + 1 private", st, followers)
+	}
+}
+
+// An arrival while a SHARED cycle is mid-scan must land in the next cycle
+// and see the whole file, never the tail of the running scan.
+func TestLateArrivalLandsInNextCycle(t *testing.T) {
+	f := newFakeProv(10)
+	c := New(Config{Window: 20 * time.Millisecond})
+
+	// Phase 1: make the dataset "hot" and run one shared cycle that we can
+	// gate mid-scan.
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	defer release()
+	midReached := make(chan struct{}, 4)
+	f.betweenRecs = func(scan, rec int) {
+		if scan == 2 && rec == 5 {
+			midReached <- struct{}{}
+			<-gate // hold the shared cycle at its halfway point
+		}
+	}
+
+	startScan1 := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-startScan1
+		}
+	}
+
+	var wg sync.WaitGroup
+	var aN, bN, lateN atomic.Int64
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, countingFn(&aN)) }() // bypass, scan 1
+	<-scan1Running
+	wg.Add(1)
+	var bErr error
+	go func() { defer wg.Done(); bErr = c.Scan(f, nil, countingFn(&bN)) }() // gathers behind scan 1
+	waitFor(t, "b to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	close(startScan1) // scan 1 completes; b's cycle seals and starts scan 2
+
+	<-midReached // scan 2 (the shared cycle) is halfway through, holding
+	// Phase 2: the late arrival. The pending cycle is sealed and scanning;
+	// this must open cycle 3, not attach to the running one.
+	var lateErr error
+	wg.Add(1)
+	go func() { defer wg.Done(); lateErr = c.Scan(f, nil, countingFn(&lateN)) }()
+	waitFor(t, "late arrival to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	release() // let scan 2 finish; the late cycle then seals and runs scan 3
+	wg.Wait()
+
+	if bErr != nil || lateErr != nil {
+		t.Fatalf("errors: b=%v late=%v", bErr, lateErr)
+	}
+	if f.numScans() != 3 {
+		t.Errorf("provider scans = %d, want 3 (bypass, shared, late's own cycle)", f.numScans())
+	}
+	if lateN.Load() != 10 {
+		t.Errorf("late arrival saw %d records, want the full 10 (never a partial scan)", lateN.Load())
+	}
+	if aN.Load() != 10 || bN.Load() != 10 {
+		t.Errorf("earlier consumers saw %d/%d records, want 10/10", aN.Load(), bN.Load())
+	}
+}
+
+// A consumer whose pipeline errors mid-fanout detaches with its own error;
+// the shared scan continues and the other consumers still see every record.
+func TestConsumerErrorDetachesWithoutPoisoningScan(t *testing.T) {
+	f := newFakeProv(12)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	c := New(Config{Window: time.Hour})
+
+	var wg sync.WaitGroup
+	var aN atomic.Int64
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, countingFn(&aN)) }()
+	<-scan1Running
+
+	boom := errors.New("boom")
+	var badSeen, goodN atomic.Int64
+	var badErr, goodErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		badErr = c.Scan(f, nil, func(rec value.Value, off int64, _ func() error) error {
+			if badSeen.Add(1) == 3 {
+				return boom
+			}
+			return nil
+		})
+	}()
+	go func() { defer wg.Done(); goodErr = c.Scan(f, nil, countingFn(&goodN)) }()
+	waitFor(t, "both followers to gather", func() bool { w, _, _, _ := c.Status(f); return w == 2 })
+	close(gate)
+	wg.Wait()
+
+	if !errors.Is(badErr, boom) {
+		t.Errorf("failing consumer error = %v, want boom", badErr)
+	}
+	if goodErr != nil {
+		t.Errorf("healthy consumer error = %v, want nil", goodErr)
+	}
+	if goodN.Load() != 12 {
+		t.Errorf("healthy consumer saw %d records, want 12 (scan not poisoned)", goodN.Load())
+	}
+	if badSeen.Load() != 3 {
+		t.Errorf("failing consumer called %d times, want 3 (detached after error)", badSeen.Load())
+	}
+	if f.numScans() != 2 {
+		t.Errorf("provider scans = %d, want 2", f.numScans())
+	}
+}
+
+// A detached consumer is released immediately: its Scan returns the error
+// while the shared scan is still streaming the rest of the file to the
+// healthy consumers.
+func TestFailedConsumerReleasedMidScan(t *testing.T) {
+	f := newFakeProv(10)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	badReturned := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	f.betweenRecs = func(scan, rec int) {
+		if scan == 2 && rec == 5 {
+			// The shared cycle holds here until the failed consumer's Scan
+			// call has already returned — proving the early release.
+			select {
+			case <-badReturned:
+			case <-time.After(10 * time.Second):
+				t.Error("failed consumer not released while the shared scan was mid-flight")
+			}
+		}
+	}
+	c := New(Config{Window: time.Hour})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	<-scan1Running
+
+	boom := errors.New("boom")
+	var goodN atomic.Int64
+	var goodErr error
+	wg.Add(1)
+	// The healthy consumer attaches first and becomes the cycle leader
+	// (drives the scan); the failing consumer joins second, so it blocks on
+	// its done channel — the release this test is about.
+	go func() { defer wg.Done(); goodErr = c.Scan(f, nil, countingFn(&goodN)) }()
+	waitFor(t, "leader to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := c.Scan(f, nil, func(value.Value, int64, func() error) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Errorf("failing consumer error = %v, want boom", err)
+		}
+		close(badReturned)
+	}()
+	waitFor(t, "both followers to gather", func() bool { w, _, _, _ := c.Status(f); return w == 2 })
+	close(gate)
+	wg.Wait()
+
+	if goodErr != nil || goodN.Load() != 10 {
+		t.Errorf("healthy consumer: err=%v records=%d, want nil/10", goodErr, goodN.Load())
+	}
+}
+
+// When every consumer in a cycle fails, the scan stops early instead of
+// parsing the rest of the file for nobody; each consumer keeps its own
+// pipeline error, not a coordinator-internal one.
+func TestAllConsumersFailedStopsScan(t *testing.T) {
+	f := newFakeProv(1000)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	c := New(Config{Window: time.Hour})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	<-scan1Running
+
+	boom := errors.New("boom")
+	var seen atomic.Int64
+	var err error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err = c.Scan(f, nil, func(value.Value, int64, func() error) error {
+			seen.Add(1)
+			return boom
+		})
+	}()
+	waitFor(t, "follower to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	close(gate)
+	wg.Wait()
+
+	if !errors.Is(err, boom) {
+		t.Errorf("error = %v, want the consumer's own boom", err)
+	}
+	if seen.Load() != 1 {
+		t.Errorf("consumer called %d times, want 1 (scan aborted)", seen.Load())
+	}
+}
+
+// The shared scan must request the UNION of the consumers' needed fields —
+// and all fields as soon as any consumer needs everything.
+func TestSharedScanUsesUnionOfNeededFields(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		neededs [][]value.Path
+		want   string // "" means nil (all fields)
+	}{
+		{"disjoint", [][]value.Path{{{"a"}}, {{"b"}}}, "a,b"},
+		{"one-wants-all", [][]value.Path{{{"a"}}, nil}, ""},
+		{"both-empty", [][]value.Path{{}, {}}, "<none>"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFakeProv(3)
+			gate := make(chan struct{})
+			scan1Running := make(chan struct{})
+			f.onScanStart = func(scan int) {
+				if scan == 1 {
+					close(scan1Running)
+					<-gate
+				}
+			}
+			c := New(Config{Window: time.Hour})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { defer wg.Done(); _ = c.Scan(f, []value.Path{{"a"}}, func(value.Value, int64, func() error) error { return nil }) }()
+			<-scan1Running
+			for _, need := range tc.neededs {
+				need := need
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = c.Scan(f, need, func(value.Value, int64, func() error) error { return nil })
+				}()
+			}
+			waitFor(t, "followers to gather", func() bool { w, _, _, _ := c.Status(f); return w == len(tc.neededs) })
+			close(gate)
+			wg.Wait()
+
+			got := f.neededLog[1] // the shared cycle's scan
+			var gotStr string
+			switch {
+			case got == nil:
+				gotStr = ""
+			case len(got) == 0:
+				gotStr = "<none>"
+			default:
+				// Union order depends on attach order; compare as a set.
+				parts := make([]string, len(got))
+				for i, p := range got {
+					parts[i] = p.String()
+				}
+				sort.Strings(parts)
+				gotStr = strings.Join(parts, ",")
+			}
+			if gotStr != tc.want {
+				t.Errorf("shared scan needed = %q, want %q", gotStr, tc.want)
+			}
+		})
+	}
+}
+
+// After a burst, the burst memory keeps batching: a fresh wave of arrivals
+// with NO scan in flight still coalesces into one windowed cycle instead of
+// racing into private scans.
+func TestBurstMemoryBatchesNextWave(t *testing.T) {
+	f := newFakeProv(10)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	c := New(Config{Window: 100 * time.Millisecond, HotFor: time.Hour})
+
+	// Wave 1 establishes the burst memory.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	<-scan1Running
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	waitFor(t, "wave-1 follower to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	close(gate)
+	wg.Wait()
+	scansAfterWave1 := f.numScans() // 2
+
+	// Wave 2: dataset idle, burst memory hot. The whole wave must share one
+	// windowed cycle.
+	const n = 6
+	counts := make([]atomic.Int64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); _ = c.Scan(f, nil, countingFn(&counts[i])) }(i)
+	}
+	wg.Wait()
+	if got := f.numScans() - scansAfterWave1; got != 1 {
+		t.Errorf("wave-2 provider scans = %d, want 1 (burst memory batches the wave)", got)
+	}
+	for i := range counts {
+		if counts[i].Load() != 10 {
+			t.Errorf("wave-2 consumer %d saw %d records, want 10", i, counts[i].Load())
+		}
+	}
+}
+
+// A panic in one consumer's pipeline (unwinding the leader's goroutine)
+// must not leave co-consumers blocked forever or leak the active-scan
+// count: everyone is released with an error and the dataset returns to the
+// bypass fast path.
+func TestConsumerPanicReleasesCoConsumers(t *testing.T) {
+	f := newFakeProv(10)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	c := New(Config{Window: time.Hour, HotFor: time.Nanosecond})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	<-scan1Running
+
+	// Leader (attaches first, drives the scan) is healthy; a joiner panics.
+	var leaderPanic atomic.Value
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				leaderPanic.Store(fmt.Sprint(r))
+			}
+		}()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
+	waitFor(t, "leader to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	var joinerErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }() // its own panic unwinds the leader, not here
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { panic("pipeline bug") })
+	}()
+	go func() { defer wg.Done(); joinerErr = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	waitFor(t, "joiners to gather", func() bool { w, _, _, _ := c.Status(f); return w == 3 })
+	close(gate)
+	wg.Wait()
+
+	if leaderPanic.Load() == nil {
+		t.Error("pipeline panic did not propagate to the leader's caller")
+	}
+	if !errors.Is(joinerErr, errCycleAborted) {
+		t.Errorf("healthy joiner error = %v, want errCycleAborted", joinerErr)
+	}
+	// The active count must have recovered: a fresh lone scan bypasses.
+	before := c.Stats().PrivateScans
+	if err := c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().PrivateScans; got != before+1 {
+		t.Errorf("post-panic scan did not bypass (private scans %d → %d); active count leaked", before, got)
+	}
+}
+
+// Burst memory is refreshed when a sharing cycle COMPLETES, not only at
+// arrival: back-to-back bursts on a file whose parse outlasts HotFor keep
+// batching instead of decaying to a private scan + second cycle.
+func TestBurstMemoryRefreshedAtCycleCompletion(t *testing.T) {
+	f := newFakeProv(10)
+	// Each scan takes ~10 × 15ms = 150ms, comfortably longer than HotFor.
+	f.betweenRecs = func(scan, rec int) { time.Sleep(15 * time.Millisecond) }
+	c := New(Config{Window: 50 * time.Millisecond, HotFor: 60 * time.Millisecond})
+
+	burst := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	burst() // wave 1: bypass + one shared cycle (2 scans), stamps burst memory at completion
+	scansAfter1 := f.numScans()
+	burst() // wave 2 arrives ~150ms after wave 1's *arrivals*, but HotFor after its *completion*
+	if got := f.numScans() - scansAfter1; got != 1 {
+		t.Errorf("wave-2 scans = %d, want 1 (burst memory must survive a parse longer than HotFor)", got)
+	}
+}
+
+// A solo cycle (the window gathered nobody) clears the burst memory: the
+// first lone query after a burst pays the window once; the next one takes
+// the bypass fast path again.
+func TestSoloCycleDecaysBurstMemory(t *testing.T) {
+	const window = 500 * time.Millisecond
+	f := newFakeProv(5)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	c := New(Config{Window: window, HotFor: time.Hour})
+
+	// Establish burst memory with one genuine shared cycle.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	<-scan1Running
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	waitFor(t, "the follower to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
+	close(gate)
+	wg.Wait()
+
+	solo := func() time.Duration {
+		start := time.Now()
+		if err := c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	if d := solo(); d < window {
+		t.Errorf("first lone query after the burst took %v, want >= the %v window (solo cycle)", d, window)
+	}
+	if d := solo(); d >= window/2 {
+		t.Errorf("second lone query took %v; the empty window should have cleared burst memory (bypass)", d)
+	}
+}
+
+// complete() is memoized per record: many eager consumers sharing a cycle
+// parse the skipped fields once, not once each.
+func TestCompleteMemoizedAcrossConsumers(t *testing.T) {
+	f := newFakeProv(7)
+	gate := make(chan struct{})
+	scan1Running := make(chan struct{})
+	f.onScanStart = func(scan int) {
+		if scan == 1 {
+			close(scan1Running)
+			<-gate
+		}
+	}
+	c := New(Config{Window: time.Hour})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	<-scan1Running
+
+	const followers = 4
+	completer := func(rec value.Value, off int64, complete func() error) error { return complete() }
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = c.Scan(f, []value.Path{{"a"}}, completer) }()
+	}
+	waitFor(t, "followers to gather", func() bool { w, _, _, _ := c.Status(f); return w == followers })
+	f.completes.Store(0)
+	close(gate)
+	wg.Wait()
+
+	if got := f.completes.Load(); got != 7 {
+		t.Errorf("provider complete() calls = %d, want 7 (once per record, memoized across %d consumers)", got, followers)
+	}
+}
+
+// A nil coordinator degrades to a private provider scan.
+func TestNilCoordinator(t *testing.T) {
+	f := newFakeProv(4)
+	var c *Coordinator
+	var n atomic.Int64
+	if err := c.Scan(f, nil, countingFn(&n)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 4 || f.numScans() != 1 {
+		t.Errorf("records=%d scans=%d, want 4/1", n.Load(), f.numScans())
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil coordinator stats = %+v, want zero", st)
+	}
+}
+
+// Stress: random waves of concurrent scans under -race; every consumer
+// always sees the complete file.
+func TestStressManyWaves(t *testing.T) {
+	f := newFakeProv(50)
+	// Yield mid-scan so waves genuinely overlap even on GOMAXPROCS=1
+	// (a non-blocking in-memory scan would otherwise run to completion
+	// before the next goroutine is scheduled, and nothing would share).
+	f.betweenRecs = func(scan, rec int) {
+		if rec%10 == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	c := New(Config{Window: time.Millisecond})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 200)
+	for wave := 0; wave < 10; wave++ {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var n atomic.Int64
+				if err := c.Scan(f, nil, countingFn(&n)); err != nil {
+					errCh <- err
+					return
+				}
+				if n.Load() != 50 {
+					errCh <- fmt.Errorf("saw %d records, want 50", n.Load())
+				}
+			}()
+		}
+		time.Sleep(time.Duration(wave%3) * time.Millisecond)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if f.numScans() >= 80 {
+		t.Errorf("provider scans = %d for 80 consumers; coordinator shared nothing", f.numScans())
+	}
+}

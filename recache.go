@@ -41,6 +41,7 @@ import (
 	"recache/internal/exec"
 	"recache/internal/jsonio"
 	"recache/internal/plan"
+	"recache/internal/share"
 	"recache/internal/sqlparse"
 	"recache/internal/value"
 )
@@ -69,6 +70,18 @@ type Config struct {
 	Layout string
 	// DisableSubsumption turns off R-tree range-subsumption matching.
 	DisableSubsumption bool
+	// ShareWindow is the shared-scan batching window: how long a raw-scan
+	// cycle leader waits for further concurrent misses on the same dataset
+	// before running the one shared parse (default 2ms). The window is only
+	// paid after concurrent demand on the dataset is observed — a lone cold
+	// query on a quiet dataset scans privately with zero added latency, and
+	// one arriving shortly after a burst waits the window out at most once
+	// (an empty window clears the burst memory). See internal/share.
+	ShareWindow time.Duration
+	// DisableSharedScans turns off the shared-scan coordinator: every
+	// cache-miss query scans the raw file privately (pre-work-sharing
+	// behaviour; ablation).
+	DisableSharedScans bool
 }
 
 func (c Config) toCacheConfig() (cache.Config, error) {
@@ -123,11 +136,16 @@ func (c Config) toCacheConfig() (cache.Config, error) {
 // others scan raw — and eviction defers freeing an entry's store until the
 // last in-flight reader of that entry finishes.
 type Engine struct {
-	// mu guards only the dataset registry; query execution takes no
-	// engine-wide lock (the cache manager synchronizes internally).
+	// mu guards the dataset registry and the share pointer; query execution
+	// takes no engine-wide lock (the cache manager and coordinator
+	// synchronize internally).
 	mu       sync.RWMutex
 	datasets map[string]*plan.Dataset
 	manager  *cache.Manager
+	// share is the engine's shared-scan coordinator (nil when disabled):
+	// concurrent cache-miss queries on one dataset batch into a single raw
+	// parse instead of N. See internal/share and DESIGN.md, "Work sharing".
+	share *share.Coordinator
 }
 
 // Open creates an engine.
@@ -136,17 +154,42 @@ func Open(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		datasets: make(map[string]*plan.Dataset),
 		manager:  cache.NewManager(cc),
-	}, nil
+	}
+	e.ConfigureSharedScans(!cfg.DisableSharedScans, share.Config{Window: cfg.ShareWindow})
+	return e, nil
 }
 
 // OpenWithManager creates an engine around a pre-configured cache manager.
 // It exists for in-module tooling (the benchmark harness configures
 // internal knobs such as eviction oracles); library users should call Open.
+// The engine gets a default shared-scan coordinator; ConfigureSharedScans
+// adjusts or disables it.
 func OpenWithManager(m *cache.Manager) *Engine {
-	return &Engine{datasets: make(map[string]*plan.Dataset), manager: m}
+	e := &Engine{datasets: make(map[string]*plan.Dataset), manager: m}
+	e.ConfigureSharedScans(true, share.Config{})
+	return e
+}
+
+// ConfigureSharedScans rebuilds the engine's shared-scan coordinator with
+// cfg, or removes it (enabled == false: every miss scans privately, the
+// pre-work-sharing ablation). The coordinator's OnShared hook is wired to
+// the manager's SharedScans/SharedConsumers counters here, so CacheStats
+// stays consistent. For in-module tooling and tests. Safe to call while
+// queries run: in-flight queries finish on the coordinator they captured,
+// later queries use the new one (the old coordinator's counters are
+// discarded; the manager's totals persist).
+func (e *Engine) ConfigureSharedScans(enabled bool, cfg share.Config) {
+	var coord *share.Coordinator
+	if enabled {
+		cfg.OnShared = e.manager.NoteSharedScan
+		coord = share.New(cfg)
+	}
+	e.mu.Lock()
+	e.share = coord
+	e.mu.Unlock()
 }
 
 // Manager exposes the underlying cache manager for in-module tooling.
@@ -197,6 +240,31 @@ func (e *Engine) register(ds *plan.Dataset) error {
 	}
 	e.datasets[ds.Name] = ds
 	return nil
+}
+
+// RegisterProvider registers a custom scan provider as a table. It exists
+// for in-module tooling and tests (counting or fault-injecting providers
+// wrapped around the csvio/jsonio ones); library users should call
+// RegisterCSV / RegisterJSON.
+func (e *Engine) RegisterProvider(name string, format plan.Format, prov plan.ScanProvider) error {
+	return e.register(&plan.Dataset{Name: name, Format: format, Provider: prov})
+}
+
+// RawScans reports how many full raw-file scans the named table's provider
+// has performed (the work-sharing bench metric: N concurrent cold misses
+// should cost far fewer than N raw scans). It returns -1 when the table is
+// unknown or its provider does not count scans.
+func (e *Engine) RawScans(name string) int64 {
+	e.mu.RLock()
+	ds, ok := e.datasets[name]
+	e.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	if sc, ok := ds.Provider.(interface{ Scans() int64 }); ok {
+		return sc.Scans()
+	}
+	return -1
 }
 
 // Tables lists the registered table names.
@@ -256,6 +324,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	}
 	e.mu.RLock()
 	pl, err := e.buildPlan(q)
+	coord := e.share
 	e.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -266,7 +335,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	tx := e.manager.Begin()
 	defer tx.Close()
 	root := tx.Rewrite(pl.root, pl.neededNames)
-	res, stats, err := exec.Run(root, exec.Deps{Manager: e.manager, Needed: pl.neededPaths})
+	res, stats, err := exec.Run(root, exec.Deps{Manager: e.manager, Share: coord, Needed: pl.neededPaths})
 	if err != nil {
 		return nil, err
 	}
@@ -289,10 +358,14 @@ func (e *Engine) Query(sql string) (*Result, error) {
 }
 
 // Explain returns the rewritten physical plan of a query as indented text,
-// showing cache hits (CachedScan) and materializers. Explain is free of
-// side effects: it performs the cache lookup through the manager's
-// read-only path, so reuse counters, hit/miss statistics, and eviction
-// state are untouched.
+// showing cache hits (CachedScan) and materializers. Raw Scan nodes are
+// annotated with the dataset's live work-sharing state — consumers waiting
+// in a gathering cycle, raw scans in flight, and the shared-scan /
+// shared-consumer totals so far — so EXPLAIN shows whether the scan would
+// attach to an in-flight shared cycle. Explain is free of side effects: it
+// performs the cache lookup through the manager's read-only path (and only
+// reads coordinator state), so reuse counters, hit/miss statistics, and
+// eviction state are untouched.
 func (e *Engine) Explain(sql string) (string, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -300,12 +373,28 @@ func (e *Engine) Explain(sql string) (string, error) {
 	}
 	e.mu.RLock()
 	pl, err := e.buildPlan(q)
+	coord := e.share
 	e.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
 	root := e.manager.Peek(pl.root, pl.neededNames)
-	return plan.Explain(root), nil
+	return plan.ExplainAnnotated(root, func(n plan.Node) string { return shareNote(coord, n) }), nil
+}
+
+// shareNote annotates a raw Scan node with its dataset's shared-scan state;
+// empty when the coordinator is off or has never coordinated the dataset.
+func shareNote(coord *share.Coordinator, n plan.Node) string {
+	sc, ok := n.(*plan.Scan)
+	if !ok || coord == nil {
+		return ""
+	}
+	waiting, running, cycles, consumers := coord.Status(sc.DS.Provider)
+	if waiting == 0 && running == 0 && cycles == 0 {
+		return ""
+	}
+	return fmt.Sprintf("shared-scan: %d waiting, %d running; %d cycles served %d consumers",
+		waiting, running, cycles, consumers)
 }
 
 func toNative(row []value.Value) []any {
@@ -339,8 +428,13 @@ type CacheStats struct {
 	LayoutSwitches int64
 	LazyUpgrades   int64
 	Inserted       int64
-	Entries        int
-	TotalBytes     int64
+	// SharedScans counts work-sharing cycles (one raw parse each);
+	// SharedConsumers counts the concurrent misses those cycles served, so
+	// SharedConsumers − SharedScans raw scans were avoided.
+	SharedScans     int64
+	SharedConsumers int64
+	Entries         int
+	TotalBytes      int64
 }
 
 // CacheStats returns a snapshot of the cache counters. The counters are
@@ -349,16 +443,18 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	s := e.manager.Stats()
 	return CacheStats{
-		Queries:        s.Queries,
-		ExactHits:      s.ExactHits,
-		SubsumedHits:   s.SubsumedHits,
-		Misses:         s.Misses,
-		Evictions:      s.Evictions,
-		LayoutSwitches: s.LayoutSwitches,
-		LazyUpgrades:   s.LazyUpgrades,
-		Inserted:       s.Inserted,
-		Entries:        s.Entries,
-		TotalBytes:     s.TotalBytes,
+		Queries:         s.Queries,
+		ExactHits:       s.ExactHits,
+		SubsumedHits:    s.SubsumedHits,
+		Misses:          s.Misses,
+		Evictions:       s.Evictions,
+		LayoutSwitches:  s.LayoutSwitches,
+		LazyUpgrades:    s.LazyUpgrades,
+		Inserted:        s.Inserted,
+		SharedScans:     s.SharedScans,
+		SharedConsumers: s.SharedConsumers,
+		Entries:         s.Entries,
+		TotalBytes:      s.TotalBytes,
 	}
 }
 
