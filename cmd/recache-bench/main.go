@@ -6,7 +6,7 @@
 //
 //	recache-bench -exp fig14 [-sf 0.002] [-queries 1.0] [-dir /tmp/data] [-seed 42]
 //	recache-bench -exp all
-//	recache-bench -parallel 4
+//	recache-bench -parallel 4 [-json results.json]
 //	recache-bench -list
 //
 // -parallel N measures aggregate queries/sec of a cache-hit-heavy workload
@@ -14,6 +14,12 @@
 // a cold-miss phase reporting raw-file parses per burst of N concurrent
 // identical cold queries (the work-sharing harness: one shared scan serves
 // every concurrent miss; not a paper figure).
+//
+// -json <path> additionally writes machine-readable results: per-phase
+// aggregate qps and raw-scan counts for -parallel, per-experiment wall
+// times for -exp, each with a cache-counter snapshot (hits, misses, shared
+// scans, vectorized scans). The BENCH_*.json perf trajectory accumulates
+// these files across PRs.
 package main
 
 import (
@@ -34,6 +40,7 @@ func main() {
 		queries  = flag.Float64("queries", 0, "workload length multiplier (default 1.0)")
 		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
 		parallel = flag.Int("parallel", 0, "measure concurrent throughput at 1 and N goroutines")
+		jsonPath = flag.String("json", "", "write machine-readable results to this path")
 	)
 	flag.Parse()
 
@@ -65,10 +72,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "recache-bench:", err)
 			os.Exit(1)
 		}
+		writeJSON(r, *jsonPath)
 		return
 	}
 	if err := r.Run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "recache-bench:", err)
+		os.Exit(1)
+	}
+	writeJSON(r, *jsonPath)
+}
+
+// writeJSON emits the machine-readable report when -json was given.
+func writeJSON(r *harness.Runner, path string) {
+	if path == "" {
+		return
+	}
+	if err := r.WriteJSON(path); err != nil {
+		fmt.Fprintln(os.Stderr, "recache-bench: write json:", err)
 		os.Exit(1)
 	}
 }

@@ -175,6 +175,8 @@ func metaCommand(eng *recache.Engine, line string) (quit bool) {
 			s.LayoutSwitches, s.LazyUpgrades, s.Entries, s.TotalBytes)
 		fmt.Printf("shared-scans=%d shared-consumers=%d (raw scans avoided=%d)\n",
 			s.SharedScans, s.SharedConsumers, s.SharedConsumers-s.SharedScans)
+		fmt.Printf("vectorized-scans=%d vectorized-batches=%d\n",
+			s.VectorizedScans, s.VectorizedBatches)
 	case "\\explain":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
 		out, err := eng.Explain(sql)

@@ -9,6 +9,10 @@ import (
 
 // scanObs records one query's observed cost against a cache entry — the
 // D_i, C_i, r_i and c_i of §4.2.
+// Vectorized-scan observations need no flag here: their nanos ARE the
+// measured batch-pipeline costs, so batch speed flows into the nested
+// cost comparison by construction. Only the flat row/column miss model
+// is synthetic and takes an explicit vectorized parameter (observeFlat).
 type scanObs struct {
 	dataNanos    int64 // D_i
 	computeNanos int64 // C_i
@@ -145,8 +149,12 @@ type rowColCost struct {
 
 // observeFlat estimates data-cache misses for both layouts for one query
 // and accumulates them. widths are per-column byte widths; accessed is the
-// projected column set; rows the row count.
-func (c *rowColCost) observeFlat(widths []int, accessed []int, rows int64) {
+// projected column set; rows the row count. vectorized marks queries served
+// by the batch pipeline: their per-column stream overhead term is dropped —
+// the vectorized reader amortizes per-column dispatch over whole batches —
+// so measured batch speed makes the model slower to abandon the columnar
+// layout a vectorized workload is actually enjoying.
+func (c *rowColCost) observeFlat(widths []int, accessed []int, rows int64, vectorized bool) {
 	const lineBytes = 64
 	var rowWidth float64
 	for _, w := range widths {
@@ -159,7 +167,11 @@ func (c *rowColCost) observeFlat(widths []int, accessed []int, rows int64) {
 	// Column layout: misses proportional to the accessed columns' bytes,
 	// plus a per-column stream overhead; row layout: the full row is pulled
 	// through the cache whatever the projection.
-	c.colMisses += (accWidth*float64(rows) + 0.15*float64(len(accessed))*lineBytes*float64(rows)/8) / lineBytes
+	overhead := 0.15 * float64(len(accessed)) * lineBytes * float64(rows) / 8
+	if vectorized {
+		overhead = 0
+	}
+	c.colMisses += (accWidth*float64(rows) + overhead) / lineBytes
 	c.rowMisses += rowWidth * float64(rows) / lineBytes
 	c.n++
 }

@@ -66,6 +66,7 @@ type Entry struct {
 	Freq       int64 // insert + reuses
 	LastAccess int64 // logical clock
 	InsertedAt int64
+	VecScans   int64 // scans served by the vectorized batch pipeline
 
 	// Frozen benefit components captured at insert, for the frozen-benefit
 	// ablation (the paper reports up to 6% regression using them).

@@ -89,24 +89,30 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats aggregates manager-level counters for reporting. It is a plain
-// snapshot: Manager.Stats assembles it from the live atomic counters.
+// snapshot: Manager.Stats assembles it from the live atomic counters. The
+// json tags keep recache-bench's -json reports (the committed BENCH_*.json
+// perf trajectory) in one consistent snake_case key style.
 type Stats struct {
-	Queries        int64
-	ExactHits      int64
-	SubsumedHits   int64
-	Misses         int64
-	Evictions      int64
-	LayoutSwitches int64
-	LazyUpgrades   int64
-	Inserted       int64
+	Queries        int64 `json:"queries"`
+	ExactHits      int64 `json:"exact_hits"`
+	SubsumedHits   int64 `json:"subsumed_hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	LayoutSwitches int64 `json:"layout_switches"`
+	LazyUpgrades   int64 `json:"lazy_upgrades"`
+	Inserted       int64 `json:"inserted"`
 	// SharedScans counts coordinator-led shared raw scans (work sharing:
 	// each is one parse of a raw file serving every concurrent miss that
 	// attached); SharedConsumers counts the attached consumers, so
 	// SharedConsumers − SharedScans is the number of raw scans avoided.
-	SharedScans     int64
-	SharedConsumers int64
-	TotalBytes      int64
-	Entries         int
+	SharedScans     int64 `json:"shared_scans"`
+	SharedConsumers int64 `json:"shared_consumers"`
+	// VectorizedScans counts cache scans served by the batch pipeline;
+	// VectorizedBatches the column batches those scans pulled.
+	VectorizedScans   int64 `json:"vectorized_scans"`
+	VectorizedBatches int64 `json:"vectorized_batches"`
+	TotalBytes        int64 `json:"total_bytes"`
+	Entries           int   `json:"entries"`
 }
 
 // counters holds the manager's live statistics. Counters are atomics so hot
@@ -114,16 +120,18 @@ type Stats struct {
 // serializing on the manager lock, and so Stats() can take a consistent-ish
 // snapshot while queries are in flight.
 type counters struct {
-	queries         atomic.Int64
-	exactHits       atomic.Int64
-	subsumedHits    atomic.Int64
-	misses          atomic.Int64
-	evictions       atomic.Int64
-	layoutSwitches  atomic.Int64
-	lazyUpgrades    atomic.Int64
-	inserted        atomic.Int64
-	sharedScans     atomic.Int64
-	sharedConsumers atomic.Int64
+	queries           atomic.Int64
+	exactHits         atomic.Int64
+	subsumedHits      atomic.Int64
+	misses            atomic.Int64
+	evictions         atomic.Int64
+	layoutSwitches    atomic.Int64
+	lazyUpgrades      atomic.Int64
+	inserted          atomic.Int64
+	sharedScans       atomic.Int64
+	sharedConsumers   atomic.Int64
+	vectorizedScans   atomic.Int64
+	vectorizedBatches atomic.Int64
 }
 
 // Manager owns the cache: entries, the exact-match table, the per-(dataset,
@@ -208,15 +216,17 @@ func (m *Manager) NoteSharedScan(n int) {
 // any mid-flight snapshot (equality once the workload quiesces).
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		ExactHits:       m.stats.exactHits.Load(),
-		SubsumedHits:    m.stats.subsumedHits.Load(),
-		Misses:          m.stats.misses.Load(),
-		Evictions:       m.stats.evictions.Load(),
-		LayoutSwitches:  m.stats.layoutSwitches.Load(),
-		LazyUpgrades:    m.stats.lazyUpgrades.Load(),
-		Inserted:        m.stats.inserted.Load(),
-		SharedScans:     m.stats.sharedScans.Load(),
-		SharedConsumers: m.stats.sharedConsumers.Load(),
+		ExactHits:         m.stats.exactHits.Load(),
+		SubsumedHits:      m.stats.subsumedHits.Load(),
+		Misses:            m.stats.misses.Load(),
+		Evictions:         m.stats.evictions.Load(),
+		LayoutSwitches:    m.stats.layoutSwitches.Load(),
+		LazyUpgrades:      m.stats.lazyUpgrades.Load(),
+		Inserted:          m.stats.inserted.Load(),
+		SharedScans:       m.stats.sharedScans.Load(),
+		SharedConsumers:   m.stats.sharedConsumers.Load(),
+		VectorizedScans:   m.stats.vectorizedScans.Load(),
+		VectorizedBatches: m.stats.vectorizedBatches.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
 	m.mu.Lock()
@@ -884,10 +894,17 @@ func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNano
 // At most one conversion per entry runs at a time; readers that snapshotted
 // the old store via Payload keep scanning it safely (stores are immutable).
 func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNanos int64) time.Duration {
+	if st.Vectorized {
+		m.stats.vectorizedScans.Add(1)
+		m.stats.vectorizedBatches.Add(st.Batches)
+	}
 	m.mu.Lock()
 	if e.doomed {
 		m.mu.Unlock()
 		return 0
+	}
+	if st.Vectorized {
+		e.VecScans++
 	}
 	e.ScanNanos = scanWallNanos
 	if e.frozenScan == 0 {
@@ -918,7 +935,7 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 		for i := 0; i < ncols && i < len(widths); i++ {
 			accessed = append(accessed, i)
 		}
-		e.advisor.rowcol.observeFlat(widths, accessed, int64(e.Store.NumFlatRows()))
+		e.advisor.rowcol.observeFlat(widths, accessed, int64(e.Store.NumFlatRows()), st.Vectorized)
 		if m.cfg.Layout == LayoutAuto {
 			dec = e.advisor.rowcol.decide(e.Store.Layout())
 		}
@@ -948,6 +965,25 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 	m.stats.layoutSwitches.Add(1)
 	m.evictLocked()
 	return dur
+}
+
+// RecordLazyReplay attributes one lazy-entry replay's scan time to the
+// entry when no upgrade was in flight (the always-lazy baseline, or a
+// replay racing another query's upgrade). Before this path existed, a lazy
+// entry reused without upgrading never refreshed its s, so eviction kept
+// ranking it by a stale (often zero) scan cost. The entry's mode is
+// re-checked under the lock: if a concurrent upgrade landed first, the
+// eager store's own RecordScan is the authoritative source.
+func (m *Manager) RecordLazyReplay(e *Entry, scanWallNanos int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.doomed || e.Mode != Lazy {
+		return
+	}
+	e.ScanNanos = scanWallNanos
+	if e.frozenScan == 0 {
+		e.frozenScan = scanWallNanos
+	}
 }
 
 // LayoutOf reports the entry's current physical layout (for tests and the

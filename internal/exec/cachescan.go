@@ -56,14 +56,23 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 		if err != nil {
 			return err
 		}
-		emit := store.EmitFunc(out)
-		if cs.Residual != nil {
-			emit = func(row []value.Value) error {
-				if !residual(row) {
-					return nil
-				}
-				return out(row)
+		// Downstream operator time (joins, aggregation, result collection)
+		// runs inside the emit callback; sample it out of the measured wall
+		// so the scan time attributed to THIS entry is its own. A query that
+		// touches several cached entries (e.g. a join of two hits) would
+		// otherwise charge each entry — and CacheScanNanos, once per entry —
+		// with the downstream work of everything above it.
+		down := stats.NewSampledTimer(stats.SampleShift, nil)
+		emit := func(row []value.Value) error {
+			if cs.Residual != nil && !residual(row) {
+				return nil
 			}
+			if down.Begin() {
+				err := out(row)
+				down.End()
+				return err
+			}
+			return out(row)
 		}
 		wall0 := time.Now()
 		var scanStats store.ScanStats
@@ -75,7 +84,10 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 		if err != nil {
 			return err
 		}
-		wall := time.Since(wall0)
+		scanNanos := time.Since(wall0).Nanoseconds() - down.EstimatedTotal().Nanoseconds()
+		if scanNanos < 0 {
+			scanNanos = 0
+		}
 		// Report the logical row need r_i: flattened queries need R rows,
 		// per-record queries need one row per record — whatever the layout
 		// physically iterated.
@@ -84,9 +96,9 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 		} else {
 			scanStats.RowsScanned = int64(st.NumRecords())
 		}
-		ctx.stats.CacheScanNanos += wall.Nanoseconds()
+		ctx.stats.CacheScanNanos += scanNanos
 		if deps.Manager != nil {
-			conv := deps.Manager.RecordScan(entry, scanStats, len(idx), wall.Nanoseconds())
+			conv := deps.Manager.RecordScan(entry, scanStats, len(idx), scanNanos)
 			ctx.stats.LayoutSwitchNanos += conv.Nanoseconds()
 		}
 		return nil
@@ -144,6 +156,15 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry, offsets []in
 		needed = nil // the eager rebuild stores complete tuples
 	}
 	buildTimer := stats.NewSampledTimer(stats.SampleShift, nil)
+	down := stats.NewSampledTimer(stats.SampleShift, nil)
+	emit := func(row []value.Value) error {
+		if down.Begin() {
+			err := out(row)
+			down.End()
+			return err
+		}
+		return out(row)
+	}
 
 	buf := make([]value.Value, len(outNames))
 	wall0 := time.Now()
@@ -167,7 +188,7 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry, offsets []in
 					if !residual(buf) {
 						continue
 					}
-					if err := out(buf); err != nil {
+					if err := emit(buf); err != nil {
 						return err
 					}
 				}
@@ -179,14 +200,28 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry, offsets []in
 			if !residual(buf) {
 				return nil
 			}
-			return out(buf)
+			return emit(buf)
 		})
 	if err != nil {
 		return err
 	}
-	wall := time.Since(wall0)
-	ctx.stats.CacheScanNanos += wall.Nanoseconds()
+	// The replay's own cost excludes downstream operator time and the eager
+	// rebuild (charged to CacheBuildNanos below), so the s recorded against
+	// this entry is the replay, not the query above it.
+	scanNanos := time.Since(wall0).Nanoseconds() -
+		down.EstimatedTotal().Nanoseconds() - buildTimer.EstimatedTotal().Nanoseconds()
+	if scanNanos < 0 {
+		scanNanos = 0
+	}
+	ctx.stats.CacheScanNanos += scanNanos
 	if builder == nil {
+		// No upgrade in flight: still attribute the replay cost to the
+		// entry (before this, a lazy entry reused without an upgrade — the
+		// always-lazy baseline, or a replay racing another query's upgrade
+		// — never updated its per-entry scan time).
+		if deps.Manager != nil {
+			deps.Manager.RecordLazyReplay(entry, scanNanos)
+		}
 		return nil
 	}
 	build := buildTimer.EstimatedTotal().Nanoseconds()
@@ -194,7 +229,7 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry, offsets []in
 	st := builder.Finish()
 	build += time.Since(fin).Nanoseconds()
 	ctx.stats.CacheBuildNanos += build
-	deps.Manager.UpgradeLazy(entry, st, build, wall.Nanoseconds())
+	deps.Manager.UpgradeLazy(entry, st, build, scanNanos)
 	upgraded = true
 	return nil
 }

@@ -45,6 +45,9 @@ type Deps struct {
 	// A present-but-empty slice means "no fields" (e.g. COUNT(*)); a
 	// missing key means all fields.
 	Needed map[string][]value.Path
+	// DisableVectorized forces every cache scan onto the row-at-a-time
+	// path (pre-vectorization behaviour; ablation and benchmarking).
+	DisableVectorized bool
 }
 
 // QueryStats reports per-query cost accounting for the harness.
@@ -53,7 +56,10 @@ type QueryStats struct {
 	Wall time.Duration
 	// CacheBuildNanos is the total caching overhead (the paper's t_c).
 	CacheBuildNanos int64
-	// CacheScanNanos is time spent scanning in-memory caches.
+	// CacheScanNanos is time spent scanning in-memory caches, attributed
+	// per entry: downstream operator work running inside a scan's emit
+	// path is sampled out, so a query over several cached entries charges
+	// each entry (and this total) only its own scan cost.
 	CacheScanNanos int64
 	// LayoutSwitchNanos is time spent converting cache layouts.
 	LayoutSwitchNanos int64
@@ -126,15 +132,29 @@ func compile(n plan.Node, deps Deps) (runFn, error) {
 	case *plan.Unnest:
 		return compileUnnest(x, deps)
 	case *plan.Project:
-		return compileProject(x, deps)
+		rowFn, err := compileProject(x, deps)
+		if err != nil {
+			return nil, err
+		}
+		if vfn, ok := planVecProject(x, deps, rowFn); ok {
+			return vfn, nil
+		}
+		return rowFn, nil
 	case *plan.Join:
 		return compileJoin(x, deps)
 	case *plan.Aggregate:
-		return compileAggregate(x, deps)
+		rowFn, err := compileAggregate(x, deps)
+		if err != nil {
+			return nil, err
+		}
+		if vfn, ok := planVecAggregate(x, deps, rowFn); ok {
+			return vfn, nil
+		}
+		return rowFn, nil
 	case *plan.Materialize:
 		return compileMaterialize(x, deps)
 	case *plan.CachedScan:
-		return compileCachedScan(x, deps)
+		return compileCachedScanAuto(x, deps)
 	}
 	return nil, fmt.Errorf("exec: cannot compile %T", n)
 }

@@ -1,0 +1,743 @@
+package exec
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/expr"
+	"recache/internal/plan"
+	"recache/internal/stats"
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// This file is the second compiled pipeline flavor: vectorized batch
+// execution for cache hits. A columnar (or Parquet per-record) cache entry
+// already holds typed column vectors; the row path decodes them back into
+// boxed value.Value rows and pushes one tuple at a time through closure
+// pipelines — row-store costs on column-store data. The vectorized flavor
+// pulls column batches straight out of the entry's store (store.BatchCursor),
+// filters them with selection-vector kernels (expr.VecFilter), and feeds
+// filter, projection and aggregation operators that consume whole batches.
+//
+// The flavor is chosen per pipeline at compile time — the plan shape and
+// predicate must be vectorizable — with a row-at-a-time fallback decided at
+// run time from the entry's payload snapshot (lazy entries, row-store
+// layout, and Parquet's FSM-assembled flattened view keep the row path).
+// Both flavors produce identical results; the differential parity suite
+// (vectorized_test.go) holds them to that.
+
+// vecScan is the compile-time plan of a vectorized cached scan: the pinned
+// entry plus the residual predicate compiled to selection kernels.
+type vecScan struct {
+	cs       *plan.CachedScan
+	entry    *cache.Entry
+	filter   *expr.VecFilter
+	outNames []string
+}
+
+// planVecScan checks the compile-time half of vectorizability: a real
+// entry and a residual the kernels can run. ok is false when the scan must
+// stay on the row path for every execution.
+func planVecScan(cs *plan.CachedScan, disable bool) (*vecScan, bool) {
+	if disable {
+		return nil, false
+	}
+	entry, ok := cs.Entry.(*cache.Entry)
+	if !ok || entry == nil {
+		return nil, false
+	}
+	filter, ok := expr.CompileVecFilter(cs.Residual, cs.Out)
+	if !ok {
+		return nil, false
+	}
+	outNames := make([]string, len(cs.Out.Fields))
+	for i, f := range cs.Out.Fields {
+		outNames[i] = f.Name
+	}
+	return &vecScan{cs: cs, entry: entry, filter: filter, outNames: outNames}, true
+}
+
+// open checks the run-time half against the entry's payload snapshot and
+// returns a batch cursor, or false to send this execution to the row path.
+func (p *vecScan) open(deps Deps) (*store.BatchCursor, bool) {
+	mode, st := p.entry.Mode, p.entry.Store
+	if deps.Manager != nil {
+		mode, st, _ = deps.Manager.Payload(p.entry)
+	}
+	if mode != cache.Eager || st == nil {
+		return nil, false
+	}
+	bs, ok := st.(store.BatchSource)
+	if !ok {
+		return nil, false
+	}
+	idx, err := store.ColumnIndexes(st, p.outNames)
+	if err != nil {
+		return nil, false
+	}
+	cur, ok := bs.BatchCursor(p.cs.Flat, idx)
+	if !ok || !p.filter.Compatible(cur.Cols) {
+		return nil, false
+	}
+	return cur, true
+}
+
+// finish attributes one vectorized scan's cost to the entry (feeding the
+// layout advisor and the VectorizedScans counters) and the query stats.
+// scanNanos excludes downstream operator time, so the attribution stays
+// per-entry even when a query touches several cached entries.
+func (p *vecScan) finish(ctx *qctx, batches, scanNanos, rows int64) {
+	if scanNanos < 0 {
+		scanNanos = 0
+	}
+	ctx.stats.CacheScanNanos += scanNanos
+	if ctx.deps.Manager != nil {
+		st := store.ScanStats{
+			DataNanos:   scanNanos,
+			RowsScanned: rows,
+			Batches:     batches,
+			Vectorized:  true,
+		}
+		conv := ctx.deps.Manager.RecordScan(p.entry, st, len(p.outNames), scanNanos)
+		ctx.stats.LayoutSwitchNanos += conv.Nanoseconds()
+	}
+}
+
+// VectorizedInfo reports whether a CachedScan would take the vectorized
+// pipeline if executed now, and the expected batch count. EXPLAIN uses it
+// to annotate CachedScan nodes; it only reads the entry's payload snapshot.
+func VectorizedInfo(cs *plan.CachedScan, m *cache.Manager) (bool, int64) {
+	p, ok := planVecScan(cs, false)
+	if !ok {
+		return false, 0
+	}
+	cur, ok := p.open(Deps{Manager: m})
+	if !ok {
+		return false, 0
+	}
+	return true, (cur.Rows + store.BatchRows - 1) / store.BatchRows
+}
+
+// compileCachedScanAuto compiles both scan flavors and picks per execution:
+// the vectorized body when the payload supports batches, the row closure
+// otherwise. Batches are materialized to rows only here, at the pipeline
+// boundary; the residual runs as selection kernels before any boxing.
+func compileCachedScanAuto(cs *plan.CachedScan, deps Deps) (runFn, error) {
+	rowFn, err := compileCachedScan(cs, deps)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := planVecScan(cs, deps.DisableVectorized)
+	if !ok {
+		return rowFn, nil
+	}
+	return vecScanEmit(p, nil, nil, rowFn), nil
+}
+
+// vecScanEmit builds the batch→rows boundary operator shared by the
+// vectorized CachedScan and Project: scan batches, run the filter chain,
+// materialize the selected rows (optionally permuted to proj's column
+// order) and emit them. Downstream time is sampled out of the attribution.
+func vecScanEmit(p *vecScan, filters []*expr.VecFilter, proj []int, rowFn runFn) runFn {
+	return func(ctx *qctx, out emitFn) error {
+		cur, ok := p.open(ctx.deps)
+		if !ok || !filtersCompatible(filters, cur.Cols) {
+			return rowFn(ctx, out)
+		}
+		outCols := cur.Cols
+		if proj != nil {
+			outCols = make([]*store.Vec, len(proj))
+			for i, c := range proj {
+				outCols[i] = cur.Cols[c]
+			}
+		}
+		nc := len(outCols)
+		stride := nc
+		if stride == 0 {
+			stride = 1
+		}
+		selBuf := make([]int32, store.BatchRows)
+		chunk := make([]value.Value, store.BatchRows*stride)
+		down := stats.NewSampledTimer(stats.SampleShift, nil)
+		var batches int64
+		wall0 := time.Now()
+		for {
+			sel := cur.Next(selBuf)
+			if sel == nil {
+				break
+			}
+			batches++
+			sel = p.filter.Apply(cur.Cols, sel)
+			for _, f := range filters {
+				sel = f.Apply(cur.Cols, sel)
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			store.FillRows(outCols, sel, chunk, nc)
+			for k := range sel {
+				row := chunk[k*nc : (k+1)*nc : (k+1)*nc]
+				if down.Begin() {
+					err := out(row)
+					down.End()
+					if err != nil {
+						return err
+					}
+				} else if err := out(row); err != nil {
+					return err
+				}
+			}
+		}
+		scanNanos := time.Since(wall0).Nanoseconds() - down.EstimatedTotal().Nanoseconds()
+		p.finish(ctx, batches, scanNanos, cur.Rows)
+		return nil
+	}
+}
+
+// filtersCompatible runs the schema-drift guard over a Select chain's
+// compiled filters, the same check open() applies to the scan residual: a
+// kind mismatch sends the execution to the row fallback instead of a
+// kernel reading the wrong typed slice.
+func filtersCompatible(filters []*expr.VecFilter, cols []*store.Vec) bool {
+	for _, f := range filters {
+		if !f.Compatible(cols) {
+			return false
+		}
+	}
+	return true
+}
+
+// peelVecChain walks [Select*] → CachedScan, compiling every Select
+// predicate to selection kernels (they all see the CachedScan's output
+// schema — Selects do not change it). ok is false when the chain has any
+// other operator or a non-vectorizable predicate.
+func peelVecChain(n plan.Node, disable bool) (*vecScan, []*expr.VecFilter, bool) {
+	var filters []*expr.VecFilter
+	for {
+		switch x := n.(type) {
+		case *plan.Select:
+			f, ok := expr.CompileVecFilter(x.Pred, x.Child.OutSchema())
+			if !ok {
+				return nil, nil, false
+			}
+			filters = append(filters, f)
+			n = x.Child
+		case *plan.CachedScan:
+			p, ok := planVecScan(x, disable)
+			if !ok {
+				return nil, nil, false
+			}
+			return p, filters, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// planVecProject vectorizes Project([Select*](CachedScan)) when every
+// projected expression is a plain column reference: the projection is a
+// column permutation applied at the batch level.
+func planVecProject(pr *plan.Project, deps Deps, rowFn runFn) (runFn, bool) {
+	p, filters, ok := peelVecChain(pr.Child, deps.DisableVectorized)
+	if !ok {
+		return nil, false
+	}
+	in := pr.Child.OutSchema()
+	proj := make([]int, len(pr.Exprs))
+	for i, e := range pr.Exprs {
+		slot, ok := expr.ColSlot(e, in)
+		if !ok {
+			return nil, false
+		}
+		proj[i] = slot
+	}
+	return vecScanEmit(p, filters, proj, rowFn), true
+}
+
+// --- vectorized aggregation ---
+
+// vaggAcc accumulates one aggregate over typed vectors, mirroring the row
+// path's aggState exactly (same float64 accumulation order, same null and
+// empty-input semantics) so both flavors produce identical results.
+type vaggAcc struct {
+	fn    plan.AggFunc
+	arg   int // batch column slot of the argument; -1 for COUNT(*)
+	kind  value.Kind
+	count int64
+	sum   float64
+	any   bool
+	mi    int64
+	mf    float64
+	ms    string
+	mb    bool
+}
+
+// updateBatch folds a whole selection batch into the accumulator with a
+// typed loop — the kind dispatch happens once per batch, not per row.
+func (a *vaggAcc) updateBatch(cols []*store.Vec, sel []int32) {
+	if a.arg < 0 { // COUNT(*): every selected row counts
+		a.count += int64(len(sel))
+		if len(sel) > 0 {
+			a.any = true
+		}
+		return
+	}
+	v := cols[a.arg]
+	switch a.fn {
+	case plan.AggCount:
+		for _, r := range sel {
+			if !v.Nulls.Get(int(r)) {
+				a.count++
+				a.any = true
+			}
+		}
+	case plan.AggSum, plan.AggAvg:
+		if v.Kind == value.Int {
+			for _, r := range sel {
+				if !v.Nulls.Get(int(r)) {
+					a.count++
+					a.sum += float64(v.Ints[r])
+					a.any = true
+				}
+			}
+		} else {
+			for _, r := range sel {
+				if !v.Nulls.Get(int(r)) {
+					a.count++
+					a.sum += v.Floats[r]
+					a.any = true
+				}
+			}
+		}
+	case plan.AggMin:
+		switch v.Kind {
+		case value.Int:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Ints[r]; !a.any || x < a.mi {
+					a.mi = x
+				}
+				a.any = true
+			}
+		case value.Float:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Floats[r]; !a.any || x < a.mf {
+					a.mf = x
+				}
+				a.any = true
+			}
+		case value.String:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Strs[r]; !a.any || x < a.ms {
+					a.ms = x
+				}
+				a.any = true
+			}
+		case value.Bool:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Bools[r]; !a.any || (!x && a.mb) {
+					a.mb = x
+				}
+				a.any = true
+			}
+		}
+	case plan.AggMax:
+		switch v.Kind {
+		case value.Int:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Ints[r]; !a.any || x > a.mi {
+					a.mi = x
+				}
+				a.any = true
+			}
+		case value.Float:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Floats[r]; !a.any || x > a.mf {
+					a.mf = x
+				}
+				a.any = true
+			}
+		case value.String:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Strs[r]; !a.any || x > a.ms {
+					a.ms = x
+				}
+				a.any = true
+			}
+		case value.Bool:
+			for _, r := range sel {
+				if v.Nulls.Get(int(r)) {
+					continue
+				}
+				if x := v.Bools[r]; !a.any || (x && !a.mb) {
+					a.mb = x
+				}
+				a.any = true
+			}
+		}
+	}
+}
+
+// updateRow folds one selected row (the grouped path's per-group update).
+func (a *vaggAcc) updateRow(cols []*store.Vec, r int32) {
+	if a.arg < 0 {
+		a.count++
+		a.any = true
+		return
+	}
+	v := cols[a.arg]
+	if v.Nulls.Get(int(r)) {
+		return
+	}
+	a.count++
+	switch a.fn {
+	case plan.AggSum, plan.AggAvg:
+		if v.Kind == value.Int {
+			a.sum += float64(v.Ints[r])
+		} else {
+			a.sum += v.Floats[r]
+		}
+	case plan.AggMin:
+		switch v.Kind {
+		case value.Int:
+			if x := v.Ints[r]; !a.any || x < a.mi {
+				a.mi = x
+			}
+		case value.Float:
+			if x := v.Floats[r]; !a.any || x < a.mf {
+				a.mf = x
+			}
+		case value.String:
+			if x := v.Strs[r]; !a.any || x < a.ms {
+				a.ms = x
+			}
+		case value.Bool:
+			if x := v.Bools[r]; !a.any || (!x && a.mb) {
+				a.mb = x
+			}
+		}
+	case plan.AggMax:
+		switch v.Kind {
+		case value.Int:
+			if x := v.Ints[r]; !a.any || x > a.mi {
+				a.mi = x
+			}
+		case value.Float:
+			if x := v.Floats[r]; !a.any || x > a.mf {
+				a.mf = x
+			}
+		case value.String:
+			if x := v.Strs[r]; !a.any || x > a.ms {
+				a.ms = x
+			}
+		case value.Bool:
+			if x := v.Bools[r]; !a.any || (x && !a.mb) {
+				a.mb = x
+			}
+		}
+	}
+	a.any = true
+}
+
+// result mirrors aggState.result.
+func (a *vaggAcc) result() value.Value {
+	switch a.fn {
+	case plan.AggCount:
+		return value.VInt(a.count)
+	case plan.AggSum:
+		if !a.any {
+			return value.VNull
+		}
+		return value.VFloat(a.sum)
+	case plan.AggAvg:
+		if a.count == 0 {
+			return value.VNull
+		}
+		return value.VFloat(a.sum / float64(a.count))
+	case plan.AggMin, plan.AggMax:
+		if !a.any {
+			return value.VNull
+		}
+		switch a.kind {
+		case value.Int:
+			return value.VInt(a.mi)
+		case value.Float:
+			return value.VFloat(a.mf)
+		case value.String:
+			return value.VString(a.ms)
+		case value.Bool:
+			return value.VBool(a.mb)
+		}
+	}
+	return value.VNull
+}
+
+// vgroup is one GROUP BY group of the batch-hashing aggregation.
+type vgroup struct {
+	keys    []value.Value
+	sortKey string // rendered key, matching the row path's output order
+	accs    []vaggAcc
+}
+
+// planVecAggregate vectorizes Aggregate([Select*](CachedScan)) when every
+// aggregate argument and group-by expression is a plain column reference.
+// GROUP BY hashes typed key columns per selected row (no per-row string
+// keys, no boxing); the ungrouped path folds whole batches.
+func planVecAggregate(a *plan.Aggregate, deps Deps, rowFn runFn) (runFn, bool) {
+	p, filters, ok := peelVecChain(a.Child, deps.DisableVectorized)
+	if !ok {
+		return nil, false
+	}
+	in := a.Child.OutSchema()
+	args := make([]int, len(a.Aggs))
+	for i, s := range a.Aggs {
+		if s.Arg == nil {
+			args[i] = -1
+			continue
+		}
+		slot, ok := expr.ColSlot(s.Arg, in)
+		if !ok {
+			return nil, false
+		}
+		args[i] = slot
+	}
+	gcols := make([]int, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		slot, ok := expr.ColSlot(g, in)
+		if !ok {
+			return nil, false
+		}
+		gcols[i] = slot
+	}
+	specs := a.Aggs
+
+	newAccs := func(cols []*store.Vec) []vaggAcc {
+		accs := make([]vaggAcc, len(specs))
+		for i := range accs {
+			accs[i] = vaggAcc{fn: specs[i].Func, arg: args[i]}
+			if args[i] >= 0 {
+				accs[i].kind = cols[args[i]].Kind
+			}
+		}
+		return accs
+	}
+
+	return func(ctx *qctx, out emitFn) error {
+		cur, ok := p.open(ctx.deps)
+		if !ok || !filtersCompatible(filters, cur.Cols) {
+			return rowFn(ctx, out)
+		}
+		// SUM/AVG kernels read numeric vectors; a non-numeric argument
+		// column (impossible through NewAggregate, cheap to guard) keeps
+		// the row path.
+		for i, s := range specs {
+			if (s.Func == plan.AggSum || s.Func == plan.AggAvg) && args[i] >= 0 {
+				if k := cur.Cols[args[i]].Kind; k != value.Int && k != value.Float {
+					return rowFn(ctx, out)
+				}
+			}
+		}
+		selBuf := make([]int32, store.BatchRows)
+		var batches int64
+		var scanNanos int64
+
+		if len(gcols) == 0 {
+			accs := newAccs(cur.Cols)
+			for {
+				t0 := time.Now()
+				sel := cur.Next(selBuf)
+				if sel == nil {
+					scanNanos += time.Since(t0).Nanoseconds()
+					break
+				}
+				batches++
+				sel = p.filter.Apply(cur.Cols, sel)
+				for _, f := range filters {
+					sel = f.Apply(cur.Cols, sel)
+				}
+				scanNanos += time.Since(t0).Nanoseconds()
+				for i := range accs {
+					accs[i].updateBatch(cur.Cols, sel)
+				}
+			}
+			p.finish(ctx, batches, scanNanos, cur.Rows)
+			outRow := make([]value.Value, len(accs))
+			for i := range accs {
+				outRow[i] = accs[i].result()
+			}
+			return out(outRow)
+		}
+
+		table := make(map[uint64][]*vgroup)
+		var groups []*vgroup
+		for {
+			t0 := time.Now()
+			sel := cur.Next(selBuf)
+			if sel == nil {
+				scanNanos += time.Since(t0).Nanoseconds()
+				break
+			}
+			batches++
+			sel = p.filter.Apply(cur.Cols, sel)
+			for _, f := range filters {
+				sel = f.Apply(cur.Cols, sel)
+			}
+			scanNanos += time.Since(t0).Nanoseconds()
+			for _, r := range sel {
+				h := hashGroupKey(cur.Cols, gcols, r)
+				var g *vgroup
+				for _, cand := range table[h] {
+					if groupKeyEq(cur.Cols, gcols, r, cand.keys) {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					keys := make([]value.Value, len(gcols))
+					var sb strings.Builder
+					for i, c := range gcols {
+						keys[i] = cur.Cols[c].Get(int(r))
+						sb.WriteString(keys[i].String())
+						sb.WriteByte(0)
+					}
+					g = &vgroup{keys: keys, sortKey: sb.String(), accs: newAccs(cur.Cols)}
+					table[h] = append(table[h], g)
+					groups = append(groups, g)
+				}
+				for ai := range g.accs {
+					g.accs[ai].updateRow(cur.Cols, r)
+				}
+			}
+		}
+		p.finish(ctx, batches, scanNanos, cur.Rows)
+		// Deterministic output order, identical to the row path's.
+		sort.Slice(groups, func(i, j int) bool { return groups[i].sortKey < groups[j].sortKey })
+		outRow := make([]value.Value, len(gcols)+len(specs))
+		for _, g := range groups {
+			copy(outRow, g.keys)
+			for i := range g.accs {
+				outRow[len(gcols)+i] = g.accs[i].result()
+			}
+			if err := out(outRow); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, true
+}
+
+// canonFloatBits normalizes a float group key for hashing/equality: all
+// NaNs collapse (the row path's rendered keys merge them) while +0 and -0
+// stay distinct (they render "0" and "-0").
+func canonFloatBits(f float64) uint64 {
+	if f != f {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(h, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime
+	return h
+}
+
+// hashGroupKey hashes the typed group-key columns of one row.
+func hashGroupKey(cols []*store.Vec, gcols []int, r int32) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range gcols {
+		v := cols[c]
+		if v.Nulls.Get(int(r)) {
+			h = mix(h, 0xa5a5a5a5)
+			continue
+		}
+		switch v.Kind {
+		case value.Int:
+			h = mix(h, 1)
+			h = mix(h, uint64(v.Ints[r]))
+		case value.Float:
+			h = mix(h, 2)
+			h = mix(h, canonFloatBits(v.Floats[r]))
+		case value.String:
+			h = mix(h, 3)
+			s := v.Strs[r]
+			for i := 0; i < len(s); i++ {
+				h = mix(h, uint64(s[i]))
+			}
+		case value.Bool:
+			h = mix(h, 4)
+			if v.Bools[r] {
+				h = mix(h, 1)
+			} else {
+				h = mix(h, 0)
+			}
+		}
+	}
+	return h
+}
+
+// groupKeyEq compares one row's typed key columns against a group's
+// materialized keys.
+func groupKeyEq(cols []*store.Vec, gcols []int, r int32, keys []value.Value) bool {
+	for i, c := range gcols {
+		v := cols[c]
+		k := keys[i]
+		if v.Nulls.Get(int(r)) {
+			if k.Kind != value.Null {
+				return false
+			}
+			continue
+		}
+		if k.Kind == value.Null {
+			return false
+		}
+		switch v.Kind {
+		case value.Int:
+			if k.I != v.Ints[r] {
+				return false
+			}
+		case value.Float:
+			if canonFloatBits(k.F) != canonFloatBits(v.Floats[r]) {
+				return false
+			}
+		case value.String:
+			if k.S != v.Strs[r] {
+				return false
+			}
+		case value.Bool:
+			if k.B != v.Bools[r] {
+				return false
+			}
+		}
+	}
+	return true
+}

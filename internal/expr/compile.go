@@ -291,18 +291,20 @@ func CompilePredicate(e Expr, schema *value.Type) (Predicate, error) {
 
 // cmpSpec is one fused conjunct: row[idx] op constant.
 type cmpSpec struct {
-	idx   int
-	op    Op
-	kind  value.Kind // Int, Float or String comparison
-	i     int64
-	f     float64
-	s     string
-	asFlt bool // compare as float (mixed int/float operands)
+	idx     int
+	op      Op
+	kind    value.Kind // Int, Float or String comparison
+	colKind value.Kind // static column kind (the vector a kernel reads)
+	i       int64
+	f       float64
+	s       string
+	asFlt   bool // compare as float (mixed int/float operands)
 }
 
-// fusePredicate recognizes AND-chains of <col> <cmp> <literal> where the
-// column resolves to a single row slot, and compiles them into one closure.
-func fusePredicate(e Expr, schema *value.Type) (Predicate, bool) {
+// extractCmpSpecs recognizes AND-chains of <col> <cmp> <literal> where the
+// column resolves to a single row slot — the shape both the fused row
+// predicate and the vectorized filter kernels accept.
+func extractCmpSpecs(e Expr, schema *value.Type) ([]cmpSpec, bool) {
 	conjuncts := Conjuncts(e)
 	specs := make([]cmpSpec, 0, len(conjuncts))
 	for _, c := range conjuncts {
@@ -318,7 +320,7 @@ func fusePredicate(e Expr, schema *value.Type) (Predicate, bool) {
 		if err != nil || len(chain) != 1 {
 			return nil, false
 		}
-		sp := cmpSpec{idx: chain[0], op: op}
+		sp := cmpSpec{idx: chain[0], op: op, colKind: ct.Kind}
 		switch {
 		case ct.Kind == value.Int && lit.V.Kind == value.Int:
 			sp.kind, sp.i = value.Int, lit.V.I
@@ -330,6 +332,15 @@ func fusePredicate(e Expr, schema *value.Type) (Predicate, bool) {
 			return nil, false
 		}
 		specs = append(specs, sp)
+	}
+	return specs, true
+}
+
+// fusePredicate compiles the recognized conjuncts into one closure.
+func fusePredicate(e Expr, schema *value.Type) (Predicate, bool) {
+	specs, ok := extractCmpSpecs(e, schema)
+	if !ok {
+		return nil, false
 	}
 	return func(r Row) bool {
 		for i := range specs {

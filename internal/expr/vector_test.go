@@ -1,0 +1,211 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// vecFixture builds aligned column vectors and boxed rows over
+// (a int, b float, c string) with a sprinkling of nulls.
+func vecFixture(n int, seed int64) ([]*store.Vec, []Row, *value.Type) {
+	schema := value.TRecord(
+		value.F("a", value.TInt),
+		value.F("b", value.TFloat),
+		value.F("c", value.TString),
+	)
+	r := rand.New(rand.NewSource(seed))
+	cols := []*store.Vec{{Kind: value.Int}, {Kind: value.Float}, {Kind: value.String}}
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		row := make(Row, 3)
+		if r.Intn(10) == 0 {
+			row[0] = value.VNull
+		} else {
+			row[0] = value.VInt(int64(r.Intn(100)))
+		}
+		if r.Intn(10) == 0 {
+			row[1] = value.VNull
+		} else {
+			row[1] = value.VFloat(r.Float64() * 100)
+		}
+		if r.Intn(10) == 0 {
+			row[2] = value.VNull
+		} else {
+			row[2] = value.VString(string(rune('a' + r.Intn(5))))
+		}
+		for c := 0; c < 3; c++ {
+			cols[c].AppendVal(row[c])
+		}
+		rows[i] = row
+	}
+	return cols, rows, schema
+}
+
+func fullSel(n int) []int32 {
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+func TestVecFilterMatchesRowPredicate(t *testing.T) {
+	cols, rows, schema := vecFixture(500, 7)
+	preds := []Expr{
+		nil,
+		Between(C("a"), L(20), L(60)),
+		Cmp(OpGt, C("a"), L(30)),
+		Cmp(OpLt, C("b"), L(42.5)),
+		And(Cmp(OpGe, C("b"), L(10.0)), Cmp(OpLe, C("b"), L(80.0))),
+		Cmp(OpEq, C("c"), L("b")),
+		Cmp(OpNe, C("c"), L("c")),
+		Cmp(OpNe, C("a"), L(50)),
+		// Mixed: int column against a float literal compares as float.
+		Cmp(OpLe, C("a"), L(24.5)),
+		// Multi-conjunct over one column merges into one interval kernel.
+		And(Cmp(OpGe, C("a"), L(10)), Cmp(OpLt, C("a"), L(90)), Cmp(OpNe, C("a"), L(42))),
+		// Statically empty interval.
+		And(Cmp(OpGt, C("a"), L(50)), Cmp(OpLt, C("a"), L(40))),
+		// Everything at once, including the literal-on-the-left orientation.
+		And(Cmp(OpGe, L(5), C("a")), Cmp(OpGt, C("b"), L(1.5)), Cmp(OpGe, C("c"), L("a"))),
+	}
+	for pi, pred := range preds {
+		t.Run(fmt.Sprintf("pred%d", pi), func(t *testing.T) {
+			rowPred, err := CompilePredicate(pred, schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vf, ok := CompileVecFilter(pred, schema)
+			if !ok {
+				t.Fatalf("predicate %d should be vectorizable", pi)
+			}
+			if !vf.Compatible(cols) {
+				t.Fatal("filter incompatible with its own schema's columns")
+			}
+			got := vf.Apply(cols, fullSel(len(rows)))
+			var want []int32
+			for i, row := range rows {
+				if rowPred(row) {
+					want = append(want, int32(i))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("selected %d rows, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("sel[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestVecFilterRejectsNonVectorizable(t *testing.T) {
+	schema := value.TRecord(
+		value.F("a", value.TInt),
+		value.F("b", value.TFloat),
+		value.F("flag", value.TBool),
+	)
+	bad := []Expr{
+		Or(Cmp(OpGt, C("a"), L(1)), Cmp(OpLt, C("a"), L(0))),        // disjunction
+		Cmp(OpGt, &Bin{Op: OpAdd, L: C("a"), R: L(1)}, L(10)),       // arithmetic operand
+		Cmp(OpEq, C("flag"), L(true)),                               // bool column
+		Cmp(OpEq, C("a"), C("b")),                                   // col vs col
+		&Not{E: Cmp(OpGt, C("a"), L(1))},                            // negation
+		And(Cmp(OpGt, C("a"), L(1)), Cmp(OpEq, C("flag"), L(true))), // one bad conjunct
+	}
+	for i, e := range bad {
+		if _, ok := CompileVecFilter(e, schema); ok {
+			t.Errorf("predicate %d should not be vectorizable", i)
+		}
+	}
+}
+
+func TestVecFilterIntervalFusion(t *testing.T) {
+	schema := value.TRecord(value.F("a", value.TInt))
+	// Three conjuncts on one column: one fused interval kernel.
+	vf, ok := CompileVecFilter(
+		And(Cmp(OpGe, C("a"), L(10)), Cmp(OpLe, C("a"), L(40)), Cmp(OpGt, C("a"), L(12))), schema)
+	if !ok {
+		t.Fatal("not vectorizable")
+	}
+	if len(vf.specs) != 1 {
+		t.Fatalf("specs = %d, want 1 fused interval", len(vf.specs))
+	}
+	sp := vf.specs[0]
+	if sp.kind != vsIntRange || sp.lo != 13 || sp.hi != 40 {
+		t.Errorf("fused spec = %+v, want [13,40]", sp)
+	}
+}
+
+// TestVecFilterNaNParity pins the NaN semantics to the fused row path's:
+// a NaN column value compares equal to everything there, so it passes =,
+// <= and >= but fails <, > and <>; a NaN literal makes strict comparisons
+// reject every row and non-strict ones vacuous.
+func TestVecFilterNaNParity(t *testing.T) {
+	schema := value.TRecord(value.F("b", value.TFloat))
+	col := &store.Vec{Kind: value.Float}
+	vals := []float64{1, math.NaN(), 5, math.NaN(), 9}
+	for _, x := range vals {
+		col.AppendVal(value.VFloat(x))
+	}
+	cols := []*store.Vec{col}
+	preds := []Expr{
+		Cmp(OpLt, C("b"), L(6.0)),
+		Cmp(OpLe, C("b"), L(6.0)),
+		Cmp(OpGt, C("b"), L(2.0)),
+		Cmp(OpGe, C("b"), L(2.0)),
+		Cmp(OpEq, C("b"), L(5.0)),
+		Cmp(OpNe, C("b"), L(5.0)),
+		And(Cmp(OpGe, C("b"), L(0.0)), Cmp(OpLt, C("b"), L(8.0))), // mixed strictness interval
+		Cmp(OpLt, C("b"), L(math.NaN())),
+		Cmp(OpLe, C("b"), L(math.NaN())),
+		Cmp(OpNe, C("b"), L(math.NaN())),
+	}
+	for pi, pred := range preds {
+		rowPred, err := CompilePredicate(pred, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vf, ok := CompileVecFilter(pred, schema)
+		if !ok {
+			t.Fatalf("pred %d not vectorizable", pi)
+		}
+		got := vf.Apply(cols, fullSel(len(vals)))
+		var want []int32
+		for i, x := range vals {
+			if rowPred(Row{value.VFloat(x)}) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pred %d (%s): selected %d rows, want %d", pi, pred.Canonical(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pred %d: sel[%d] = %d, want %d", pi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVecFilterAllNullColumn(t *testing.T) {
+	schema := value.TRecord(value.F("a", value.TInt))
+	col := &store.Vec{Kind: value.Int}
+	for i := 0; i < 70; i++ {
+		col.AppendVal(value.VNull)
+	}
+	vf, ok := CompileVecFilter(Cmp(OpGe, C("a"), L(0)), schema)
+	if !ok {
+		t.Fatal("not vectorizable")
+	}
+	if got := vf.Apply([]*store.Vec{col}, fullSel(70)); len(got) != 0 {
+		t.Errorf("all-null column selected %d rows, want 0", len(got))
+	}
+}

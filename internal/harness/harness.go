@@ -62,6 +62,8 @@ type Runner struct {
 	tpch     *datagen.TPCHPaths
 	symantec *datagen.SymantecPaths
 	yelp     *datagen.YelpPaths
+	// report accumulates machine-readable results; WriteJSON emits it.
+	report Report
 }
 
 // New creates a runner.
@@ -77,8 +79,9 @@ func Experiments() []string {
 		"fig14", "fig15a", "fig15b"}
 }
 
-// Run dispatches one experiment by id ("all" runs every one).
-func (r *Runner) Run(exp string) error {
+// Run dispatches one experiment by id ("all" runs every one). Each
+// experiment's wall time lands in the JSON report.
+func (r *Runner) Run(exp string) (errOut error) {
 	if exp == "all" {
 		for _, e := range Experiments() {
 			if err := r.Run(e); err != nil {
@@ -87,6 +90,12 @@ func (r *Runner) Run(exp string) error {
 		}
 		return nil
 	}
+	start := time.Now()
+	defer func(err *error) {
+		if *err == nil && exp != "parallel" { // parallel reports its own phases
+			r.addPhase(Phase{Name: exp, WallSeconds: time.Since(start).Seconds()})
+		}
+	}(&errOut)
 	switch exp {
 	case "table1":
 		return r.Table1()

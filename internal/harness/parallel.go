@@ -62,6 +62,13 @@ func (r *Runner) Parallel(workers []int) error {
 			base = qps
 		}
 		r.printf("%12d %14.0f %9.2fx\n", w, qps, qps/base)
+		stats := eng.Manager().Stats()
+		r.addPhase(Phase{
+			Name:       "hit-throughput",
+			Goroutines: w,
+			QPS:        qps,
+			CacheStats: &stats,
+		})
 	}
 	return r.coldShared(paths, workers)
 }
@@ -95,6 +102,13 @@ func (r *Runner) coldShared(paths *datagen.TPCHPaths, workers []int) error {
 		}
 		st := eng.Manager().Stats()
 		r.printf("%12d %14d %14d %14d %16d\n", w, b1, b2, st.SharedScans, st.SharedConsumers)
+		r.addPhase(Phase{
+			Name:         "cold-shared",
+			Goroutines:   w,
+			Burst1Parses: b1,
+			Burst2Parses: b2,
+			CacheStats:   &st,
+		})
 	}
 	return nil
 }

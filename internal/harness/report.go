@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+
+	"recache/internal/cache"
+)
+
+// Phase is one machine-readable result row of a harness run: an experiment
+// (name + wall time) or one step of the parallel harness (per-worker-count
+// hit throughput, or a cold-miss burst with its raw-scan cost). The
+// BENCH_*.json perf trajectory accumulates these across PRs.
+type Phase struct {
+	Name       string `json:"name"`
+	Goroutines int    `json:"goroutines,omitempty"`
+	// QPS is the aggregate cache-hit query throughput of a parallel phase.
+	QPS float64 `json:"qps,omitempty"`
+	// WallSeconds is an experiment phase's end-to-end duration.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Burst parses: raw-file scans a burst of concurrent identical cold
+	// queries cost (work-sharing metric; was W per burst before sharing).
+	Burst1Parses int64 `json:"burst1_parses,omitempty"`
+	Burst2Parses int64 `json:"burst2_parses,omitempty"`
+	// CacheStats snapshots the engine's counters when the phase ended
+	// (hits, misses, shared scans, vectorized scans, ...).
+	CacheStats *cache.Stats `json:"cache_stats,omitempty"`
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	SF      float64 `json:"sf"`
+	Queries float64 `json:"queries"`
+	Seed    int64   `json:"seed"`
+	Phases  []Phase `json:"phases"`
+}
+
+// addPhase appends one result row to the run's report.
+func (r *Runner) addPhase(p Phase) {
+	r.report.Phases = append(r.report.Phases, p)
+}
+
+// WriteJSON writes the accumulated report to path (pretty-printed, so the
+// perf-trajectory files diff readably).
+func (r *Runner) WriteJSON(path string) error {
+	r.report.SF = r.opts.SF
+	r.report.Queries = r.opts.Queries
+	r.report.Seed = r.opts.Seed
+	b, err := json.MarshalIndent(&r.report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

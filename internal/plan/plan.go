@@ -192,7 +192,6 @@ func (p *Project) Children() []Node { return []Node{p.Child} }
 type Join struct {
 	Left, Right       Node
 	LeftKey, RightKey expr.Expr
-	out               *value.Type
 }
 
 // NewJoin builds a Join, validating key types and name disjointness.
@@ -209,23 +208,30 @@ func NewJoin(left, right Node, lkey, rkey expr.Expr) (*Join, error) {
 		return nil, fmt.Errorf("plan: join key types %s and %s incompatible", lt, rt)
 	}
 	seen := map[string]bool{}
-	var fields []value.Field
 	for _, f := range left.OutSchema().Fields {
 		seen[f.Name] = true
-		fields = append(fields, f)
 	}
 	for _, f := range right.OutSchema().Fields {
 		if seen[f.Name] {
 			return nil, fmt.Errorf("plan: join field name clash %q", f.Name)
 		}
-		fields = append(fields, f)
 	}
-	return &Join{Left: left, Right: right, LeftKey: lkey, RightKey: rkey,
-		out: value.TRecord(fields...)}, nil
+	return &Join{Left: left, Right: right, LeftKey: lkey, RightKey: rkey}, nil
 }
 
-// OutSchema implements Node.
-func (j *Join) OutSchema() *value.Type { return j.out }
+// OutSchema implements Node. It is recomputed from the children on every
+// call rather than cached at construction: the cache rewrite replaces a
+// join's inputs with CachedScan nodes narrowed to the query's needed
+// columns, and a schema snapshotted before that rewrite would make every
+// operator above the join resolve column slots against row shapes the
+// narrowed inputs no longer produce (reading the wrong columns — silently —
+// whenever a join input was served from the cache).
+func (j *Join) OutSchema() *value.Type {
+	var fields []value.Field
+	fields = append(fields, j.Left.OutSchema().Fields...)
+	fields = append(fields, j.Right.OutSchema().Fields...)
+	return value.TRecord(fields...)
+}
 
 // Canonical implements Node.
 func (j *Join) Canonical() string {

@@ -24,9 +24,9 @@ type fakeProv struct {
 	scans     int
 	neededLog [][]value.Path
 
-	onScanStart func(scan int)            // called before the first record
-	betweenRecs func(scan, nextRec int)   // called before each record
-	completes   atomic.Int64              // complete() invocations observed
+	onScanStart func(scan int)          // called before the first record
+	betweenRecs func(scan, nextRec int) // called before each record
+	completes   atomic.Int64            // complete() invocations observed
 }
 
 func newFakeProv(nRecs int) *fakeProv { return &fakeProv{nRecs: nRecs} }
@@ -324,7 +324,10 @@ func TestFailedConsumerReleasedMidScan(t *testing.T) {
 
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	<-scan1Running
 
 	boom := errors.New("boom")
@@ -371,7 +374,10 @@ func TestAllConsumersFailedStopsScan(t *testing.T) {
 
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	<-scan1Running
 
 	boom := errors.New("boom")
@@ -401,9 +407,9 @@ func TestAllConsumersFailedStopsScan(t *testing.T) {
 // and all fields as soon as any consumer needs everything.
 func TestSharedScanUsesUnionOfNeededFields(t *testing.T) {
 	for _, tc := range []struct {
-		name   string
+		name    string
 		neededs [][]value.Path
-		want   string // "" means nil (all fields)
+		want    string // "" means nil (all fields)
 	}{
 		{"disjoint", [][]value.Path{{{"a"}}, {{"b"}}}, "a,b"},
 		{"one-wants-all", [][]value.Path{{{"a"}}, nil}, ""},
@@ -422,7 +428,10 @@ func TestSharedScanUsesUnionOfNeededFields(t *testing.T) {
 			c := New(Config{Window: time.Hour})
 			var wg sync.WaitGroup
 			wg.Add(1)
-			go func() { defer wg.Done(); _ = c.Scan(f, []value.Path{{"a"}}, func(value.Value, int64, func() error) error { return nil }) }()
+			go func() {
+				defer wg.Done()
+				_ = c.Scan(f, []value.Path{{"a"}}, func(value.Value, int64, func() error) error { return nil })
+			}()
 			<-scan1Running
 			for _, need := range tc.neededs {
 				need := need
@@ -477,10 +486,16 @@ func TestBurstMemoryBatchesNextWave(t *testing.T) {
 	// Wave 1 establishes the burst memory.
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	<-scan1Running
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	waitFor(t, "wave-1 follower to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
 	close(gate)
 	wg.Wait()
@@ -523,7 +538,10 @@ func TestConsumerPanicReleasesCoConsumers(t *testing.T) {
 
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	<-scan1Running
 
 	// Leader (attaches first, drives the scan) is healthy; a joiner panics.
@@ -546,7 +564,10 @@ func TestConsumerPanicReleasesCoConsumers(t *testing.T) {
 		defer func() { recover() }() // its own panic unwinds the leader, not here
 		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { panic("pipeline bug") })
 	}()
-	go func() { defer wg.Done(); joinerErr = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		joinerErr = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	waitFor(t, "joiners to gather", func() bool { w, _, _, _ := c.Status(f); return w == 3 })
 	close(gate)
 	wg.Wait()
@@ -616,9 +637,15 @@ func TestSoloCycleDecaysBurstMemory(t *testing.T) {
 	// Establish burst memory with one genuine shared cycle.
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	<-scan1Running
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	waitFor(t, "the follower to gather", func() bool { w, _, _, _ := c.Status(f); return w == 1 })
 	close(gate)
 	wg.Wait()
@@ -653,7 +680,10 @@ func TestCompleteMemoizedAcrossConsumers(t *testing.T) {
 	c := New(Config{Window: time.Hour})
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); _ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil }) }()
+	go func() {
+		defer wg.Done()
+		_ = c.Scan(f, nil, func(value.Value, int64, func() error) error { return nil })
+	}()
 	<-scan1Running
 
 	const followers = 4

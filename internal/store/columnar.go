@@ -58,9 +58,9 @@ func (b *columnarBuilder) Add(rec value.Value) error {
 		// Placeholder row: non-repeated values present, repeated columns null.
 		for ci, c := range st.cols {
 			if c.Repeated {
-				st.vecs[ci].appendVal(value.VNull)
+				st.vecs[ci].AppendVal(value.VNull)
 			} else {
-				st.vecs[ci].appendVal(value.Get(rec, st.schema, c.Path))
+				st.vecs[ci].AppendVal(value.Get(rec, st.schema, c.Path))
 			}
 		}
 		st.recID = append(st.recID, ri)
@@ -69,7 +69,7 @@ func (b *columnarBuilder) Add(rec value.Value) error {
 	}
 	for _, row := range rows {
 		for ci := range st.cols {
-			st.vecs[ci].appendVal(row[ci])
+			st.vecs[ci].AppendVal(row[ci])
 		}
 		st.recID = append(st.recID, ri)
 		st.skip = append(st.skip, false)
@@ -89,7 +89,7 @@ func (b *columnarBuilder) SizeBytes() int64 { return b.computeSize() }
 func (b *columnarBuilder) computeSize() int64 {
 	var sz int64
 	for _, v := range b.st.vecs {
-		sz += v.sizeBytes()
+		sz += v.SizeBytes()
 	}
 	sz += int64(len(b.st.recID)) * 5 // recID + skip
 	return sz
@@ -127,8 +127,8 @@ func (s *columnarStore) ScanFlat(cols []int, emit EmitFunc) (ScanStats, error) {
 	for i, c := range cols {
 		vecs[i] = s.vecs[c]
 	}
-	const chunkRows = 1024
-	rowIdx := make([]int, 0, chunkRows)
+	const chunkRows = BatchRows
+	rowIdx := make([]int32, 0, chunkRows)
 	chunk := make([]value.Value, chunkRows*max(nc, 1))
 	for base := 0; base < n; base += chunkRows {
 		end := base + chunkRows
@@ -138,7 +138,7 @@ func (s *columnarStore) ScanFlat(cols []int, emit EmitFunc) (ScanStats, error) {
 		rowIdx = rowIdx[:0]
 		for r := base; r < end; r++ {
 			if !s.skip[r] {
-				rowIdx = append(rowIdx, r)
+				rowIdx = append(rowIdx, int32(r))
 			}
 		}
 		m := len(rowIdx)
@@ -162,40 +162,40 @@ func (s *columnarStore) ScanFlat(cols []int, emit EmitFunc) (ScanStats, error) {
 	}, nil
 }
 
-// fillColumn writes vector values for the given rows into column slot i of
-// the row-major chunk, dispatching on the column kind once.
-func fillColumn(chunk []value.Value, i, nc int, rowIdx []int, v *vec) {
-	switch v.kind {
+// fillColumn writes vector values for the selected rows into column slot i
+// of the row-major chunk, dispatching on the column kind once.
+func fillColumn(chunk []value.Value, i, nc int, sel []int32, v *Vec) {
+	switch v.Kind {
 	case value.Int:
-		for k, r := range rowIdx {
-			if v.nulls[r] {
+		for k, r := range sel {
+			if v.Nulls.Get(int(r)) {
 				chunk[k*nc+i] = value.VNull
 			} else {
-				chunk[k*nc+i] = value.Value{Kind: value.Int, I: v.ints[r]}
+				chunk[k*nc+i] = value.Value{Kind: value.Int, I: v.Ints[r]}
 			}
 		}
 	case value.Float:
-		for k, r := range rowIdx {
-			if v.nulls[r] {
+		for k, r := range sel {
+			if v.Nulls.Get(int(r)) {
 				chunk[k*nc+i] = value.VNull
 			} else {
-				chunk[k*nc+i] = value.Value{Kind: value.Float, F: v.floats[r]}
+				chunk[k*nc+i] = value.Value{Kind: value.Float, F: v.Floats[r]}
 			}
 		}
 	case value.String:
-		for k, r := range rowIdx {
-			if v.nulls[r] {
+		for k, r := range sel {
+			if v.Nulls.Get(int(r)) {
 				chunk[k*nc+i] = value.VNull
 			} else {
-				chunk[k*nc+i] = value.Value{Kind: value.String, S: v.strs[r]}
+				chunk[k*nc+i] = value.Value{Kind: value.String, S: v.Strs[r]}
 			}
 		}
 	case value.Bool:
-		for k, r := range rowIdx {
-			if v.nulls[r] {
+		for k, r := range sel {
+			if v.Nulls.Get(int(r)) {
 				chunk[k*nc+i] = value.VNull
 			} else {
-				chunk[k*nc+i] = value.Value{Kind: value.Bool, B: v.bools[r]}
+				chunk[k*nc+i] = value.Value{Kind: value.Bool, B: v.Bools[r]}
 			}
 		}
 	}
@@ -227,8 +227,8 @@ func (s *columnarStore) ScanRecords(cols []int, emit EmitFunc) (ScanStats, error
 	for i, c := range cols {
 		vecs[i] = s.vecs[c]
 	}
-	const chunkRows = 1024
-	rowIdx := make([]int, chunkRows)
+	const chunkRows = BatchRows
+	rowIdx := make([]int32, chunkRows)
 	chunk := make([]value.Value, chunkRows*max(nc, 1))
 	prev := int32(-1)
 	for base := 0; base < n; base += chunkRows {
@@ -238,7 +238,7 @@ func (s *columnarStore) ScanRecords(cols []int, emit EmitFunc) (ScanStats, error
 		}
 		m := end - base
 		for k := 0; k < m; k++ {
-			rowIdx[k] = base + k
+			rowIdx[k] = int32(base + k)
 		}
 		// Load every physical row's values (the duplicated data), then emit
 		// only the first row of each record.
@@ -280,9 +280,9 @@ func (s *columnarStore) ScanNested(emit func(rec value.Value) error) error {
 			card = 0
 		}
 		rec := assembleRecord(s.schema, colIdx,
-			func(ci int) value.Value { return s.vecs[ci].get(first) },
+			func(ci int) value.Value { return s.vecs[ci].Get(first) },
 			card,
-			func(ci, elem int) value.Value { return s.vecs[ci].get(first + elem) })
+			func(ci, elem int) value.Value { return s.vecs[ci].Get(first + elem) })
 		if err := emit(rec); err != nil {
 			return err
 		}

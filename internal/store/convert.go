@@ -21,14 +21,14 @@ import (
 // This keeps the transformation cost T in the same regime as a scan, which
 // is what the paper's cost model (eq. 3) assumes.
 
-// copyVec deep-copies a vector.
+// copyVec deep-copies a vector (including the null bitmap's trailing word,
+// so appends to the copy never alias the source).
 func copyVec(src *vec) *vec {
-	out := &vec{kind: src.kind}
-	out.nulls = append([]bool(nil), src.nulls...)
-	out.ints = append([]int64(nil), src.ints...)
-	out.floats = append([]float64(nil), src.floats...)
-	out.strs = append([]string(nil), src.strs...)
-	out.bools = append([]bool(nil), src.bools...)
+	out := &vec{Kind: src.Kind, Nulls: src.Nulls.Clone()}
+	out.Ints = append([]int64(nil), src.Ints...)
+	out.Floats = append([]float64(nil), src.Floats...)
+	out.Strs = append([]string(nil), src.Strs...)
+	out.Bools = append([]bool(nil), src.Bools...)
 	return out
 }
 
@@ -38,38 +38,38 @@ func expandVec(src *vec, counts []int32) *vec {
 	for _, c := range counts {
 		total += int(c)
 	}
-	out := &vec{kind: src.kind, nulls: make([]bool, 0, total)}
-	switch src.kind {
+	out := &vec{Kind: src.Kind}
+	switch src.Kind {
 	case value.Int:
-		out.ints = make([]int64, 0, total)
+		out.Ints = make([]int64, 0, total)
 		for i, c := range counts {
 			for k := int32(0); k < c; k++ {
-				out.nulls = append(out.nulls, src.nulls[i])
-				out.ints = append(out.ints, src.ints[i])
+				out.Nulls.Append(src.Nulls.Get(i))
+				out.Ints = append(out.Ints, src.Ints[i])
 			}
 		}
 	case value.Float:
-		out.floats = make([]float64, 0, total)
+		out.Floats = make([]float64, 0, total)
 		for i, c := range counts {
 			for k := int32(0); k < c; k++ {
-				out.nulls = append(out.nulls, src.nulls[i])
-				out.floats = append(out.floats, src.floats[i])
+				out.Nulls.Append(src.Nulls.Get(i))
+				out.Floats = append(out.Floats, src.Floats[i])
 			}
 		}
 	case value.String:
-		out.strs = make([]string, 0, total)
+		out.Strs = make([]string, 0, total)
 		for i, c := range counts {
 			for k := int32(0); k < c; k++ {
-				out.nulls = append(out.nulls, src.nulls[i])
-				out.strs = append(out.strs, src.strs[i])
+				out.Nulls.Append(src.Nulls.Get(i))
+				out.Strs = append(out.Strs, src.Strs[i])
 			}
 		}
 	default: // value.Bool
-		out.bools = make([]bool, 0, total)
+		out.Bools = make([]bool, 0, total)
 		for i, c := range counts {
 			for k := int32(0); k < c; k++ {
-				out.nulls = append(out.nulls, src.nulls[i])
-				out.bools = append(out.bools, src.bools[i])
+				out.Nulls.Append(src.Nulls.Get(i))
+				out.Bools = append(out.Bools, src.Bools[i])
 			}
 		}
 	}
@@ -78,31 +78,31 @@ func expandVec(src *vec, counts []int32) *vec {
 
 // gatherVec picks src at the given indexes.
 func gatherVec(src *vec, idx []int32) *vec {
-	out := &vec{kind: src.kind, nulls: make([]bool, 0, len(idx))}
-	switch src.kind {
+	out := &vec{Kind: src.Kind}
+	switch src.Kind {
 	case value.Int:
-		out.ints = make([]int64, 0, len(idx))
+		out.Ints = make([]int64, 0, len(idx))
 		for _, i := range idx {
-			out.nulls = append(out.nulls, src.nulls[i])
-			out.ints = append(out.ints, src.ints[i])
+			out.Nulls.Append(src.Nulls.Get(int(i)))
+			out.Ints = append(out.Ints, src.Ints[i])
 		}
 	case value.Float:
-		out.floats = make([]float64, 0, len(idx))
+		out.Floats = make([]float64, 0, len(idx))
 		for _, i := range idx {
-			out.nulls = append(out.nulls, src.nulls[i])
-			out.floats = append(out.floats, src.floats[i])
+			out.Nulls.Append(src.Nulls.Get(int(i)))
+			out.Floats = append(out.Floats, src.Floats[i])
 		}
 	case value.String:
-		out.strs = make([]string, 0, len(idx))
+		out.Strs = make([]string, 0, len(idx))
 		for _, i := range idx {
-			out.nulls = append(out.nulls, src.nulls[i])
-			out.strs = append(out.strs, src.strs[i])
+			out.Nulls.Append(src.Nulls.Get(int(i)))
+			out.Strs = append(out.Strs, src.Strs[i])
 		}
 	default:
-		out.bools = make([]bool, 0, len(idx))
+		out.Bools = make([]bool, 0, len(idx))
 		for _, i := range idx {
-			out.nulls = append(out.nulls, src.nulls[i])
-			out.bools = append(out.bools, src.bools[i])
+			out.Nulls.Append(src.Nulls.Get(int(i)))
+			out.Bools = append(out.Bools, src.Bools[i])
 		}
 	}
 	return out
@@ -142,7 +142,7 @@ func convertParquetToColumnar(p *parquetStore) *columnarStore {
 	}
 	var sz int64
 	for _, v := range out.vecs {
-		sz += v.sizeBytes()
+		sz += v.SizeBytes()
 	}
 	out.size = sz + int64(len(out.recID))*5
 	return out
@@ -208,10 +208,10 @@ func convertColumnarToParquet(c *columnarStore) *parquetStore {
 	var sz int64
 	for ci := range out.cols {
 		if v := out.flatVecs[ci]; v != nil {
-			sz += v.sizeBytes()
+			sz += v.SizeBytes()
 		}
 		if v := out.repVecs[ci]; v != nil {
-			sz += v.sizeBytes()
+			sz += v.SizeBytes()
 			sz += int64(len(out.reps[ci]))
 		}
 	}

@@ -93,13 +93,13 @@ func (b *parquetBuilder) Add(rec value.Value) error {
 	}
 	for ci, c := range st.cols {
 		if !c.Repeated {
-			st.flatVecs[ci].appendVal(value.Get(rec, st.schema, c.Path))
+			st.flatVecs[ci].AppendVal(value.Get(rec, st.schema, c.Path))
 			continue
 		}
 		suffix := c.Path[len(st.listPath):]
 		if card == 0 {
 			st.reps[ci] = append(st.reps[ci], 0)
-			st.repVecs[ci].appendVal(value.VNull)
+			st.repVecs[ci].AppendVal(value.VNull)
 			continue
 		}
 		for e := 0; e < card; e++ {
@@ -108,7 +108,7 @@ func (b *parquetBuilder) Add(rec value.Value) error {
 				r = 0
 			}
 			st.reps[ci] = append(st.reps[ci], r)
-			st.repVecs[ci].appendVal(value.Get(listVal.L[e], b.elemT, suffix))
+			st.repVecs[ci].AppendVal(value.Get(listVal.L[e], b.elemT, suffix))
 		}
 	}
 	return nil
@@ -127,10 +127,10 @@ func (b *parquetBuilder) computeSize() int64 {
 	var sz int64
 	for ci := range b.st.cols {
 		if v := b.st.flatVecs[ci]; v != nil {
-			sz += v.sizeBytes()
+			sz += v.SizeBytes()
 		}
 		if v := b.st.repVecs[ci]; v != nil {
-			sz += v.sizeBytes()
+			sz += v.SizeBytes()
 		}
 		sz += int64(len(b.st.reps[ci]))
 	}
@@ -235,7 +235,7 @@ func (s *parquetStore) ScanFlat(cols []int, emit EmitFunc) (ScanStats, error) {
 					if st.cursor+1 < len(st.reps) && st.reps[st.cursor+1] == 1 && e == n-1 && card > 0 {
 						return ScanStats{}, fmt.Errorf("store: repetition stream overruns record %d", ri)
 					}
-					if card == 0 || st.v.nulls[st.cursor] {
+					if card == 0 || st.v.Nulls.Get(st.cursor) {
 						srcIdx[si] = -1
 					} else {
 						srcIdx[si] = int32(st.cursor)
@@ -244,7 +244,7 @@ func (s *parquetStore) ScanFlat(cols []int, emit EmitFunc) (ScanStats, error) {
 				} else {
 					// Non-repeated reader re-emits its record value per row,
 					// with the definition (null) check applied each time.
-					if st.v.nulls[ri] {
+					if st.v.Nulls.Get(ri) {
 						srcIdx[si] = -1
 					} else {
 						srcIdx[si] = int32(ri)
@@ -263,7 +263,7 @@ func (s *parquetStore) ScanFlat(cols []int, emit EmitFunc) (ScanStats, error) {
 				if ix < 0 {
 					buf[si] = value.VNull
 				} else {
-					buf[si] = states[si].v.get(int(ix))
+					buf[si] = states[si].v.Get(int(ix))
 				}
 			}
 			if err := emit(buf); err != nil {
@@ -304,7 +304,7 @@ func (s *parquetStore) ScanRecords(cols []int, emit EmitFunc) (ScanStats, error)
 	buf := make([]value.Value, len(cols))
 	for ri := 0; ri < s.nRecs; ri++ {
 		for i, v := range vecs {
-			buf[i] = v.get(ri)
+			buf[i] = v.Get(ri)
 		}
 		if err := emit(buf); err != nil {
 			return ScanStats{}, err
@@ -326,9 +326,9 @@ func (s *parquetStore) ScanNested(emit func(rec value.Value) error) error {
 		card := s.card(ri)
 		base := cursor
 		rec := assembleRecord(s.schema, colIdx,
-			func(ci int) value.Value { return s.flatVecs[ci].get(ri) },
+			func(ci int) value.Value { return s.flatVecs[ci].Get(ri) },
 			card,
-			func(ci, e int) value.Value { return s.repVecs[ci].get(base + e) })
+			func(ci, e int) value.Value { return s.repVecs[ci].Get(base + e) })
 		if card == 0 {
 			cursor++
 		} else {

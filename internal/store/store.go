@@ -52,11 +52,15 @@ func (l Layout) String() string {
 // ScanStats reports the cost split of one scan: DataNanos is time spent
 // loading values from the store (D_i in the paper's cost model), and
 // ComputeNanos the time spent in level decoding, record assembly and other
-// branching work (C_i). RowsScanned is r_i.
+// branching work (C_i). RowsScanned is r_i. Vectorized scans additionally
+// report the batch count, and carry the flag into the layout advisor so
+// measured batch speed influences layout decisions.
 type ScanStats struct {
 	DataNanos    int64
 	ComputeNanos int64
 	RowsScanned  int64
+	Batches      int64
+	Vectorized   bool
 }
 
 // Add accumulates another scan's stats.
@@ -64,6 +68,8 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.DataNanos += o.DataNanos
 	s.ComputeNanos += o.ComputeNanos
 	s.RowsScanned += o.RowsScanned
+	s.Batches += o.Batches
+	s.Vectorized = s.Vectorized || o.Vectorized
 }
 
 // EmitFunc receives one projected row. The slice is reused across calls;

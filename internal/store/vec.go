@@ -6,88 +6,132 @@ import (
 	"recache/internal/value"
 )
 
-// vec is a typed column vector with a null bitmap. It is the unit of
-// storage for both the columnar and Parquet layouts.
-type vec struct {
-	kind   value.Kind
-	ints   []int64
-	floats []float64
-	strs   []string
-	bools  []bool
-	nulls  []bool
+// Bitmap is a packed null bitmap: bit i set means entry i is null. It is
+// word-based (64 entries per uint64) so batch kernels can test nulls with
+// one shift/mask instead of a byte load per row, and so an all-null or
+// mostly-null vector costs 1 bit per entry instead of 1 byte.
+type Bitmap struct {
+	words []uint64
+	n     int
 }
 
-func newVec(t *value.Type) *vec {
-	return &vec{kind: t.Kind}
+// Len returns the number of entries tracked.
+func (b *Bitmap) Len() int { return b.n }
+
+// Append adds one entry.
+func (b *Bitmap) Append(null bool) {
+	if b.n>>6 == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if null {
+		b.words[b.n>>6] |= 1 << (uint(b.n) & 63)
+	}
+	b.n++
 }
 
-func (v *vec) len() int { return len(v.nulls) }
+// Get reports whether entry i is null.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
 
-// appendVal appends one value, converting numerics to the column's kind.
-func (v *vec) appendVal(val value.Value) {
+// Clone deep-copies the bitmap: appends to either side never alias, even
+// mid-word (the trailing partially-filled word is copied by value).
+func (b *Bitmap) Clone() Bitmap {
+	return Bitmap{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// SizeBytes is the bitmap's memory footprint.
+func (b *Bitmap) SizeBytes() int64 { return int64(len(b.words)) * 8 }
+
+// Vec is a typed column vector with a null bitmap. It is the unit of
+// storage for both the columnar and Parquet layouts, and — via Batch — the
+// unit the vectorized execution path reads directly: exactly the slice
+// matching Kind is populated, so kernels index Ints/Floats/Strs/Bools with
+// no per-cell type dispatch.
+type Vec struct {
+	Kind   value.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Nulls  Bitmap
+}
+
+// vec is the historical internal name; layouts predate the export.
+type vec = Vec
+
+func newVec(t *value.Type) *Vec {
+	return &Vec{Kind: t.Kind}
+}
+
+// Len returns the number of entries.
+func (v *Vec) Len() int { return v.Nulls.Len() }
+
+// AppendVal appends one value, converting numerics to the column's kind.
+func (v *Vec) AppendVal(val value.Value) {
 	isNull := val.Kind == value.Null
-	v.nulls = append(v.nulls, isNull)
-	switch v.kind {
+	v.Nulls.Append(isNull)
+	switch v.Kind {
 	case value.Int:
 		if isNull {
-			v.ints = append(v.ints, 0)
+			v.Ints = append(v.Ints, 0)
 		} else {
-			v.ints = append(v.ints, val.AsInt())
+			v.Ints = append(v.Ints, val.AsInt())
 		}
 	case value.Float:
 		if isNull {
-			v.floats = append(v.floats, 0)
+			v.Floats = append(v.Floats, 0)
 		} else {
-			v.floats = append(v.floats, val.AsFloat())
+			v.Floats = append(v.Floats, val.AsFloat())
 		}
 	case value.String:
 		if isNull {
-			v.strs = append(v.strs, "")
+			v.Strs = append(v.Strs, "")
 		} else {
-			v.strs = append(v.strs, val.S)
+			v.Strs = append(v.Strs, val.S)
 		}
 	case value.Bool:
 		if isNull {
-			v.bools = append(v.bools, false)
+			v.Bools = append(v.Bools, false)
 		} else {
-			v.bools = append(v.bools, val.B)
+			v.Bools = append(v.Bools, val.B)
 		}
 	default:
-		panic(fmt.Sprintf("store: vec of unsupported kind %s", v.kind))
+		panic(fmt.Sprintf("store: vec of unsupported kind %s", v.Kind))
 	}
 }
 
-// get materializes the i-th value.
-func (v *vec) get(i int) value.Value {
-	if v.nulls[i] {
+// Get materializes the i-th value.
+func (v *Vec) Get(i int) value.Value {
+	if v.Nulls.Get(i) {
 		return value.VNull
 	}
-	switch v.kind {
+	switch v.Kind {
 	case value.Int:
-		return value.VInt(v.ints[i])
+		return value.VInt(v.Ints[i])
 	case value.Float:
-		return value.VFloat(v.floats[i])
+		return value.VFloat(v.Floats[i])
 	case value.String:
-		return value.VString(v.strs[i])
+		return value.VString(v.Strs[i])
 	case value.Bool:
-		return value.VBool(v.bools[i])
+		return value.VBool(v.Bools[i])
 	}
 	return value.VNull
 }
 
-// sizeBytes estimates the memory footprint of the vector.
-func (v *vec) sizeBytes() int64 {
-	var sz int64 = int64(len(v.nulls)) // null bitmap, 1B/entry
-	switch v.kind {
+// SizeBytes estimates the memory footprint of the vector.
+func (v *Vec) SizeBytes() int64 {
+	sz := v.Nulls.SizeBytes()
+	switch v.Kind {
 	case value.Int:
-		sz += int64(len(v.ints)) * 8
+		sz += int64(len(v.Ints)) * 8
 	case value.Float:
-		sz += int64(len(v.floats)) * 8
+		sz += int64(len(v.Floats)) * 8
 	case value.Bool:
-		sz += int64(len(v.bools))
+		sz += int64(len(v.Bools))
 	case value.String:
-		sz += int64(len(v.strs)) * 16
-		for _, s := range v.strs {
+		sz += int64(len(v.Strs)) * 16
+		for _, s := range v.Strs {
 			sz += int64(len(s))
 		}
 	}

@@ -82,6 +82,10 @@ type Config struct {
 	// cache-miss query scans the raw file privately (pre-work-sharing
 	// behaviour; ablation).
 	DisableSharedScans bool
+	// DisableVectorized turns off vectorized batch execution for cache
+	// hits: every cache scan decodes boxed rows one at a time
+	// (pre-vectorization behaviour; ablation and benchmarking).
+	DisableVectorized bool
 }
 
 func (c Config) toCacheConfig() (cache.Config, error) {
@@ -146,6 +150,8 @@ type Engine struct {
 	// concurrent cache-miss queries on one dataset batch into a single raw
 	// parse instead of N. See internal/share and DESIGN.md, "Work sharing".
 	share *share.Coordinator
+	// noVec disables vectorized cache scans (Config.DisableVectorized).
+	noVec bool
 }
 
 // Open creates an engine.
@@ -157,6 +163,7 @@ func Open(cfg Config) (*Engine, error) {
 	e := &Engine{
 		datasets: make(map[string]*plan.Dataset),
 		manager:  cache.NewManager(cc),
+		noVec:    cfg.DisableVectorized,
 	}
 	e.ConfigureSharedScans(!cfg.DisableSharedScans, share.Config{Window: cfg.ShareWindow})
 	return e, nil
@@ -335,7 +342,12 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	tx := e.manager.Begin()
 	defer tx.Close()
 	root := tx.Rewrite(pl.root, pl.neededNames)
-	res, stats, err := exec.Run(root, exec.Deps{Manager: e.manager, Share: coord, Needed: pl.neededPaths})
+	res, stats, err := exec.Run(root, exec.Deps{
+		Manager:           e.manager,
+		Share:             coord,
+		Needed:            pl.neededPaths,
+		DisableVectorized: e.noVec,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -362,9 +374,12 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // annotated with the dataset's live work-sharing state — consumers waiting
 // in a gathering cycle, raw scans in flight, and the shared-scan /
 // shared-consumer totals so far — so EXPLAIN shows whether the scan would
-// attach to an in-flight shared cycle. Explain is free of side effects: it
-// performs the cache lookup through the manager's read-only path (and only
-// reads coordinator state), so reuse counters, hit/miss statistics, and
+// attach to an in-flight shared cycle. CachedScan nodes are annotated with
+// the execution flavor the hit would take right now: "vectorized" plus the
+// expected batch count when the entry's layout serves column batches, "row"
+// otherwise. Explain is free of side effects: it performs the cache lookup
+// through the manager's read-only path (and only reads coordinator state
+// and entry payload snapshots), so reuse counters, hit/miss statistics, and
 // eviction state are untouched.
 func (e *Engine) Explain(sql string) (string, error) {
 	q, err := sqlparse.Parse(sql)
@@ -374,12 +389,30 @@ func (e *Engine) Explain(sql string) (string, error) {
 	e.mu.RLock()
 	pl, err := e.buildPlan(q)
 	coord := e.share
+	noVec := e.noVec
 	e.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
 	root := e.manager.Peek(pl.root, pl.neededNames)
-	return plan.ExplainAnnotated(root, func(n plan.Node) string { return shareNote(coord, n) }), nil
+	return plan.ExplainAnnotated(root, func(n plan.Node) string {
+		if cs, ok := n.(*plan.CachedScan); ok {
+			return vecNote(cs, e.manager, noVec)
+		}
+		return shareNote(coord, n)
+	}), nil
+}
+
+// vecNote annotates a CachedScan with its execution flavor.
+func vecNote(cs *plan.CachedScan, m *cache.Manager, noVec bool) string {
+	if noVec {
+		return "row"
+	}
+	ok, batches := exec.VectorizedInfo(cs, m)
+	if !ok {
+		return "row"
+	}
+	return fmt.Sprintf("vectorized, %d batches", batches)
 }
 
 // shareNote annotates a raw Scan node with its dataset's shared-scan state;
@@ -433,8 +466,12 @@ type CacheStats struct {
 	// SharedConsumers − SharedScans raw scans were avoided.
 	SharedScans     int64
 	SharedConsumers int64
-	Entries         int
-	TotalBytes      int64
+	// VectorizedScans counts cache scans served by the batch pipeline;
+	// VectorizedBatches the column batches those scans pulled.
+	VectorizedScans   int64
+	VectorizedBatches int64
+	Entries           int
+	TotalBytes        int64
 }
 
 // CacheStats returns a snapshot of the cache counters. The counters are
@@ -443,18 +480,20 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	s := e.manager.Stats()
 	return CacheStats{
-		Queries:         s.Queries,
-		ExactHits:       s.ExactHits,
-		SubsumedHits:    s.SubsumedHits,
-		Misses:          s.Misses,
-		Evictions:       s.Evictions,
-		LayoutSwitches:  s.LayoutSwitches,
-		LazyUpgrades:    s.LazyUpgrades,
-		Inserted:        s.Inserted,
-		SharedScans:     s.SharedScans,
-		SharedConsumers: s.SharedConsumers,
-		Entries:         s.Entries,
-		TotalBytes:      s.TotalBytes,
+		Queries:           s.Queries,
+		ExactHits:         s.ExactHits,
+		SubsumedHits:      s.SubsumedHits,
+		Misses:            s.Misses,
+		Evictions:         s.Evictions,
+		LayoutSwitches:    s.LayoutSwitches,
+		LazyUpgrades:      s.LazyUpgrades,
+		Inserted:          s.Inserted,
+		SharedScans:       s.SharedScans,
+		SharedConsumers:   s.SharedConsumers,
+		VectorizedScans:   s.VectorizedScans,
+		VectorizedBatches: s.VectorizedBatches,
+		Entries:           s.Entries,
+		TotalBytes:        s.TotalBytes,
 	}
 }
 
