@@ -1,0 +1,133 @@
+// Command benchdiff is the perf-trajectory gate: it compares a fresh
+// `recache-bench -json` report against the checked-in BENCH_<n>.json
+// baseline and exits non-zero when a key metric regressed beyond the
+// tolerance. CI runs it after the bench step so a PR that slows the hit
+// path, breaks work sharing (cold bursts paying extra raw parses), or
+// loses pushdown's early skips fails visibly instead of silently.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_4.json -current /tmp/bench.json [-tolerance 0.30]
+//
+// Gated metrics, matched by phase (name, goroutines):
+//
+//   - qps (hit-throughput, pushdown-cold phases): regression when the
+//     current value drops more than the tolerance below the baseline.
+//     Throughput is hardware-sensitive; regenerate the baseline when the
+//     runner class changes.
+//   - burst parses (cold-shared phases): regression when a burst of
+//     concurrent cold misses pays more raw parses than baseline + tolerance
+//   - one parse. The one-parse slack absorbs scheduling noise (a
+//     straggler can open its own extra cycle); a genuine loss of work
+//     sharing costs W parses per burst and still fails.
+//   - records-skipped ratio (pushdown-cold phase): regression when the
+//     fraction of records skipped early falls below baseline − tolerance
+//     (deterministic for a fixed seed/scale).
+//
+// A phase present in the baseline but missing from the current report is a
+// failure: a metric that silently disappears is a regression too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"recache/internal/harness"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "checked-in BENCH_<n>.json baseline")
+		currentPath  = flag.String("current", "", "freshly generated recache-bench -json report")
+		tolerance    = flag.Float64("tolerance", 0.30, "allowed relative regression per metric")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readReport(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	curByKey := map[string]harness.Phase{}
+	for _, p := range cur.Phases {
+		curByKey[key(p)] = p
+	}
+	failures := 0
+	check := func(p harness.Phase, metric string, baseVal, curVal float64, lowerIsBetter bool, slack float64) {
+		var ok bool
+		if lowerIsBetter {
+			ok = curVal <= baseVal*(1+*tolerance)+slack
+		} else {
+			ok = curVal >= baseVal*(1-*tolerance)
+		}
+		status := "ok"
+		if !ok {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-28s %-16s baseline %10.2f  current %10.2f  %s\n",
+			key(p), metric, baseVal, curVal, status)
+	}
+	for _, bp := range base.Phases {
+		cp, found := curByKey[key(bp)]
+		if !found {
+			fmt.Printf("%-28s %-16s missing from current report  REGRESSION\n", key(bp), "-")
+			failures++
+			continue
+		}
+		if bp.QPS > 0 {
+			check(bp, "qps", bp.QPS, cp.QPS, false, 0)
+		}
+		if bp.Burst1Parses > 0 {
+			check(bp, "burst1-parses", float64(bp.Burst1Parses), float64(cp.Burst1Parses), true, 1)
+		}
+		if bp.Burst2Parses > 0 {
+			check(bp, "burst2-parses", float64(bp.Burst2Parses), float64(cp.Burst2Parses), true, 1)
+		}
+		if bp.RowsScanned > 0 {
+			baseRatio := float64(bp.SkippedEarly) / float64(bp.RowsScanned)
+			var curRatio float64
+			if cp.RowsScanned > 0 {
+				curRatio = float64(cp.SkippedEarly) / float64(cp.RowsScanned)
+			}
+			check(bp, "skipped-ratio", baseRatio, curRatio, false, 0)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d metric(s) regressed beyond ±%.0f%%\n", failures, 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all metrics within tolerance")
+}
+
+func key(p harness.Phase) string {
+	if p.Goroutines > 0 {
+		return fmt.Sprintf("%s/g=%d", p.Name, p.Goroutines)
+	}
+	return p.Name
+}
+
+func readReport(path string) (*harness.Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	var r harness.Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

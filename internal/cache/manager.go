@@ -111,8 +111,15 @@ type Stats struct {
 	// VectorizedBatches the column batches those scans pulled.
 	VectorizedScans   int64 `json:"vectorized_scans"`
 	VectorizedBatches int64 `json:"vectorized_batches"`
-	TotalBytes        int64 `json:"total_bytes"`
-	Entries           int   `json:"entries"`
+	// PushdownScans counts raw scans that evaluated pushed conjuncts below
+	// parsing; PushedConjuncts totals the conjuncts those scans pushed, and
+	// RecordsSkippedEarly the records they rejected before decoding
+	// anything beyond the tested columns.
+	PushdownScans       int64 `json:"pushdown_scans"`
+	PushedConjuncts     int64 `json:"pushed_conjuncts"`
+	RecordsSkippedEarly int64 `json:"records_skipped_early"`
+	TotalBytes          int64 `json:"total_bytes"`
+	Entries             int   `json:"entries"`
 }
 
 // counters holds the manager's live statistics. Counters are atomics so hot
@@ -120,18 +127,21 @@ type Stats struct {
 // serializing on the manager lock, and so Stats() can take a consistent-ish
 // snapshot while queries are in flight.
 type counters struct {
-	queries           atomic.Int64
-	exactHits         atomic.Int64
-	subsumedHits      atomic.Int64
-	misses            atomic.Int64
-	evictions         atomic.Int64
-	layoutSwitches    atomic.Int64
-	lazyUpgrades      atomic.Int64
-	inserted          atomic.Int64
-	sharedScans       atomic.Int64
-	sharedConsumers   atomic.Int64
-	vectorizedScans   atomic.Int64
-	vectorizedBatches atomic.Int64
+	queries             atomic.Int64
+	exactHits           atomic.Int64
+	subsumedHits        atomic.Int64
+	misses              atomic.Int64
+	evictions           atomic.Int64
+	layoutSwitches      atomic.Int64
+	lazyUpgrades        atomic.Int64
+	inserted            atomic.Int64
+	sharedScans         atomic.Int64
+	sharedConsumers     atomic.Int64
+	vectorizedScans     atomic.Int64
+	vectorizedBatches   atomic.Int64
+	pushdownScans       atomic.Int64
+	pushedConjuncts     atomic.Int64
+	recordsSkippedEarly atomic.Int64
 }
 
 // Manager owns the cache: entries, the exact-match table, the per-(dataset,
@@ -210,23 +220,37 @@ func (m *Manager) NoteSharedScan(n int) {
 	m.stats.sharedConsumers.Add(int64(n))
 }
 
+// NotePushdown records one raw scan that evaluated n pushed conjuncts below
+// parsing, skipping skipped records before full decode. It is wired as the
+// share.Coordinator's OnPushdown callback by the engine (and called
+// directly by coordinator-less executions), so pushdown activity shows up
+// next to the reuse and work-sharing counters in Stats.
+func (m *Manager) NotePushdown(n int, skipped int64) {
+	m.stats.pushdownScans.Add(1)
+	m.stats.pushedConjuncts.Add(int64(n))
+	m.stats.recordsSkippedEarly.Add(skipped)
+}
+
 // Stats returns a snapshot of manager counters. The outcome counters are
 // loaded before Queries: a query increments Queries at Begin and classifies
 // later, so this order keeps ExactHits+SubsumedHits+Misses <= Queries in
 // any mid-flight snapshot (equality once the workload quiesces).
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		ExactHits:         m.stats.exactHits.Load(),
-		SubsumedHits:      m.stats.subsumedHits.Load(),
-		Misses:            m.stats.misses.Load(),
-		Evictions:         m.stats.evictions.Load(),
-		LayoutSwitches:    m.stats.layoutSwitches.Load(),
-		LazyUpgrades:      m.stats.lazyUpgrades.Load(),
-		Inserted:          m.stats.inserted.Load(),
-		SharedScans:       m.stats.sharedScans.Load(),
-		SharedConsumers:   m.stats.sharedConsumers.Load(),
-		VectorizedScans:   m.stats.vectorizedScans.Load(),
-		VectorizedBatches: m.stats.vectorizedBatches.Load(),
+		ExactHits:           m.stats.exactHits.Load(),
+		SubsumedHits:        m.stats.subsumedHits.Load(),
+		Misses:              m.stats.misses.Load(),
+		Evictions:           m.stats.evictions.Load(),
+		LayoutSwitches:      m.stats.layoutSwitches.Load(),
+		LazyUpgrades:        m.stats.lazyUpgrades.Load(),
+		Inserted:            m.stats.inserted.Load(),
+		SharedScans:         m.stats.sharedScans.Load(),
+		SharedConsumers:     m.stats.sharedConsumers.Load(),
+		VectorizedScans:     m.stats.vectorizedScans.Load(),
+		VectorizedBatches:   m.stats.vectorizedBatches.Load(),
+		PushdownScans:       m.stats.pushdownScans.Load(),
+		PushedConjuncts:     m.stats.pushedConjuncts.Load(),
+		RecordsSkippedEarly: m.stats.recordsSkippedEarly.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
 	m.mu.Lock()

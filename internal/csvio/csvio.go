@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"recache/internal/expr"
 	"recache/internal/plan"
 	"recache/internal/value"
 )
@@ -52,8 +53,12 @@ type Provider struct {
 
 	// scans counts full-file Scan calls (not ScanOffsets replays); the
 	// work-sharing bench and tests use it to assert how many raw parses a
-	// burst of concurrent misses actually paid for.
-	scans atomic.Int64
+	// burst of concurrent misses actually paid for. pushScans counts the
+	// subset that evaluated a pushdown below parsing, and pushSkipped the
+	// records those scans rejected before decoding anything else.
+	scans       atomic.Int64
+	pushScans   atomic.Int64
+	pushSkipped atomic.Int64
 
 	data []byte // file contents, loaded on first scan (warm-cache model)
 
@@ -102,6 +107,12 @@ func (p *Provider) SizeBytes() int64 { return p.size }
 
 // Scans returns the number of full-file scans performed so far.
 func (p *Provider) Scans() int64 { return p.scans.Load() }
+
+// PushdownStats reports how many full-file scans evaluated a pushdown below
+// parsing and how many records those scans skipped before full decode.
+func (p *Provider) PushdownStats() (scans, skipped int64) {
+	return p.pushScans.Load(), p.pushSkipped.Load()
+}
 
 // load publishes the file contents exactly once (double-checked).
 func (p *Provider) load() error {
@@ -272,6 +283,215 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 	}
 	p.mu.Unlock()
 	return nil
+}
+
+// ScanPushdown implements plan.PushdownScanner: it streams only the records
+// passing pd, decoding each tested column straight from its raw bytes (no
+// value boxing) and skipping the rest of the line as soon as a test fails.
+// Surviving records decode the needed ∪ tested fields; complete() parses the
+// rest on demand, exactly like Scan.
+func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) (int64, error) {
+	tests := pd.Tests()
+	if len(tests) == 0 {
+		return 0, p.Scan(needed, fn)
+	}
+	p.scans.Add(1)
+	p.pushScans.Add(1)
+	if err := p.load(); err != nil {
+		return 0, err
+	}
+	mask, err := p.neededIndexes(needed)
+	if err != nil {
+		return 0, err
+	}
+	eff := p.effectiveMask(mask, tests)
+	var skipped int64
+	defer func() { p.pushSkipped.Add(skipped) }()
+	if !p.mapped.Load() {
+		return p.firstScanPushdown(tests, eff, &skipped, fn)
+	}
+	row := make([]value.Value, p.nfields)
+	rec := value.Value{Kind: value.Record, L: row}
+	for ri, start := range p.recStart {
+		offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
+		pass := true
+		for ti := range tests {
+			t := &tests[ti]
+			ok, err := p.testField(t, int(start)+int(offs[t.Slot]))
+			if err != nil {
+				return skipped, err
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			skipped++
+			continue
+		}
+		if err := p.parseAt(ri, start, eff, row); err != nil {
+			return skipped, err
+		}
+		complete := noComplete
+		if eff != nil {
+			ri, start := ri, start
+			complete = func() error { return p.completeAt(ri, start, eff, row) }
+		}
+		if err := fn(rec, start, complete); err != nil {
+			return skipped, err
+		}
+	}
+	return skipped, nil
+}
+
+// effectiveMask unions the tested columns into the needed mask: survivors
+// have their tested fields materialized too (they are decoded regardless),
+// and complete() then parses exactly the complement. A nil mask (all
+// fields) stays nil.
+func (p *Provider) effectiveMask(mask []bool, tests []expr.ColTest) []bool {
+	if mask == nil {
+		return nil
+	}
+	eff := make([]bool, len(mask))
+	copy(eff, mask)
+	for i := range tests {
+		if s := tests[i].Slot; s < len(eff) {
+			eff[s] = true
+		}
+	}
+	return eff
+}
+
+// testField decodes one field's raw bytes as the test's column kind and
+// evaluates the fused kernel. An empty field is NULL and fails; a malformed
+// field is the same error a normal decode of that field would raise.
+func (p *Provider) testField(t *expr.ColTest, beg int) (bool, error) {
+	b := p.data[beg:p.fieldEnd(beg)]
+	if len(b) == 0 {
+		return false, nil
+	}
+	switch t.Kind {
+	case value.Int:
+		n, err := parseInt(b)
+		if err != nil {
+			return false, fmt.Errorf("csvio: field %q: %w", p.schema.Fields[t.Slot].Name, err)
+		}
+		return t.TestInt(n), nil
+	case value.Float:
+		// string(b) does not heap-allocate here: ParseFloat's argument is
+		// non-escaping, so the conversion stays on the stack.
+		f, err := strconv.ParseFloat(string(b), 64)
+		if err != nil {
+			return false, fmt.Errorf("csvio: field %q: %w", p.schema.Fields[t.Slot].Name, err)
+		}
+		return t.TestFloat(f), nil
+	default:
+		return t.TestStrBytes(b), nil
+	}
+}
+
+// firstScanPushdown is the pushdown flavor of the first scan: every record
+// is still tokenized (the positional map needs every field offset), but a
+// record failing a pushed test skips all field parsing and boxing.
+func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, skipped *int64, fn plan.ScanFunc) (int64, error) {
+	data := p.data
+	i := 0
+	if p.opts.HasHeader {
+		for i < len(data) && data[i] != '\n' {
+			i++
+		}
+		if i < len(data) {
+			i++
+		}
+	}
+	delim := p.opts.delim()
+	row := make([]value.Value, p.nfields)
+	rec := value.Value{Kind: value.Record, L: row}
+	var recStart []int64
+	var fieldOff []uint32
+	for i < len(data) {
+		start := i
+		recStart = append(recStart, int64(start))
+		fi := 0
+		fieldBeg := i
+		for ; i <= len(data); i++ {
+			if i == len(data) || data[i] == delim || data[i] == '\n' {
+				if fi < p.nfields {
+					fieldOff = append(fieldOff, uint32(fieldBeg-start))
+				}
+				fi++
+				fieldBeg = i + 1
+				if i == len(data) || data[i] == '\n' {
+					break
+				}
+			}
+		}
+		if fi < p.nfields {
+			return *skipped, fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, fi, p.nfields)
+		}
+		offs := fieldOff[len(fieldOff)-p.nfields:]
+		pass := true
+		for ti := range tests {
+			t := &tests[ti]
+			ok, err := p.testField(t, start+int(offs[t.Slot]))
+			if err != nil {
+				return *skipped, err
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			*skipped++
+			i++
+			continue
+		}
+		for fi := 0; fi < p.nfields; fi++ {
+			if eff != nil && !eff[fi] {
+				row[fi] = value.VNull
+				continue
+			}
+			beg := start + int(offs[fi])
+			v, err := p.parseField(fi, data[beg:p.fieldEnd(beg)])
+			if err != nil {
+				return *skipped, err
+			}
+			row[fi] = v
+		}
+		complete := noComplete
+		if eff != nil {
+			complete = func() error {
+				for fi := 0; fi < p.nfields; fi++ {
+					if eff[fi] {
+						continue
+					}
+					beg := start + int(offs[fi])
+					v, err := p.parseField(fi, data[beg:p.fieldEnd(beg)])
+					if err != nil {
+						return err
+					}
+					row[fi] = v
+				}
+				return nil
+			}
+		}
+		if err := fn(rec, int64(start), complete); err != nil {
+			return *skipped, err
+		}
+		i++
+	}
+	// Publish the positional map; under concurrent first scans the first
+	// finisher wins and the rest discard their identical local copies.
+	p.mu.Lock()
+	if !p.mapped.Load() {
+		p.recStart = recStart
+		p.fieldOff = fieldOff
+		p.mapped.Store(true)
+	}
+	p.mu.Unlock()
+	return *skipped, nil
 }
 
 // parseAt parses record ri (starting at byte offset start) using the

@@ -48,6 +48,10 @@ type Deps struct {
 	// DisableVectorized forces every cache scan onto the row-at-a-time
 	// path (pre-vectorization behaviour; ablation and benchmarking).
 	DisableVectorized bool
+	// DisablePushdown keeps scan predicates above parsing: raw scans decode
+	// every needed field of every record and the filter runs afterwards
+	// (pre-pushdown behaviour; ablation and benchmarking).
+	DisablePushdown bool
 }
 
 // QueryStats reports per-query cost accounting for the harness.
@@ -159,13 +163,18 @@ func compile(n plan.Node, deps Deps) (runFn, error) {
 	return nil, fmt.Errorf("exec: cannot compile %T", n)
 }
 
-func compileScan(s *plan.Scan, deps Deps) (runFn, error) {
+func scanNeeded(s *plan.Scan, deps Deps) []value.Path {
 	needed, ok := deps.Needed[s.DS.Name]
 	if !ok {
 		needed = nil // all fields
 	} else if needed == nil {
 		needed = []value.Path{}
 	}
+	return needed
+}
+
+func compileScan(s *plan.Scan, deps Deps) (runFn, error) {
+	needed := scanNeeded(s, deps)
 	prov := s.DS.Provider
 	coord := deps.Share
 	return func(ctx *qctx, out emitFn) error {
@@ -180,7 +189,60 @@ func compileScan(s *plan.Scan, deps Deps) (runFn, error) {
 	}, nil
 }
 
+// compileScanPushdown fuses a Select sitting directly on a raw Scan into
+// one pushdown scan: the predicate's pushable conjuncts are evaluated by
+// the provider on the raw bytes — through the shared-scan coordinator,
+// which intersects them across concurrent consumers — and only the
+// residual runs in the pipeline. ok is false when nothing is pushable (or
+// pushdown is disabled); the caller then compiles the plain Select.
+func compileScanPushdown(s *plan.Scan, pred expr.Expr, deps Deps) (runFn, bool, error) {
+	if deps.DisablePushdown {
+		return nil, false, nil
+	}
+	pd, residual := expr.ExtractPushdown(pred, s.DS.Schema())
+	if pd == nil {
+		return nil, false, nil
+	}
+	res, err := expr.CompilePredicate(residual, s.OutSchema())
+	if err != nil {
+		return nil, false, err
+	}
+	needed := scanNeeded(s, deps)
+	prov := s.DS.Provider
+	coord := deps.Share
+	mgr := deps.Manager
+	return func(ctx *qctx, out emitFn) error {
+		emit := func(rec value.Value, off int64, complete func() error) error {
+			ctx.curOffset = off
+			ctx.curComplete = complete
+			if !res(rec.L) {
+				return nil
+			}
+			return out(rec.L)
+		}
+		if coord != nil {
+			// The coordinator reports pushdown activity through its
+			// OnPushdown hook (wired to the manager by the engine).
+			return coord.ScanPushdown(prov, pd, needed, emit)
+		}
+		skipped, below, err := share.PushScan(prov, pd, needed, emit)
+		if err == nil && below && mgr != nil {
+			mgr.NotePushdown(pd.NumConjuncts(), skipped)
+		}
+		return err
+	}, true, nil
+}
+
 func compileSelect(s *plan.Select, deps Deps) (runFn, error) {
+	if scan, ok := s.Child.(*plan.Scan); ok {
+		fn, ok, err := compileScanPushdown(scan, s.Pred, deps)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return fn, nil
+		}
+	}
 	child, err := compile(s.Child, deps)
 	if err != nil {
 		return nil, err

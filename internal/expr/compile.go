@@ -301,6 +301,37 @@ type cmpSpec struct {
 	asFlt   bool // compare as float (mixed int/float operands)
 }
 
+// cmpSpecOf recognizes one <col> <cmp> <literal> conjunct (either operand
+// order) whose column resolves to a single row slot of Int/Float/String
+// kind. It is the shared recognizer behind the fused row predicate, the
+// vectorized filter kernels, and the scan pushdown extractor.
+func cmpSpecOf(c Expr, schema *value.Type) (cmpSpec, *Col, bool) {
+	b, ok := c.(*Bin)
+	if !ok || !b.Op.IsComparison() {
+		return cmpSpec{}, nil, false
+	}
+	col, lit, op := matchColLit(b)
+	if col == nil {
+		return cmpSpec{}, nil, false
+	}
+	ct, chain, err := resolveCol(schema, col.Path)
+	if err != nil || len(chain) != 1 {
+		return cmpSpec{}, nil, false
+	}
+	sp := cmpSpec{idx: chain[0], op: op, colKind: ct.Kind}
+	switch {
+	case ct.Kind == value.Int && lit.V.Kind == value.Int:
+		sp.kind, sp.i = value.Int, lit.V.I
+	case ct.IsNumeric() && (lit.V.Kind == value.Int || lit.V.Kind == value.Float):
+		sp.kind, sp.f, sp.asFlt = value.Float, lit.V.AsFloat(), true
+	case ct.Kind == value.String && lit.V.Kind == value.String:
+		sp.kind, sp.s = value.String, lit.V.S
+	default:
+		return cmpSpec{}, nil, false
+	}
+	return sp, col, true
+}
+
 // extractCmpSpecs recognizes AND-chains of <col> <cmp> <literal> where the
 // column resolves to a single row slot — the shape both the fused row
 // predicate and the vectorized filter kernels accept.
@@ -308,27 +339,8 @@ func extractCmpSpecs(e Expr, schema *value.Type) ([]cmpSpec, bool) {
 	conjuncts := Conjuncts(e)
 	specs := make([]cmpSpec, 0, len(conjuncts))
 	for _, c := range conjuncts {
-		b, ok := c.(*Bin)
-		if !ok || !b.Op.IsComparison() {
-			return nil, false
-		}
-		col, lit, op := matchColLit(b)
-		if col == nil {
-			return nil, false
-		}
-		ct, chain, err := resolveCol(schema, col.Path)
-		if err != nil || len(chain) != 1 {
-			return nil, false
-		}
-		sp := cmpSpec{idx: chain[0], op: op, colKind: ct.Kind}
-		switch {
-		case ct.Kind == value.Int && lit.V.Kind == value.Int:
-			sp.kind, sp.i = value.Int, lit.V.I
-		case ct.IsNumeric() && (lit.V.Kind == value.Int || lit.V.Kind == value.Float):
-			sp.kind, sp.f, sp.asFlt = value.Float, lit.V.AsFloat(), true
-		case ct.Kind == value.String && lit.V.Kind == value.String:
-			sp.kind, sp.s = value.String, lit.V.S
-		default:
+		sp, _, ok := cmpSpecOf(c, schema)
+		if !ok {
 			return nil, false
 		}
 		specs = append(specs, sp)

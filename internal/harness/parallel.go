@@ -110,7 +110,7 @@ func (r *Runner) coldShared(paths *datagen.TPCHPaths, workers []int) error {
 			CacheStats:   &st,
 		})
 	}
-	return nil
+	return r.pushdownCold(paths)
 }
 
 // RunBurst fires w concurrent copies of one query (start-barrier released)

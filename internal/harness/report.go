@@ -22,6 +22,11 @@ type Phase struct {
 	// queries cost (work-sharing metric; was W per burst before sharing).
 	Burst1Parses int64 `json:"burst1_parses,omitempty"`
 	Burst2Parses int64 `json:"burst2_parses,omitempty"`
+	// Pushdown phase: records skipped early out of RowsScanned raw records
+	// decoded-or-skipped across the phase's pushdown scans (the
+	// records-skipped ratio the bench gate tracks).
+	SkippedEarly int64 `json:"skipped_early,omitempty"`
+	RowsScanned  int64 `json:"rows_scanned,omitempty"`
 	// CacheStats snapshots the engine's counters when the phase ended
 	// (hits, misses, shared scans, vectorized scans, ...).
 	CacheStats *cache.Stats `json:"cache_stats,omitempty"`

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"recache/internal/expr"
 	"recache/internal/plan"
 	"recache/internal/value"
 )
@@ -44,8 +45,12 @@ type Provider struct {
 
 	// scans counts full-file Scan calls (not ScanOffsets replays); the
 	// work-sharing bench and tests use it to assert how many raw parses a
-	// burst of concurrent misses actually paid for.
-	scans atomic.Int64
+	// burst of concurrent misses actually paid for. pushScans counts the
+	// subset that evaluated a pushdown below parsing, and pushSkipped the
+	// records those scans rejected before decoding anything else.
+	scans       atomic.Int64
+	pushScans   atomic.Int64
+	pushSkipped atomic.Int64
 
 	data []byte
 
@@ -87,6 +92,12 @@ func (p *Provider) SizeBytes() int64 { return p.size }
 
 // Scans returns the number of full-file scans performed so far.
 func (p *Provider) Scans() int64 { return p.scans.Load() }
+
+// PushdownStats reports how many full-file scans evaluated a pushdown below
+// parsing and how many records those scans skipped before full decode.
+func (p *Provider) PushdownStats() (scans, skipped int64) {
+	return p.pushScans.Load(), p.pushSkipped.Load()
+}
 
 // load publishes the file contents exactly once (double-checked).
 func (p *Provider) load() error {
@@ -263,6 +274,236 @@ func (p *Provider) parseMapped(ri int, start int64, mask []bool, row []value.Val
 		row[fi] = v
 	}
 	return nil
+}
+
+// ScanPushdown implements plan.PushdownScanner: it streams only the records
+// passing pd, jumping to each tested top-level field's value offset through
+// the positional map and decoding it typed (no value boxing); an absent key
+// or a null literal fails the test — the same SQL semantics the row filter
+// applies — and a failing record skips the entire object. Surviving records
+// decode the needed ∪ tested fields, with complete() parsing the rest.
+func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) (int64, error) {
+	tests := pd.Tests()
+	if len(tests) == 0 {
+		return 0, p.Scan(needed, fn)
+	}
+	p.scans.Add(1)
+	p.pushScans.Add(1)
+	if err := p.load(); err != nil {
+		return 0, err
+	}
+	mask, err := p.neededMask(needed)
+	if err != nil {
+		return 0, err
+	}
+	eff := p.effectiveMask(mask, tests)
+	var skipped int64
+	defer func() { p.pushSkipped.Add(skipped) }()
+	if !p.mapped.Load() {
+		return p.firstScanPushdown(tests, eff, &skipped, fn)
+	}
+	row := make([]value.Value, p.ntop)
+	rec := value.Value{Kind: value.Record, L: row}
+	for ri, start := range p.recStart {
+		offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
+		pass := true
+		for ti := range tests {
+			t := &tests[ti]
+			if offs[t.Slot] == absentOff {
+				pass = false // absent key ⇒ NULL ⇒ fails every comparison
+				break
+			}
+			ok, err := p.testValue(t, int(start)+int(offs[t.Slot]))
+			if err != nil {
+				return skipped, fmt.Errorf("jsonio: record %d field %q: %w", ri, p.schema.Fields[t.Slot].Name, err)
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			skipped++
+			continue
+		}
+		if err := p.parseMapped(ri, start, eff, row); err != nil {
+			return skipped, err
+		}
+		complete := noComplete
+		if eff != nil {
+			ri, start := ri, start
+			complete = func() error { return p.completeMapped(ri, start, eff, row) }
+		}
+		if err := fn(rec, start, complete); err != nil {
+			return skipped, err
+		}
+	}
+	return skipped, nil
+}
+
+// effectiveMask unions the tested top-level fields into the needed mask so
+// survivors materialize them too; nil (all fields) stays nil.
+func (p *Provider) effectiveMask(mask []bool, tests []expr.ColTest) []bool {
+	if mask == nil {
+		return nil
+	}
+	eff := make([]bool, len(mask))
+	copy(eff, mask)
+	for i := range tests {
+		if s := tests[i].Slot; s < len(eff) {
+			eff[s] = true
+		}
+	}
+	return eff
+}
+
+// testValue decodes the JSON value at i as the test's column kind and runs
+// the fused kernel. A null literal fails the test; malformed values raise
+// the same errors parseValue would.
+func (p *Provider) testValue(t *expr.ColTest, i int) (bool, error) {
+	data := p.data
+	i = skipWS(data, i)
+	if i >= len(data) {
+		return false, fmt.Errorf("unexpected end of input")
+	}
+	if data[i] == 'n' {
+		if i+4 <= len(data) && string(data[i:i+4]) == "null" {
+			return false, nil
+		}
+		return false, fmt.Errorf("bad literal at %d", i)
+	}
+	switch t.Kind {
+	case value.Int:
+		beg := i
+		ni := scanNumber(data, i)
+		if ni == beg {
+			return false, fmt.Errorf("bad number at %d", i)
+		}
+		n, err := strconv.ParseInt(string(data[beg:ni]), 10, 64)
+		if err != nil {
+			// The text may be a float literal; truncate (mirroring parseValue).
+			f, ferr := strconv.ParseFloat(string(data[beg:ni]), 64)
+			if ferr != nil {
+				return false, fmt.Errorf("bad int at %d: %v", i, err)
+			}
+			n = int64(f)
+		}
+		return t.TestInt(n), nil
+	case value.Float:
+		beg := i
+		ni := scanNumber(data, i)
+		if ni == beg {
+			return false, fmt.Errorf("bad number at %d", i)
+		}
+		f, err := strconv.ParseFloat(string(data[beg:ni]), 64)
+		if err != nil {
+			return false, fmt.Errorf("bad float at %d: %v", i, err)
+		}
+		return t.TestFloat(f), nil
+	default:
+		raw, escaped, _, err := rawString(data, i)
+		if err != nil {
+			return false, err
+		}
+		if !escaped {
+			return t.TestStrBytes(raw), nil
+		}
+		return t.TestStr(unescape(raw)), nil
+	}
+}
+
+// firstScanPushdown is the pushdown flavor of the first scan: each object
+// is tokenized just enough to map every top-level field offset (values are
+// skipped, not materialized), the pushed tests run on the mapped offsets,
+// and only surviving records decode their needed fields.
+func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, skipped *int64, fn plan.ScanFunc) (int64, error) {
+	data := p.data
+	i := skipWS(data, 0)
+	row := make([]value.Value, p.ntop)
+	rec := value.Value{Kind: value.Record, L: row}
+	offs := make([]uint32, p.ntop)
+	noneMask := make([]bool, p.ntop) // map offsets only, materialize nothing
+	var recStart []int64
+	var fieldOff []uint32
+	for i < len(data) {
+		start := i
+		end, err := p.parseTopObject(data, i, noneMask, row, offs, int64(start))
+		if err != nil {
+			return *skipped, err
+		}
+		recStart = append(recStart, int64(start))
+		fieldOff = append(fieldOff, offs...)
+		pass := true
+		for ti := range tests {
+			t := &tests[ti]
+			if offs[t.Slot] == absentOff {
+				pass = false
+				break
+			}
+			ok, err := p.testValue(t, start+int(offs[t.Slot]))
+			if err != nil {
+				return *skipped, fmt.Errorf("jsonio: field %q: %w", p.schema.Fields[t.Slot].Name, err)
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			*skipped++
+			i = skipWS(data, end)
+			continue
+		}
+		for fi := 0; fi < p.ntop; fi++ {
+			if eff != nil && !eff[fi] {
+				row[fi] = value.VNull
+				continue
+			}
+			if offs[fi] == absentOff {
+				row[fi] = nullFor(p.schema.Fields[fi].Type)
+				continue
+			}
+			v, _, err := parseValue(data, start+int(offs[fi]), p.schema.Fields[fi].Type)
+			if err != nil {
+				return *skipped, fmt.Errorf("jsonio: field %q: %w", p.schema.Fields[fi].Name, err)
+			}
+			row[fi] = v
+		}
+		complete := noComplete
+		if eff != nil {
+			complete = func() error {
+				for fi := 0; fi < p.ntop; fi++ {
+					if eff[fi] {
+						continue
+					}
+					if offs[fi] == absentOff {
+						row[fi] = nullFor(p.schema.Fields[fi].Type)
+						continue
+					}
+					v, _, err := parseValue(data, start+int(offs[fi]), p.schema.Fields[fi].Type)
+					if err != nil {
+						return err
+					}
+					row[fi] = v
+				}
+				return nil
+			}
+		}
+		if err := fn(rec, int64(start), complete); err != nil {
+			return *skipped, err
+		}
+		i = skipWS(data, end)
+	}
+	// Publish the positional map; under concurrent first scans the first
+	// finisher wins and the rest discard their identical local copies.
+	p.mu.Lock()
+	if !p.mapped.Load() {
+		p.recStart = recStart
+		p.fieldOff = fieldOff
+		p.mapped.Store(true)
+	}
+	p.mu.Unlock()
+	return *skipped, nil
 }
 
 // ScanOffsets implements plan.ScanProvider: the lazy-cache access path.
@@ -553,28 +794,39 @@ func parseArray(data []byte, i int, t *value.Type) (value.Value, int, error) {
 
 // parseString parses a JSON string (handling escapes) returning its value.
 func parseString(data []byte, i int) (string, int, error) {
+	raw, escaped, ni, err := rawString(data, i)
+	if err != nil {
+		return "", ni, err
+	}
+	if !escaped {
+		return string(raw), ni, nil
+	}
+	return unescape(raw), ni, nil
+}
+
+// rawString locates a JSON string's content bytes without materializing it:
+// raw is the text between the quotes (escapes unresolved), escaped reports
+// whether any escape sequences are present. Pushdown string tests compare
+// raw directly when escape-free, allocating nothing.
+func rawString(data []byte, i int) (raw []byte, escaped bool, next int, err error) {
 	if i >= len(data) || data[i] != '"' {
-		return "", i, fmt.Errorf("expected '\"' at %d", i)
+		return nil, false, i, fmt.Errorf("expected '\"' at %d", i)
 	}
 	i++
 	beg := i
-	hasEscape := false
 	for i < len(data) {
 		c := data[i]
 		if c == '\\' {
-			hasEscape = true
+			escaped = true
 			i += 2
 			continue
 		}
 		if c == '"' {
-			if !hasEscape {
-				return string(data[beg:i]), i + 1, nil
-			}
-			return unescape(data[beg:i]), i + 1, nil
+			return data[beg:i], escaped, i + 1, nil
 		}
 		i++
 	}
-	return "", i, fmt.Errorf("unterminated string")
+	return nil, false, i, fmt.Errorf("unterminated string")
 }
 
 func unescape(b []byte) string {

@@ -47,6 +47,18 @@ type ScanProvider interface {
 	SizeBytes() int64
 }
 
+// PushdownScanner is implemented by providers that can evaluate pushed
+// single-column predicates *below* parsing: the scan decodes only the
+// pushed test columns first (via the positional map), runs the fused
+// interval kernels on them, and skips the rest of the record on failure —
+// falling back to the needed-field decode only for surviving records. It
+// returns how many records were skipped early. Semantics are otherwise
+// identical to Scan filtered by the pushdown: the stream contains exactly
+// the records passing every pushed conjunct (null/absent values fail).
+type PushdownScanner interface {
+	ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn ScanFunc) (skipped int64, err error)
+}
+
 // Format identifies a raw data format.
 type Format string
 

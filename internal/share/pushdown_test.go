@@ -1,0 +1,238 @@
+package share
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"recache/internal/expr"
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+// pushProv wraps fakeProv with a PushdownScanner implementation: the
+// pushdown is applied by row-testing each generated record (the fake has no
+// raw bytes), and every received pushdown is logged so tests can assert the
+// coordinator pushed exactly the consumers' intersection.
+type pushProv struct {
+	*fakeProv
+	pdMu  sync.Mutex
+	pdLog []*expr.Pushdown
+}
+
+func newPushProv(nRecs int) *pushProv { return &pushProv{fakeProv: newFakeProv(nRecs)} }
+
+func (f *pushProv) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) (int64, error) {
+	f.pdMu.Lock()
+	f.pdLog = append(f.pdLog, pd)
+	f.pdMu.Unlock()
+	var skipped int64
+	err := f.Scan(needed, func(rec value.Value, off int64, complete func() error) error {
+		if !pd.TestRow(rec.L) {
+			skipped++
+			return nil
+		}
+		return fn(rec, off, complete)
+	})
+	return skipped, err
+}
+
+func (f *pushProv) pushdowns() []*expr.Pushdown {
+	f.pdMu.Lock()
+	defer f.pdMu.Unlock()
+	return append([]*expr.Pushdown(nil), f.pdLog...)
+}
+
+// mkPD extracts a fully pushable pushdown over the fake provider's schema.
+func mkPD(t *testing.T, prov plan.ScanProvider, pred expr.Expr) *expr.Pushdown {
+	t.Helper()
+	pd, residual := expr.ExtractPushdown(pred, prov.Schema())
+	if pd == nil || residual != nil {
+		t.Fatalf("predicate %s not fully pushable", pred.Canonical())
+	}
+	return pd
+}
+
+// offsetsFn records the offsets a consumer received.
+func offsetsFn(mu *sync.Mutex, out *[]int64) plan.ScanFunc {
+	return func(rec value.Value, off int64, complete func() error) error {
+		mu.Lock()
+		*out = append(*out, off)
+		mu.Unlock()
+		return nil
+	}
+}
+
+// A bypassing single consumer's own pushdown goes below the provider parse
+// and the OnPushdown hook reports it.
+func TestPushdownBypassPrivateScan(t *testing.T) {
+	f := newPushProv(10)
+	var conj atomic.Int64
+	var skip atomic.Int64
+	c := New(Config{Window: time.Hour, OnPushdown: func(n int, s int64) {
+		conj.Add(int64(n))
+		skip.Add(s)
+	}})
+	pd := mkPD(t, f, expr.Between(expr.C("a"), expr.L(2), expr.L(5)))
+	var n atomic.Int64
+	if err := c.ScanPushdown(f, pd, []value.Path{{"a"}}, countingFn(&n)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 4 {
+		t.Errorf("records seen = %d, want 4 (a in [2,5])", n.Load())
+	}
+	if got := f.pushdowns(); len(got) != 1 || got[0].NumConjuncts() != 2 {
+		t.Errorf("provider pushdowns = %v, want one 2-conjunct pushdown", got)
+	}
+	if conj.Load() != 2 || skip.Load() != 6 {
+		t.Errorf("OnPushdown totals = (%d, %d), want (2, 6)", conj.Load(), skip.Load())
+	}
+	if st := c.Stats(); st.PrivateScans != 1 {
+		t.Errorf("stats = %+v, want 1 private scan", st)
+	}
+}
+
+// Heterogeneous consumers in one shared cycle: the coordinator pushes only
+// the intersection of their pushable conjuncts below the one shared parse,
+// re-checking each consumer's remainder at fanout — every consumer gets
+// exactly the records its own pushdown admits, never more.
+func TestSharedCycleIntersectionAndRecheck(t *testing.T) {
+	f := newPushProv(20)
+	gate := make(chan struct{})
+	started := make(chan int, 4)
+	f.onScanStart = func(scan int) {
+		started <- scan
+		if scan == 1 {
+			<-gate // hold the bypass scan so the followers pile up
+		}
+	}
+	c := New(Config{Window: time.Hour}) // rely on early seal
+
+	var wg sync.WaitGroup
+	var firstN atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := c.Scan(f, nil, countingFn(&firstN)); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started // scan 1 running (blocked on gate)
+
+	// Follower B: a>=2 AND a<=6; follower C: a>=2. Intersection: a>=2.
+	pdB := mkPD(t, f, expr.And(expr.Cmp(expr.OpGe, expr.C("a"), expr.L(2)), expr.Cmp(expr.OpLe, expr.C("a"), expr.L(6))))
+	pdC := mkPD(t, f, expr.Cmp(expr.OpGe, expr.C("a"), expr.L(2)))
+	var mu sync.Mutex
+	var bOffs, cOffs []int64
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = c.ScanPushdown(f, pdB, []value.Path{{"a"}}, offsetsFn(&mu, &bOffs))
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = c.ScanPushdown(f, pdC, []value.Path{{"a"}}, offsetsFn(&mu, &cOffs))
+	}()
+	waitFor(t, "followers to gather", func() bool {
+		waiting, _, _, _ := c.Status(f)
+		return waiting == 2
+	})
+	close(gate)
+	wg.Wait()
+
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("errors: %v, %v", errs[0], errs[1])
+	}
+	if f.numScans() != 2 {
+		t.Fatalf("provider scans = %d, want 2 (bypass + shared cycle)", f.numScans())
+	}
+	pds := f.pushdowns()
+	if len(pds) != 1 {
+		t.Fatalf("provider pushdown scans = %d, want 1 (the shared cycle)", len(pds))
+	}
+	if pds[0].NumConjuncts() != 1 {
+		t.Fatalf("shared pushdown = %s, want the 1-conjunct intersection", pds[0])
+	}
+	if len(bOffs) != 5 { // a in [2,6]
+		t.Errorf("B saw %d records, want 5: %v", len(bOffs), bOffs)
+	}
+	if len(cOffs) != 18 { // a in [2,19]
+		t.Errorf("C saw %d records, want 18", len(cOffs))
+	}
+	if st := c.Stats(); st.SharedScans != 1 || st.SharedConsumers != 2 {
+		t.Errorf("stats = %+v, want 1 shared cycle serving 2", st)
+	}
+}
+
+// A consumer with no pushdown in the cycle forces an unfiltered shared
+// parse; pushdown consumers still get exactly their filtered streams via
+// the fanout recheck.
+func TestSharedCycleMixedWithNoPushdownConsumer(t *testing.T) {
+	f := newPushProv(12)
+	gate := make(chan struct{})
+	started := make(chan int, 4)
+	f.onScanStart = func(scan int) {
+		started <- scan
+		if scan == 1 {
+			<-gate
+		}
+	}
+	c := New(Config{Window: time.Hour})
+
+	var wg sync.WaitGroup
+	var firstN atomic.Int64
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Scan(f, nil, countingFn(&firstN)) }()
+	<-started
+
+	pd := mkPD(t, f, expr.Cmp(expr.OpLt, expr.C("a"), expr.L(3)))
+	var mu sync.Mutex
+	var filtered []int64
+	var plainN atomic.Int64
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = c.ScanPushdown(f, pd, []value.Path{{"a"}}, offsetsFn(&mu, &filtered))
+	}()
+	go func() { defer wg.Done(); errs[1] = c.Scan(f, nil, countingFn(&plainN)) }()
+	waitFor(t, "followers to gather", func() bool {
+		waiting, _, _, _ := c.Status(f)
+		return waiting == 2
+	})
+	close(gate)
+	wg.Wait()
+
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("errors: %v, %v", errs[0], errs[1])
+	}
+	if got := f.pushdowns(); len(got) != 0 {
+		t.Fatalf("provider pushdowns = %v, want none (mixed cycle scans unfiltered)", got)
+	}
+	if len(filtered) != 3 {
+		t.Errorf("pushdown consumer saw %d records, want 3", len(filtered))
+	}
+	if plainN.Load() != 12 {
+		t.Errorf("plain consumer saw %d records, want all 12", plainN.Load())
+	}
+}
+
+// A provider without PushdownScanner still serves pushdown consumers
+// correctly: the coordinator re-tests decoded rows (private and shared).
+func TestPushdownRowFallbackProvider(t *testing.T) {
+	f := newFakeProv(10) // no ScanPushdown
+	c := New(Config{Window: time.Hour})
+	pd := mkPD(t, f, expr.Cmp(expr.OpGe, expr.C("a"), expr.L(7)))
+	var n atomic.Int64
+	if err := c.ScanPushdown(f, pd, []value.Path{{"a"}}, countingFn(&n)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 3 {
+		t.Errorf("records seen = %d, want 3", n.Load())
+	}
+	if f.numScans() != 1 {
+		t.Errorf("provider scans = %d, want 1", f.numScans())
+	}
+}

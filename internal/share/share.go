@@ -59,6 +59,7 @@ import (
 	"sync"
 	"time"
 
+	"recache/internal/expr"
 	"recache/internal/plan"
 	"recache/internal/value"
 )
@@ -80,6 +81,12 @@ type Config struct {
 	// the number of consumers it served (wired to the cache manager's
 	// SharedScans/SharedConsumers counters).
 	OnShared func(consumers int)
+	// OnPushdown, when set, is invoked after every raw scan that evaluated
+	// pushed conjuncts below parsing — private scans with their own
+	// pushdown, and shared cycles with the consumers' intersection — with
+	// the conjunct count and the records skipped early (wired to the cache
+	// manager's PushedConjuncts/RecordsSkippedEarly counters).
+	OnPushdown func(conjuncts int, skipped int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -111,10 +118,15 @@ type Stats struct {
 // consumer is one attached query-side record callback.
 type consumer struct {
 	needed []value.Path // nil means all fields, empty means none
-	fn     plan.ScanFunc
-	err    error
-	failed bool          // pipeline errored mid-fanout; detached
-	done   chan struct{} // closed by the leader when the cycle completes
+	// pd is the consumer's pushable predicate (nil: none). The cycle pushes
+	// the intersection of all consumers' pushdowns below the shared parse;
+	// the rest of this consumer's pd is re-checked at fanout (recheck).
+	pd      *expr.Pushdown
+	recheck *expr.Pushdown // set by the leader before the cycle's scan
+	fn      plan.ScanFunc
+	err     error
+	failed  bool          // pipeline errored mid-fanout; detached
+	done    chan struct{} // closed by the leader when the cycle completes
 }
 
 // cycle is one gathering/running shared scan.
@@ -202,8 +214,25 @@ func (c *Coordinator) Status(prov plan.ScanProvider) (waiting, running int, cycl
 // provider's error, or nil. needed follows plan.ScanProvider.Scan: nil
 // means all fields, empty means none.
 func (c *Coordinator) Scan(prov plan.ScanProvider, needed []value.Path, fn plan.ScanFunc) error {
+	return c.ScanPushdown(prov, nil, needed, fn)
+}
+
+// ScanPushdown is Scan with a predicate pushdown: the stream delivered to
+// fn contains exactly the records passing pd (nil pd: every record). On the
+// private fast path pd goes straight below the provider's parse; in a
+// shared cycle the coordinator pushes only the *intersection* of all
+// consumers' pushable conjuncts below the one shared parse and re-checks
+// each consumer's remainder at fanout, so sharing never widens (or narrows)
+// any consumer's stream.
+func (c *Coordinator) ScanPushdown(prov plan.ScanProvider, pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) error {
+	if pd != nil {
+		// Fallback paths re-test pd on decoded rows; make sure the tested
+		// columns are materialized even if the caller did not ask for them.
+		needed = unionPaths(needed, pd.Cols())
+	}
 	if c == nil {
-		return prov.Scan(needed, fn)
+		_, _, err := PushScan(prov, pd, needed, fn)
+		return err
 	}
 	now := time.Now()
 	c.mu.Lock()
@@ -214,7 +243,7 @@ func (c *Coordinator) Scan(prov plan.ScanProvider, needed []value.Path, fn plan.
 	}
 	if cy := st.pending; cy != nil {
 		// A cycle is gathering and has not started its scan: join it.
-		con := &consumer{needed: needed, fn: fn, done: make(chan struct{})}
+		con := &consumer{needed: needed, pd: pd, fn: fn, done: make(chan struct{})}
 		cy.consumers = append(cy.consumers, con)
 		st.lastBurst = now
 		c.mu.Unlock()
@@ -223,14 +252,14 @@ func (c *Coordinator) Scan(prov plan.ScanProvider, needed []value.Path, fn plan.
 	}
 	if st.active == 0 && now.Sub(st.lastBurst) > c.cfg.HotFor {
 		// Single-consumer fast path: no concurrent demand, so scan
-		// privately (own needed fields only, zero added latency). The
-		// deferred release keeps the active count honest even if the
-		// caller's pipeline panics mid-scan.
+		// privately (own needed fields only, own pushdown below the parse,
+		// zero added latency). The deferred release keeps the active count
+		// honest even if the caller's pipeline panics mid-scan.
 		st.active++
 		st.privates++
 		c.mu.Unlock()
 		defer c.scanDone(st)
-		return prov.Scan(needed, fn)
+		return c.privateScan(prov, pd, needed, fn)
 	}
 	// Concurrent demand: a raw scan of this dataset is in flight (this is a
 	// late arrival relative to it — it must wait for the *next* full scan),
@@ -239,7 +268,7 @@ func (c *Coordinator) Scan(prov plan.ScanProvider, needed []value.Path, fn plan.
 	if st.active > 0 {
 		st.lastBurst = now
 	}
-	con := &consumer{needed: needed, fn: fn, done: make(chan struct{})}
+	con := &consumer{needed: needed, pd: pd, fn: fn, done: make(chan struct{})}
 	cy := &cycle{
 		consumers:  []*consumer{con},
 		wake:       make(chan struct{}, 1),
@@ -250,6 +279,65 @@ func (c *Coordinator) Scan(prov plan.ScanProvider, needed []value.Path, fn plan.
 	c.mu.Unlock()
 	c.lead(prov, st, cy)
 	return con.err
+}
+
+// privateScan runs one single-consumer scan with the consumer's own
+// pushdown applied, reporting pushdown activity to the OnPushdown hook
+// (only when the predicate really ran below the parse — a row-tested
+// fallback decoded every record and is not a pushdown scan).
+func (c *Coordinator) privateScan(prov plan.ScanProvider, pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) error {
+	if pd == nil {
+		return prov.Scan(needed, fn)
+	}
+	skipped, below, err := PushScan(prov, pd, needed, fn)
+	if err == nil && below && c.cfg.OnPushdown != nil {
+		c.cfg.OnPushdown(pd.NumConjuncts(), skipped)
+	}
+	return err
+}
+
+// PushScan scans prov filtered by pd, below the parse when the provider
+// implements plan.PushdownScanner (below reports which path ran) and by
+// re-testing each decoded record otherwise; either way pd's tested columns
+// are folded into the needed set so the decoded rows carry them. It returns
+// the number of records filtered out before reaching fn.
+func PushScan(prov plan.ScanProvider, pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) (skipped int64, below bool, err error) {
+	if pd == nil {
+		return 0, false, prov.Scan(needed, fn)
+	}
+	needed = unionPaths(needed, pd.Cols())
+	if ps, ok := prov.(plan.PushdownScanner); ok {
+		skipped, err = ps.ScanPushdown(pd, needed, fn)
+		return skipped, true, err
+	}
+	err = prov.Scan(needed, func(rec value.Value, off int64, complete func() error) error {
+		if !pd.TestRow(rec.L) {
+			skipped++
+			return nil
+		}
+		return fn(rec, off, complete)
+	})
+	return skipped, false, err
+}
+
+// unionPaths adds extra paths to a needed set, preserving the nil (all
+// fields) convention and deduplicating.
+func unionPaths(needed []value.Path, extra []value.Path) []value.Path {
+	if needed == nil {
+		return nil
+	}
+	seen := make(map[string]bool, len(needed))
+	for _, p := range needed {
+		seen[p.String()] = true
+	}
+	out := needed
+	for _, p := range extra {
+		if k := p.String(); !seen[k] {
+			seen[k] = true
+			out = append(out[:len(out):len(out)], p)
+		}
+	}
+	return out
 }
 
 // scanDone retires one running scan; when the dataset goes idle it seals
@@ -302,7 +390,7 @@ func (c *Coordinator) lead(prov plan.ScanProvider, st *dsState, cy *cycle) {
 		}
 	}()
 
-	scanErr := runCycle(prov, consumers)
+	shared, skipped, scanErr := runCycle(prov, consumers)
 	served := 0
 	for _, con := range consumers {
 		if !con.failed {
@@ -351,6 +439,9 @@ func (c *Coordinator) lead(prov plan.ScanProvider, st *dsState, cy *cycle) {
 	if served >= 2 && scanErr == nil && c.cfg.OnShared != nil {
 		c.cfg.OnShared(served)
 	}
+	if shared != nil && scanErr == nil && c.cfg.OnPushdown != nil {
+		c.cfg.OnPushdown(shared.NumConjuncts(), skipped)
+	}
 }
 
 // errAllDetached aborts the provider scan once every consumer has failed;
@@ -363,7 +454,14 @@ var errCycleAborted = errors.New("share: shared scan aborted")
 
 // runCycle performs the single shared parse: one provider scan over the
 // union of the consumers' needed fields, each record fanned out to every
-// live consumer. A consumer whose pipeline errors is detached — it keeps
+// live consumer. The *intersection* of the consumers' pushable conjuncts is
+// pushed below the shared parse (records failing it would be rejected by
+// every consumer, so skipping them early narrows nobody's stream); each
+// consumer's remaining pushdown conjuncts are re-checked on the decoded row
+// at fanout. It returns the pushed intersection (nil when nothing was
+// pushed below the parse) and the records it skipped early.
+//
+// A consumer whose pipeline errors is detached — it keeps
 // its own error and the scan continues for the others — so one bad query
 // cannot poison the shared scan. Detachment covers *pipeline* errors only:
 // a provider-side error (I/O, malformed field) fails every consumer, even
@@ -371,8 +469,12 @@ var errCycleAborted = errors.New("share: shared scan aborted")
 // all consumers have absorbed a partial stream that cannot be retried
 // inside the same pipeline without duplicating rows. Corrupt files thus
 // fail a little wider under sharing; see DESIGN.md.
-func runCycle(prov plan.ScanProvider, consumers []*consumer) error {
+func runCycle(prov plan.ScanProvider, consumers []*consumer) (*expr.Pushdown, int64, error) {
 	live := len(consumers)
+	shared := sharedPushdown(prov, consumers)
+	for _, con := range consumers {
+		con.recheck = con.pd.Remainder(shared)
+	}
 	// Memoize complete(): several eager materializers sharing the cycle
 	// parse the skipped fields once, not once each. A sampling materializer
 	// that runs after a co-consumer already completed the record therefore
@@ -382,11 +484,14 @@ func runCycle(prov plan.ScanProvider, consumers []*consumer) error {
 	// the whole cycle, reset per record, to keep the fan-out allocation-free.
 	var memo completeMemo
 	once := memo.call
-	err := prov.Scan(unionNeeded(consumers), func(rec value.Value, off int64, complete func() error) error {
+	fanout := func(rec value.Value, off int64, complete func() error) error {
 		memo.complete, memo.done = complete, false
 		for _, con := range consumers {
 			if con.failed {
 				continue
+			}
+			if con.recheck != nil && !con.recheck.TestRow(rec.L) {
+				continue // fails this consumer's own pushed conjuncts
 			}
 			if cerr := con.fn(rec, off, once); cerr != nil {
 				// Detach and release immediately: the failed query gets its
@@ -401,11 +506,36 @@ func runCycle(prov plan.ScanProvider, consumers []*consumer) error {
 			}
 		}
 		return nil
-	})
-	if errors.Is(err, errAllDetached) {
-		return nil // every consumer already carries its own error
 	}
-	return err
+	union := unionNeeded(consumers)
+	var skipped int64
+	var err error
+	if shared != nil {
+		skipped, err = prov.(plan.PushdownScanner).ScanPushdown(shared, union, fanout)
+	} else {
+		err = prov.Scan(union, fanout)
+	}
+	if errors.Is(err, errAllDetached) {
+		err = nil // every consumer already carries its own error
+	}
+	return shared, skipped, err
+}
+
+// sharedPushdown intersects the consumers' pushdowns for the cycle's scan:
+// nil when the provider cannot push below parsing, when any consumer has no
+// pushdown, or when no conjunct is common to all.
+func sharedPushdown(prov plan.ScanProvider, consumers []*consumer) *expr.Pushdown {
+	if _, ok := prov.(plan.PushdownScanner); !ok {
+		return nil
+	}
+	pds := make([]*expr.Pushdown, len(consumers))
+	for i, con := range consumers {
+		if con.pd == nil {
+			return nil
+		}
+		pds[i] = con.pd
+	}
+	return expr.IntersectPushdowns(pds...)
 }
 
 // completeMemo caches one record's complete() result across the cycle's

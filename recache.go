@@ -39,6 +39,7 @@ import (
 	"recache/internal/csvio"
 	"recache/internal/eviction"
 	"recache/internal/exec"
+	"recache/internal/expr"
 	"recache/internal/jsonio"
 	"recache/internal/plan"
 	"recache/internal/share"
@@ -86,6 +87,10 @@ type Config struct {
 	// hits: every cache scan decodes boxed rows one at a time
 	// (pre-vectorization behaviour; ablation and benchmarking).
 	DisableVectorized bool
+	// DisablePushdown turns off predicate pushdown into raw scans: every
+	// cache-miss scan decodes all needed fields of every record and filters
+	// afterwards (pre-pushdown behaviour; ablation and benchmarking).
+	DisablePushdown bool
 }
 
 func (c Config) toCacheConfig() (cache.Config, error) {
@@ -152,6 +157,9 @@ type Engine struct {
 	share *share.Coordinator
 	// noVec disables vectorized cache scans (Config.DisableVectorized).
 	noVec bool
+	// noPush disables predicate pushdown into raw scans
+	// (Config.DisablePushdown).
+	noPush bool
 }
 
 // Open creates an engine.
@@ -164,6 +172,7 @@ func Open(cfg Config) (*Engine, error) {
 		datasets: make(map[string]*plan.Dataset),
 		manager:  cache.NewManager(cc),
 		noVec:    cfg.DisableVectorized,
+		noPush:   cfg.DisablePushdown,
 	}
 	e.ConfigureSharedScans(!cfg.DisableSharedScans, share.Config{Window: cfg.ShareWindow})
 	return e, nil
@@ -192,6 +201,7 @@ func (e *Engine) ConfigureSharedScans(enabled bool, cfg share.Config) {
 	var coord *share.Coordinator
 	if enabled {
 		cfg.OnShared = e.manager.NoteSharedScan
+		cfg.OnPushdown = e.manager.NotePushdown
 		coord = share.New(cfg)
 	}
 	e.mu.Lock()
@@ -274,6 +284,23 @@ func (e *Engine) RawScans(name string) int64 {
 	return -1
 }
 
+// RawPushdownStats reports the named table's provider-level pushdown
+// counters: raw scans that evaluated a pushdown below parsing and the
+// records those scans skipped before full decode. It returns (-1, -1) when
+// the table is unknown or its provider does not count pushdown scans.
+func (e *Engine) RawPushdownStats(name string) (scans, skipped int64) {
+	e.mu.RLock()
+	ds, ok := e.datasets[name]
+	e.mu.RUnlock()
+	if !ok {
+		return -1, -1
+	}
+	if ps, ok := ds.Provider.(interface{ PushdownStats() (int64, int64) }); ok {
+		return ps.PushdownStats()
+	}
+	return -1, -1
+}
+
 // Tables lists the registered table names.
 func (e *Engine) Tables() []string {
 	e.mu.RLock()
@@ -347,6 +374,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 		Share:             coord,
 		Needed:            pl.neededPaths,
 		DisableVectorized: e.noVec,
+		DisablePushdown:   e.noPush,
 	})
 	if err != nil {
 		return nil, err
@@ -374,13 +402,16 @@ func (e *Engine) Query(sql string) (*Result, error) {
 // annotated with the dataset's live work-sharing state — consumers waiting
 // in a gathering cycle, raw scans in flight, and the shared-scan /
 // shared-consumer totals so far — so EXPLAIN shows whether the scan would
-// attach to an in-flight shared cycle. CachedScan nodes are annotated with
-// the execution flavor the hit would take right now: "vectorized" plus the
-// expected batch count when the entry's layout serves column batches, "row"
-// otherwise. Explain is free of side effects: it performs the cache lookup
-// through the manager's read-only path (and only reads coordinator state
-// and entry payload snapshots), so reuse counters, hit/miss statistics, and
-// eviction state are untouched.
+// attach to an in-flight shared cycle. Select nodes sitting directly on a
+// raw Scan are annotated with the predicate split a miss would execute:
+// the conjuncts pushed below parsing and the residual the pipeline still
+// applies (e.g. "pushdown: [l_quantity>=20, l_quantity<=40]"). CachedScan
+// nodes are annotated with the execution flavor the hit would take right
+// now: "vectorized" plus the expected batch count when the entry's layout
+// serves column batches, "row" otherwise. Explain is free of side effects:
+// it performs the cache lookup through the manager's read-only path (and
+// only reads coordinator state and entry payload snapshots), so reuse
+// counters, hit/miss statistics, and eviction state are untouched.
 func (e *Engine) Explain(sql string) (string, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -390,17 +421,42 @@ func (e *Engine) Explain(sql string) (string, error) {
 	pl, err := e.buildPlan(q)
 	coord := e.share
 	noVec := e.noVec
+	noPush := e.noPush
 	e.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
 	root := e.manager.Peek(pl.root, pl.neededNames)
 	return plan.ExplainAnnotated(root, func(n plan.Node) string {
-		if cs, ok := n.(*plan.CachedScan); ok {
-			return vecNote(cs, e.manager, noVec)
+		switch x := n.(type) {
+		case *plan.CachedScan:
+			return vecNote(x, e.manager, noVec)
+		case *plan.Select:
+			return pushNote(x, noPush)
 		}
 		return shareNote(coord, n)
 	}), nil
+}
+
+// pushNote annotates a Select directly over a raw Scan with the predicate
+// split pushdown would execute on a miss; empty for any other select.
+func pushNote(sel *plan.Select, noPush bool) string {
+	scan, ok := sel.Child.(*plan.Scan)
+	if !ok || sel.Pred == nil {
+		return ""
+	}
+	if noPush {
+		return "pushdown: off"
+	}
+	pd, residual := expr.ExtractPushdown(sel.Pred, scan.DS.Schema())
+	if pd == nil {
+		return ""
+	}
+	s := "pushdown: " + pd.String()
+	if residual != nil {
+		s += ", residual: " + residual.Canonical()
+	}
+	return s
 }
 
 // vecNote annotates a CachedScan with its execution flavor.
@@ -470,8 +526,14 @@ type CacheStats struct {
 	// VectorizedBatches the column batches those scans pulled.
 	VectorizedScans   int64
 	VectorizedBatches int64
-	Entries           int
-	TotalBytes        int64
+	// PushdownScans counts raw scans that evaluated pushed conjuncts below
+	// parsing; PushedConjuncts totals the conjuncts pushed, and
+	// RecordsSkippedEarly the records rejected before full decode.
+	PushdownScans       int64
+	PushedConjuncts     int64
+	RecordsSkippedEarly int64
+	Entries             int
+	TotalBytes          int64
 }
 
 // CacheStats returns a snapshot of the cache counters. The counters are
@@ -480,20 +542,23 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	s := e.manager.Stats()
 	return CacheStats{
-		Queries:           s.Queries,
-		ExactHits:         s.ExactHits,
-		SubsumedHits:      s.SubsumedHits,
-		Misses:            s.Misses,
-		Evictions:         s.Evictions,
-		LayoutSwitches:    s.LayoutSwitches,
-		LazyUpgrades:      s.LazyUpgrades,
-		Inserted:          s.Inserted,
-		SharedScans:       s.SharedScans,
-		SharedConsumers:   s.SharedConsumers,
-		VectorizedScans:   s.VectorizedScans,
-		VectorizedBatches: s.VectorizedBatches,
-		Entries:           s.Entries,
-		TotalBytes:        s.TotalBytes,
+		Queries:             s.Queries,
+		ExactHits:           s.ExactHits,
+		SubsumedHits:        s.SubsumedHits,
+		Misses:              s.Misses,
+		Evictions:           s.Evictions,
+		LayoutSwitches:      s.LayoutSwitches,
+		LazyUpgrades:        s.LazyUpgrades,
+		Inserted:            s.Inserted,
+		SharedScans:         s.SharedScans,
+		SharedConsumers:     s.SharedConsumers,
+		VectorizedScans:     s.VectorizedScans,
+		VectorizedBatches:   s.VectorizedBatches,
+		PushdownScans:       s.PushdownScans,
+		PushedConjuncts:     s.PushedConjuncts,
+		RecordsSkippedEarly: s.RecordsSkippedEarly,
+		Entries:             s.Entries,
+		TotalBytes:          s.TotalBytes,
 	}
 }
 
