@@ -23,6 +23,11 @@
 //   - records-skipped ratio (pushdown-cold phase): regression when the
 //     fraction of records skipped early falls below baseline − tolerance
 //     (deterministic for a fixed seed/scale).
+//   - join-phase qps ratio (join-hot / join-hot-off): regression when the
+//     vectorized join's speedup over the row join drops more than the
+//     tolerance below the baseline's. The absolute qps of both phases is
+//     hardware-sensitive and already gated individually; the ratio tracks
+//     the flavor gap itself, which survives a runner-class change.
 //
 // A phase present in the baseline but missing from the current report is a
 // failure: a metric that silently disappears is a regression too.
@@ -101,11 +106,41 @@ func main() {
 			check(bp, "skipped-ratio", baseRatio, curRatio, false, 0)
 		}
 	}
+	// Paired-phase gate: the vectorized-vs-row join speedup.
+	if baseRatio, ok := qpsRatio(base, "join-hot", "join-hot-off"); ok {
+		curRatio, _ := qpsRatio(cur, "join-hot", "join-hot-off")
+		status := "ok"
+		if curRatio < baseRatio*(1-*tolerance) {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-28s %-16s baseline %10.2f  current %10.2f  %s\n",
+			"join-hot/join-hot-off", "qps-ratio", baseRatio, curRatio, status)
+	}
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d metric(s) regressed beyond ±%.0f%%\n", failures, 100**tolerance)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: all metrics within tolerance")
+}
+
+// qpsRatio returns the num-phase qps over the den-phase qps; ok is false
+// when either phase is absent or non-positive (the missing-phase failure
+// is reported by the per-phase loop).
+func qpsRatio(r *harness.Report, num, den string) (float64, bool) {
+	var n, d float64
+	for _, p := range r.Phases {
+		switch p.Name {
+		case num:
+			n = p.QPS
+		case den:
+			d = p.QPS
+		}
+	}
+	if n <= 0 || d <= 0 {
+		return 0, false
+	}
+	return n / d, true
 }
 
 func key(p harness.Phase) string {

@@ -177,6 +177,8 @@ func metaCommand(eng *recache.Engine, line string) (quit bool) {
 			s.SharedScans, s.SharedConsumers, s.SharedConsumers-s.SharedScans)
 		fmt.Printf("vectorized-scans=%d vectorized-batches=%d\n",
 			s.VectorizedScans, s.VectorizedBatches)
+		fmt.Printf("vectorized-joins=%d join-probe-batches=%d\n",
+			s.VectorizedJoins, s.JoinProbeBatches)
 		fmt.Printf("pushdown-scans=%d pushed-conjuncts=%d records-skipped-early=%d\n",
 			s.PushdownScans, s.PushedConjuncts, s.RecordsSkippedEarly)
 	case "\\explain":

@@ -111,6 +111,13 @@ type Stats struct {
 	// VectorizedBatches the column batches those scans pulled.
 	VectorizedScans   int64 `json:"vectorized_scans"`
 	VectorizedBatches int64 `json:"vectorized_batches"`
+	// VectorizedJoins counts joins that ran the batch-native hash join end
+	// to end (typed build + batch probe + gathered output);
+	// JoinProbeBatches the probe-side batches those joins consumed. Mixed
+	// executions (one batch side, one row side) are not counted — the
+	// counter tracks the fully batched pipeline.
+	VectorizedJoins  int64 `json:"vectorized_joins"`
+	JoinProbeBatches int64 `json:"join_probe_batches"`
 	// PushdownScans counts raw scans that evaluated pushed conjuncts below
 	// parsing; PushedConjuncts totals the conjuncts those scans pushed, and
 	// RecordsSkippedEarly the records they rejected before decoding
@@ -139,6 +146,8 @@ type counters struct {
 	sharedConsumers     atomic.Int64
 	vectorizedScans     atomic.Int64
 	vectorizedBatches   atomic.Int64
+	vectorizedJoins     atomic.Int64
+	joinProbeBatches    atomic.Int64
 	pushdownScans       atomic.Int64
 	pushedConjuncts     atomic.Int64
 	recordsSkippedEarly atomic.Int64
@@ -220,6 +229,16 @@ func (m *Manager) NoteSharedScan(n int) {
 	m.stats.sharedConsumers.Add(int64(n))
 }
 
+// NoteVectorizedJoin records one fully vectorized hash join that consumed
+// probeBatches probe-side batches. The executor calls it when a join's
+// build and probe sides both served batches; the probe-side entry's scan
+// observation (RecordScan) separately carries the measured probe nanos
+// into the layout advisor.
+func (m *Manager) NoteVectorizedJoin(probeBatches int64) {
+	m.stats.vectorizedJoins.Add(1)
+	m.stats.joinProbeBatches.Add(probeBatches)
+}
+
 // NotePushdown records one raw scan that evaluated n pushed conjuncts below
 // parsing, skipping skipped records before full decode. It is wired as the
 // share.Coordinator's OnPushdown callback by the engine (and called
@@ -248,6 +267,8 @@ func (m *Manager) Stats() Stats {
 		SharedConsumers:     m.stats.sharedConsumers.Load(),
 		VectorizedScans:     m.stats.vectorizedScans.Load(),
 		VectorizedBatches:   m.stats.vectorizedBatches.Load(),
+		VectorizedJoins:     m.stats.vectorizedJoins.Load(),
+		JoinProbeBatches:    m.stats.joinProbeBatches.Load(),
 		PushdownScans:       m.stats.pushdownScans.Load(),
 		PushedConjuncts:     m.stats.pushedConjuncts.Load(),
 		RecordsSkippedEarly: m.stats.recordsSkippedEarly.Load(),

@@ -46,8 +46,14 @@ type Deps struct {
 	// missing key means all fields.
 	Needed map[string][]value.Path
 	// DisableVectorized forces every cache scan onto the row-at-a-time
-	// path (pre-vectorization behaviour; ablation and benchmarking).
+	// path (pre-vectorization behaviour; ablation and benchmarking). It
+	// implies DisableVectorizedJoins: a join cannot batch without batch
+	// inputs.
 	DisableVectorized bool
+	// DisableVectorizedJoins keeps joins on the boxed row path while cache
+	// scans stay vectorized (pre-vectorized-join behaviour; ablation and
+	// benchmarking).
+	DisableVectorizedJoins bool
 	// DisablePushdown keeps scan predicates above parsing: raw scans decode
 	// every needed field of every record and the filter runs afterwards
 	// (pre-pushdown behaviour; ablation and benchmarking).
@@ -145,7 +151,7 @@ func compile(n plan.Node, deps Deps) (runFn, error) {
 		}
 		return rowFn, nil
 	case *plan.Join:
-		return compileJoin(x, deps)
+		return compileJoinAuto(x, deps)
 	case *plan.Aggregate:
 		rowFn, err := compileAggregate(x, deps)
 		if err != nil {
@@ -333,7 +339,16 @@ func makeJoinKey(lt, rt *value.Type) joinKeyFn {
 	}
 }
 
-func compileJoin(j *plan.Join, deps Deps) (runFn, error) {
+// joinParts are the compiled pieces every join flavor shares: the two
+// child pipelines, the key evaluators, and the row-path key normalizer.
+type joinParts struct {
+	left, right runFn
+	lkey, rkey  expr.Evaluator
+	norm        joinKeyFn
+	ln, rn      int
+}
+
+func compileJoinParts(j *plan.Join, deps Deps) (*joinParts, error) {
 	left, err := compile(j.Left, deps)
 	if err != nil {
 		return nil, err
@@ -352,39 +367,81 @@ func compileJoin(j *plan.Join, deps Deps) (runFn, error) {
 	}
 	lt, _ := j.LeftKey.Type(j.Left.OutSchema())
 	rt, _ := j.RightKey.Type(j.Right.OutSchema())
-	norm := makeJoinKey(lt, rt)
-	ln := len(j.Left.OutSchema().Fields)
-	rn := len(j.Right.OutSchema().Fields)
+	return &joinParts{
+		left: left, right: right,
+		lkey: lkey, rkey: rkey,
+		norm: makeJoinKey(lt, rt),
+		ln:   len(j.Left.OutSchema().Fields),
+		rn:   len(j.Right.OutSchema().Fields),
+	}, nil
+}
+
+// rowArena hands out stable copies of retained build rows from large
+// shared chunks: one allocation per arenaChunkVals boxed values instead of
+// one per row, which is what the join build phase used to pay.
+type rowArena struct {
+	chunk []value.Value
+}
+
+// arenaChunkVals is the arena chunk size in values (~256KB of boxed
+// values): big enough to amortize allocation, small enough that a tiny
+// build side doesn't overcommit.
+const arenaChunkVals = 8192
+
+// save copies row into the arena and returns a stable full-sliced view
+// (capacity pinned, so later saves can never alias it).
+func (a *rowArena) save(row []value.Value) []value.Value {
+	if len(a.chunk)+len(row) > cap(a.chunk) {
+		n := arenaChunkVals
+		if len(row) > n {
+			n = len(row)
+		}
+		a.chunk = make([]value.Value, 0, n)
+	}
+	off := len(a.chunk)
+	a.chunk = append(a.chunk, row...)
+	return a.chunk[off:len(a.chunk):len(a.chunk)]
+}
+
+// rowJoin is the boxed row-at-a-time hash join: the compile-time flavor
+// for non-vectorizable joins and the run-time fallback when neither input
+// serves batches (see joinvec.go for the batch flavors).
+func (p *joinParts) rowJoin() runFn {
 	return func(ctx *qctx, out emitFn) error {
-		// Build phase: hash the left input.
+		// Build phase: hash the left input. The emit callback's row slice
+		// is reused by upstream operators, so retained rows are copied —
+		// through the arena, not one heap allocation per row.
 		table := make(map[any][][]value.Value)
-		if err := left(ctx, func(row []value.Value) error {
-			k, ok := norm(lkey(row))
+		var arena rowArena
+		if err := p.left(ctx, func(row []value.Value) error {
+			k, ok := p.norm(p.lkey(row))
 			if !ok {
 				return nil
 			}
-			table[k] = append(table[k], append([]value.Value(nil), row...))
+			table[k] = append(table[k], arena.save(row))
 			return nil
 		}); err != nil {
 			return err
 		}
-		// Probe phase: stream the right input.
-		buf := make([]value.Value, ln+rn)
-		return right(ctx, func(row []value.Value) error {
-			k, ok := norm(rkey(row))
+		// Probe phase: stream the right input. buf is reused across emits,
+		// relying on the emitFn no-retain contract: a consumer that keeps
+		// a row (the Run collector, a parent join's build) copies it.
+		buf := make([]value.Value, p.ln+p.rn)
+		return p.right(ctx, func(row []value.Value) error {
+			k, ok := p.norm(p.rkey(row))
 			if !ok {
 				return nil
 			}
 			for _, lrow := range table[k] {
 				copy(buf, lrow)
-				copy(buf[ln:], row)
+				copy(buf[p.ln:], row)
 				if err := out(buf); err != nil {
 					return err
 				}
 			}
 			return nil
 		})
-	}, nil
+	}
 }
 
 // aggState accumulates one aggregate function.

@@ -135,51 +135,229 @@ func compileCachedScanAuto(cs *plan.CachedScan, deps Deps) (runFn, error) {
 	if !ok {
 		return rowFn, nil
 	}
-	return vecScanEmit(p, nil, nil, rowFn), nil
+	return vecEmit(&scanSource{p: p}, nil, rowFn), nil
 }
 
-// vecScanEmit builds the batch→rows boundary operator shared by the
-// vectorized CachedScan and Project: scan batches, run the filter chain,
-// materialize the selected rows (optionally permuted to proj's column
-// order) and emit them. Downstream time is sampled out of the attribution.
-func vecScanEmit(p *vecScan, filters []*expr.VecFilter, proj []int, rowFn runFn) runFn {
+// --- batch sources ---
+//
+// A vecSource is a compiled producer of column batches: a vectorized cache
+// scan, a vectorized hash join over two of them (joinvec.go), or either
+// wrapped in selection kernels. Vectorized Aggregate/Project and the
+// batch→row boundary consume any source the same way, which is what lets
+// the batch pipeline run end to end across a join.
+
+// vecSource is the compile-time half: open checks the run-time half (entry
+// payload snapshots, kind drift) and returns an iterator, or ok=false to
+// send this execution to the row fallback.
+type vecSource interface {
+	open(ctx *qctx) (vecIter, bool)
+	// info reports, without consuming anything, whether the source would
+	// open right now and how many batches its consumer should expect
+	// (EXPLAIN annotations).
+	info(deps Deps) (batches int64, ok bool)
+}
+
+// vecIter streams one execution's batches.
+type vecIter interface {
+	// Kinds returns the column kinds, fixed across batches.
+	Kinds() []value.Kind
+	// Stable reports whether Next returns the same full-length vectors
+	// every batch (selection indexes then address them directly — the
+	// join build side stores row-ids instead of copying).
+	Stable() bool
+	// Cols returns the stable column vectors (nil when !Stable()).
+	Cols() []*store.Vec
+	// Next returns the next batch's columns and selection vector; ok=false
+	// when exhausted. The selection may be empty (a fully filtered batch).
+	Next() (cols []*store.Vec, sel []int32, ok bool)
+	// Close attributes the iteration's measured cost to cache entries and
+	// counters; call once, after exhaustion.
+	Close(ctx *qctx)
+}
+
+// nanosSink lets a wrapping operator (the join probe) attribute extra
+// per-batch work to the underlying entry's scan observation, feeding the
+// layout advisor the true cost of serving those batches.
+type nanosSink interface{ addScanNanos(int64) }
+
+// scanSource adapts a vectorized CachedScan plus its Select chain's
+// kernels to the source interface.
+type scanSource struct {
+	p       *vecScan
+	filters []*expr.VecFilter
+}
+
+func (s *scanSource) open(ctx *qctx) (vecIter, bool) {
+	cur, ok := s.p.open(ctx.deps)
+	if !ok {
+		return nil, false
+	}
+	for _, f := range s.filters {
+		if !f.Compatible(cur.Cols) {
+			return nil, false
+		}
+	}
+	return &scanIter{p: s.p, filters: s.filters, cur: cur,
+		selBuf: make([]int32, store.BatchRows)}, true
+}
+
+func (s *scanSource) info(deps Deps) (int64, bool) {
+	cur, ok := s.p.open(deps)
+	if !ok {
+		return 0, false
+	}
+	for _, f := range s.filters {
+		if !f.Compatible(cur.Cols) {
+			return 0, false
+		}
+	}
+	return (cur.Rows + store.BatchRows - 1) / store.BatchRows, true
+}
+
+type scanIter struct {
+	p       *vecScan
+	filters []*expr.VecFilter
+	cur     *store.BatchCursor
+	selBuf  []int32
+	batches int64
+	nanos   int64
+	kinds   []value.Kind
+}
+
+func (it *scanIter) Kinds() []value.Kind {
+	if it.kinds == nil {
+		it.kinds = make([]value.Kind, len(it.cur.Cols))
+		for i, v := range it.cur.Cols {
+			it.kinds[i] = v.Kind
+		}
+	}
+	return it.kinds
+}
+
+func (it *scanIter) Stable() bool         { return true }
+func (it *scanIter) Cols() []*store.Vec   { return it.cur.Cols }
+func (it *scanIter) addScanNanos(n int64) { it.nanos += n }
+
+func (it *scanIter) Next() ([]*store.Vec, []int32, bool) {
+	t0 := time.Now()
+	sel := it.cur.Next(it.selBuf)
+	if sel == nil {
+		it.nanos += time.Since(t0).Nanoseconds()
+		return nil, nil, false
+	}
+	it.batches++
+	sel = it.p.filter.Apply(it.cur.Cols, sel)
+	for _, f := range it.filters {
+		sel = f.Apply(it.cur.Cols, sel)
+	}
+	it.nanos += time.Since(t0).Nanoseconds()
+	return it.cur.Cols, sel, true
+}
+
+func (it *scanIter) Close(ctx *qctx) {
+	it.p.finish(ctx, it.batches, it.nanos, it.cur.Rows)
+}
+
+// filterSource applies Select kernels on top of a non-scan source (the
+// vectorized join's gathered output batches). Scan-level filters live
+// inside scanSource instead, where they tighten the physical selection
+// before any gather.
+type filterSource struct {
+	src     vecSource
+	filters []*expr.VecFilter
+}
+
+func (s *filterSource) open(ctx *qctx) (vecIter, bool) {
+	inner, ok := s.src.open(ctx)
+	if !ok {
+		return nil, false
+	}
+	kinds := inner.Kinds()
+	for _, f := range s.filters {
+		if !f.CompatibleKinds(kinds) {
+			return nil, false
+		}
+	}
+	return &filterIter{vecIter: inner, filters: s.filters}, true
+}
+
+func (s *filterSource) info(deps Deps) (int64, bool) { return s.src.info(deps) }
+
+type filterIter struct {
+	vecIter
+	filters []*expr.VecFilter
+}
+
+func (it *filterIter) Next() ([]*store.Vec, []int32, bool) {
+	cols, sel, ok := it.vecIter.Next()
+	if !ok {
+		return nil, nil, false
+	}
+	for _, f := range it.filters {
+		sel = f.Apply(cols, sel)
+	}
+	return cols, sel, true
+}
+
+// vecEmit builds the batch→rows boundary operator shared by the vectorized
+// CachedScan, Project, and row-consumed joins: pull batches, materialize
+// the selected rows (optionally permuted to proj's column order) and emit
+// them. Falls back to rowFn when the source cannot open this execution.
+func vecEmit(src vecSource, proj []int, rowFn runFn) runFn {
 	return func(ctx *qctx, out emitFn) error {
-		cur, ok := p.open(ctx.deps)
-		if !ok || !filtersCompatible(filters, cur.Cols) {
+		it, ok := src.open(ctx)
+		if !ok {
 			return rowFn(ctx, out)
 		}
-		outCols := cur.Cols
+		return emitIter(ctx, it, proj, out)
+	}
+}
+
+// emitIter drains an open iterator through the batch→row boundary. The
+// boundary's own cost — FillRows boxing and the emit loop, minus sampled
+// downstream operator time — is part of serving the source's batches to a
+// row consumer, so it is routed back into the source's scan attribution
+// (nanosSink) before Close records the observation.
+func emitIter(ctx *qctx, it vecIter, proj []int, out emitFn) error {
+	nc := len(it.Kinds())
+	if proj != nil {
+		nc = len(proj)
+	}
+	stride := nc
+	if stride == 0 {
+		stride = 1
+	}
+	chunk := make([]value.Value, store.BatchRows*stride)
+	var outCols []*store.Vec
+	if proj != nil {
+		outCols = make([]*store.Vec, len(proj))
+	}
+	down := stats.NewSampledTimer(stats.SampleShift, nil)
+	var emitWall int64
+	for {
+		cols, sel, ok := it.Next()
+		if !ok {
+			break
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		emitCols := cols
 		if proj != nil {
-			outCols = make([]*store.Vec, len(proj))
 			for i, c := range proj {
-				outCols[i] = cur.Cols[c]
+				outCols[i] = cols[c]
 			}
+			emitCols = outCols
 		}
-		nc := len(outCols)
-		stride := nc
-		if stride == 0 {
-			stride = 1
-		}
-		selBuf := make([]int32, store.BatchRows)
-		chunk := make([]value.Value, store.BatchRows*stride)
-		down := stats.NewSampledTimer(stats.SampleShift, nil)
-		var batches int64
-		wall0 := time.Now()
-		for {
-			sel := cur.Next(selBuf)
-			if sel == nil {
-				break
+		t0 := time.Now()
+		for off := 0; off < len(sel); off += store.BatchRows {
+			end := off + store.BatchRows
+			if end > len(sel) {
+				end = len(sel)
 			}
-			batches++
-			sel = p.filter.Apply(cur.Cols, sel)
-			for _, f := range filters {
-				sel = f.Apply(cur.Cols, sel)
-			}
-			if len(sel) == 0 {
-				continue
-			}
-			store.FillRows(outCols, sel, chunk, nc)
-			for k := range sel {
+			part := sel[off:end]
+			store.FillRows(emitCols, part, chunk, nc)
+			for k := range part {
 				row := chunk[k*nc : (k+1)*nc : (k+1)*nc]
 				if down.Begin() {
 					err := out(row)
@@ -192,57 +370,61 @@ func vecScanEmit(p *vecScan, filters []*expr.VecFilter, proj []int, rowFn runFn)
 				}
 			}
 		}
-		scanNanos := time.Since(wall0).Nanoseconds() - down.EstimatedTotal().Nanoseconds()
-		p.finish(ctx, batches, scanNanos, cur.Rows)
-		return nil
+		emitWall += time.Since(t0).Nanoseconds()
 	}
-}
-
-// filtersCompatible runs the schema-drift guard over a Select chain's
-// compiled filters, the same check open() applies to the scan residual: a
-// kind mismatch sends the execution to the row fallback instead of a
-// kernel reading the wrong typed slice.
-func filtersCompatible(filters []*expr.VecFilter, cols []*store.Vec) bool {
-	for _, f := range filters {
-		if !f.Compatible(cols) {
-			return false
+	if sink, ok := it.(nanosSink); ok {
+		if boundary := emitWall - down.EstimatedTotal().Nanoseconds(); boundary > 0 {
+			sink.addScanNanos(boundary)
 		}
 	}
-	return true
+	it.Close(ctx)
+	return nil
 }
 
-// peelVecChain walks [Select*] → CachedScan, compiling every Select
-// predicate to selection kernels (they all see the CachedScan's output
-// schema — Selects do not change it). ok is false when the chain has any
-// other operator or a non-vectorizable predicate.
-func peelVecChain(n plan.Node, disable bool) (*vecScan, []*expr.VecFilter, bool) {
+// peelVecSource walks [Select*] → (CachedScan | Join), compiling every
+// Select predicate to selection kernels (they all see their child's output
+// schema — Selects do not change it). Filters over a scan tighten the
+// physical selection inside scanSource; filters over a join run on the
+// gathered output batches. ok is false when the chain has any other
+// operator or a non-vectorizable predicate.
+func peelVecSource(n plan.Node, deps Deps) (vecSource, bool) {
 	var filters []*expr.VecFilter
 	for {
 		switch x := n.(type) {
 		case *plan.Select:
 			f, ok := expr.CompileVecFilter(x.Pred, x.Child.OutSchema())
 			if !ok {
-				return nil, nil, false
+				return nil, false
 			}
 			filters = append(filters, f)
 			n = x.Child
 		case *plan.CachedScan:
-			p, ok := planVecScan(x, disable)
+			p, ok := planVecScan(x, deps.DisableVectorized)
 			if !ok {
-				return nil, nil, false
+				return nil, false
 			}
-			return p, filters, true
+			return &scanSource{p: p, filters: filters}, true
+		case *plan.Join:
+			vj, ok := planVecJoin(x, deps)
+			if !ok || vj.lsrc == nil || vj.rsrc == nil {
+				return nil, false
+			}
+			var src vecSource = &joinSource{vj: vj}
+			if len(filters) > 0 {
+				src = &filterSource{src: src, filters: filters}
+			}
+			return src, true
 		default:
-			return nil, nil, false
+			return nil, false
 		}
 	}
 }
 
-// planVecProject vectorizes Project([Select*](CachedScan)) when every
+// planVecProject vectorizes Project([Select*](CachedScan|Join)) when every
 // projected expression is a plain column reference: the projection is a
 // column permutation applied at the batch level.
 func planVecProject(pr *plan.Project, deps Deps, rowFn runFn) (runFn, bool) {
-	p, filters, ok := peelVecChain(pr.Child, deps.DisableVectorized)
+	src, ok := peelVecSource(pr.Child, deps)
 	if !ok {
 		return nil, false
 	}
@@ -255,7 +437,7 @@ func planVecProject(pr *plan.Project, deps Deps, rowFn runFn) (runFn, bool) {
 		}
 		proj[i] = slot
 	}
-	return vecScanEmit(p, filters, proj, rowFn), true
+	return vecEmit(src, proj, rowFn), true
 }
 
 // --- vectorized aggregation ---
@@ -503,12 +685,14 @@ type vgroup struct {
 	accs    []vaggAcc
 }
 
-// planVecAggregate vectorizes Aggregate([Select*](CachedScan)) when every
-// aggregate argument and group-by expression is a plain column reference.
-// GROUP BY hashes typed key columns per selected row (no per-row string
-// keys, no boxing); the ungrouped path folds whole batches.
+// planVecAggregate vectorizes Aggregate([Select*](CachedScan|Join)) when
+// every aggregate argument and group-by expression is a plain column
+// reference. GROUP BY hashes typed key columns per selected row (no
+// per-row string keys, no boxing); the ungrouped path folds whole batches.
+// With a Join source the batch pipeline runs end to end: probe matches are
+// gathered into batches and folded here without ever boxing a row.
 func planVecAggregate(a *plan.Aggregate, deps Deps, rowFn runFn) (runFn, bool) {
-	p, filters, ok := peelVecChain(a.Child, deps.DisableVectorized)
+	src, ok := peelVecSource(a.Child, deps)
 	if !ok {
 		return nil, false
 	}
@@ -535,56 +719,46 @@ func planVecAggregate(a *plan.Aggregate, deps Deps, rowFn runFn) (runFn, bool) {
 	}
 	specs := a.Aggs
 
-	newAccs := func(cols []*store.Vec) []vaggAcc {
+	newAccs := func(kinds []value.Kind) []vaggAcc {
 		accs := make([]vaggAcc, len(specs))
 		for i := range accs {
 			accs[i] = vaggAcc{fn: specs[i].Func, arg: args[i]}
 			if args[i] >= 0 {
-				accs[i].kind = cols[args[i]].Kind
+				accs[i].kind = kinds[args[i]]
 			}
 		}
 		return accs
 	}
 
 	return func(ctx *qctx, out emitFn) error {
-		cur, ok := p.open(ctx.deps)
-		if !ok || !filtersCompatible(filters, cur.Cols) {
+		it, ok := src.open(ctx)
+		if !ok {
 			return rowFn(ctx, out)
 		}
+		kinds := it.Kinds()
 		// SUM/AVG kernels read numeric vectors; a non-numeric argument
 		// column (impossible through NewAggregate, cheap to guard) keeps
 		// the row path.
 		for i, s := range specs {
 			if (s.Func == plan.AggSum || s.Func == plan.AggAvg) && args[i] >= 0 {
-				if k := cur.Cols[args[i]].Kind; k != value.Int && k != value.Float {
+				if k := kinds[args[i]]; k != value.Int && k != value.Float {
 					return rowFn(ctx, out)
 				}
 			}
 		}
-		selBuf := make([]int32, store.BatchRows)
-		var batches int64
-		var scanNanos int64
 
 		if len(gcols) == 0 {
-			accs := newAccs(cur.Cols)
+			accs := newAccs(kinds)
 			for {
-				t0 := time.Now()
-				sel := cur.Next(selBuf)
-				if sel == nil {
-					scanNanos += time.Since(t0).Nanoseconds()
+				cols, sel, ok := it.Next()
+				if !ok {
 					break
 				}
-				batches++
-				sel = p.filter.Apply(cur.Cols, sel)
-				for _, f := range filters {
-					sel = f.Apply(cur.Cols, sel)
-				}
-				scanNanos += time.Since(t0).Nanoseconds()
 				for i := range accs {
-					accs[i].updateBatch(cur.Cols, sel)
+					accs[i].updateBatch(cols, sel)
 				}
 			}
-			p.finish(ctx, batches, scanNanos, cur.Rows)
+			it.Close(ctx)
 			outRow := make([]value.Value, len(accs))
 			for i := range accs {
 				outRow[i] = accs[i].result()
@@ -595,23 +769,15 @@ func planVecAggregate(a *plan.Aggregate, deps Deps, rowFn runFn) (runFn, bool) {
 		table := make(map[uint64][]*vgroup)
 		var groups []*vgroup
 		for {
-			t0 := time.Now()
-			sel := cur.Next(selBuf)
-			if sel == nil {
-				scanNanos += time.Since(t0).Nanoseconds()
+			cols, sel, ok := it.Next()
+			if !ok {
 				break
 			}
-			batches++
-			sel = p.filter.Apply(cur.Cols, sel)
-			for _, f := range filters {
-				sel = f.Apply(cur.Cols, sel)
-			}
-			scanNanos += time.Since(t0).Nanoseconds()
 			for _, r := range sel {
-				h := hashGroupKey(cur.Cols, gcols, r)
+				h := hashGroupKey(cols, gcols, r)
 				var g *vgroup
 				for _, cand := range table[h] {
-					if groupKeyEq(cur.Cols, gcols, r, cand.keys) {
+					if groupKeyEq(cols, gcols, r, cand.keys) {
 						g = cand
 						break
 					}
@@ -620,20 +786,20 @@ func planVecAggregate(a *plan.Aggregate, deps Deps, rowFn runFn) (runFn, bool) {
 					keys := make([]value.Value, len(gcols))
 					var sb strings.Builder
 					for i, c := range gcols {
-						keys[i] = cur.Cols[c].Get(int(r))
+						keys[i] = cols[c].Get(int(r))
 						sb.WriteString(keys[i].String())
 						sb.WriteByte(0)
 					}
-					g = &vgroup{keys: keys, sortKey: sb.String(), accs: newAccs(cur.Cols)}
+					g = &vgroup{keys: keys, sortKey: sb.String(), accs: newAccs(kinds)}
 					table[h] = append(table[h], g)
 					groups = append(groups, g)
 				}
 				for ai := range g.accs {
-					g.accs[ai].updateRow(cur.Cols, r)
+					g.accs[ai].updateRow(cols, r)
 				}
 			}
 		}
-		p.finish(ctx, batches, scanNanos, cur.Rows)
+		it.Close(ctx)
 		// Deterministic output order, identical to the row path's.
 		sort.Slice(groups, func(i, j int) bool { return groups[i].sortKey < groups[j].sortKey })
 		outRow := make([]value.Value, len(gcols)+len(specs))

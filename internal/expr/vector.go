@@ -240,6 +240,20 @@ func (f *VecFilter) Compatible(cols []*store.Vec) bool {
 	return true
 }
 
+// CompatibleKinds is Compatible against bare column kinds, for sources
+// (the vectorized join's gathered output) whose vectors exist only batch
+// by batch: the kinds are fixed across batches, so one check at open time
+// covers the stream.
+func (f *VecFilter) CompatibleKinds(kinds []value.Kind) bool {
+	for i := range f.specs {
+		sp := &f.specs[i]
+		if sp.idx < len(kinds) && kinds[sp.idx] != sp.src {
+			return false
+		}
+	}
+	return true
+}
+
 // Selective reports whether the filter has at least one kernel (a
 // pass-everything filter is not selective).
 func (f *VecFilter) Selective() bool { return len(f.specs) > 0 }

@@ -69,5 +69,5 @@ func (r *Runner) pushdownCold(paths *datagen.TPCHPaths) error {
 			CacheStats:   &stats,
 		})
 	}
-	return nil
+	return r.joinHot(paths)
 }

@@ -34,6 +34,17 @@ func (b *Bitmap) Get(i int) bool {
 	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
+// Any reports whether any entry is null; hot per-row loops (the join probe)
+// use it to skip the per-row null test on all-valid columns.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Clone deep-copies the bitmap: appends to either side never alias, even
 // mid-word (the trailing partially-filled word is copied by value).
 func (b *Bitmap) Clone() Bitmap {

@@ -85,8 +85,14 @@ type Config struct {
 	DisableSharedScans bool
 	// DisableVectorized turns off vectorized batch execution for cache
 	// hits: every cache scan decodes boxed rows one at a time
-	// (pre-vectorization behaviour; ablation and benchmarking).
+	// (pre-vectorization behaviour; ablation and benchmarking). It implies
+	// DisableVectorizedJoins.
 	DisableVectorized bool
+	// DisableVectorizedJoins turns off the batch-native hash join while
+	// cache scans stay vectorized: joins consume hits through the
+	// batch→row boundary and run the boxed row join (pre-vectorized-join
+	// behaviour; ablation and benchmarking).
+	DisableVectorizedJoins bool
 	// DisablePushdown turns off predicate pushdown into raw scans: every
 	// cache-miss scan decodes all needed fields of every record and filters
 	// afterwards (pre-pushdown behaviour; ablation and benchmarking).
@@ -157,6 +163,9 @@ type Engine struct {
 	share *share.Coordinator
 	// noVec disables vectorized cache scans (Config.DisableVectorized).
 	noVec bool
+	// noVecJoins disables the batch-native hash join
+	// (Config.DisableVectorizedJoins).
+	noVecJoins bool
 	// noPush disables predicate pushdown into raw scans
 	// (Config.DisablePushdown).
 	noPush bool
@@ -169,10 +178,11 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		datasets: make(map[string]*plan.Dataset),
-		manager:  cache.NewManager(cc),
-		noVec:    cfg.DisableVectorized,
-		noPush:   cfg.DisablePushdown,
+		datasets:   make(map[string]*plan.Dataset),
+		manager:    cache.NewManager(cc),
+		noVec:      cfg.DisableVectorized,
+		noVecJoins: cfg.DisableVectorizedJoins,
+		noPush:     cfg.DisablePushdown,
 	}
 	e.ConfigureSharedScans(!cfg.DisableSharedScans, share.Config{Window: cfg.ShareWindow})
 	return e, nil
@@ -370,11 +380,12 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	defer tx.Close()
 	root := tx.Rewrite(pl.root, pl.neededNames)
 	res, stats, err := exec.Run(root, exec.Deps{
-		Manager:           e.manager,
-		Share:             coord,
-		Needed:            pl.neededPaths,
-		DisableVectorized: e.noVec,
-		DisablePushdown:   e.noPush,
+		Manager:                e.manager,
+		Share:                  coord,
+		Needed:                 pl.neededPaths,
+		DisableVectorized:      e.noVec,
+		DisableVectorizedJoins: e.noVecJoins,
+		DisablePushdown:        e.noPush,
 	})
 	if err != nil {
 		return nil, err
@@ -421,6 +432,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 	pl, err := e.buildPlan(q)
 	coord := e.share
 	noVec := e.noVec
+	noVecJoins := e.noVecJoins
 	noPush := e.noPush
 	e.mu.RUnlock()
 	if err != nil {
@@ -431,6 +443,8 @@ func (e *Engine) Explain(sql string) (string, error) {
 		switch x := n.(type) {
 		case *plan.CachedScan:
 			return vecNote(x, e.manager, noVec)
+		case *plan.Join:
+			return joinNote(x, e.manager, noVec, noVecJoins)
 		case *plan.Select:
 			return pushNote(x, noPush)
 		}
@@ -469,6 +483,18 @@ func vecNote(cs *plan.CachedScan, m *cache.Manager, noVec bool) string {
 		return "row"
 	}
 	return fmt.Sprintf("vectorized, %d batches", batches)
+}
+
+// joinNote annotates a Join with the flavor it would execute right now:
+// the batch-native hash join ("join: vectorized" plus the expected probe
+// batch count) when both inputs serve batches, "join: row" otherwise
+// (disabled, raw-scan inputs, lazy entries, row layouts, expression keys).
+func joinNote(j *plan.Join, m *cache.Manager, noVec, noVecJoins bool) string {
+	ok, batches := exec.VectorizedJoinInfo(j, m, noVec, noVecJoins)
+	if !ok {
+		return "join: row"
+	}
+	return fmt.Sprintf("join: vectorized, %d probe batches", batches)
 }
 
 // shareNote annotates a raw Scan node with its dataset's shared-scan state;
@@ -526,6 +552,10 @@ type CacheStats struct {
 	// VectorizedBatches the column batches those scans pulled.
 	VectorizedScans   int64
 	VectorizedBatches int64
+	// VectorizedJoins counts joins served end to end by the batch-native
+	// hash join; JoinProbeBatches the probe-side batches they consumed.
+	VectorizedJoins  int64
+	JoinProbeBatches int64
 	// PushdownScans counts raw scans that evaluated pushed conjuncts below
 	// parsing; PushedConjuncts totals the conjuncts pushed, and
 	// RecordsSkippedEarly the records rejected before full decode.
@@ -554,6 +584,8 @@ func (e *Engine) CacheStats() CacheStats {
 		SharedConsumers:     s.SharedConsumers,
 		VectorizedScans:     s.VectorizedScans,
 		VectorizedBatches:   s.VectorizedBatches,
+		VectorizedJoins:     s.VectorizedJoins,
+		JoinProbeBatches:    s.JoinProbeBatches,
 		PushdownScans:       s.PushdownScans,
 		PushedConjuncts:     s.PushedConjuncts,
 		RecordsSkippedEarly: s.RecordsSkippedEarly,
