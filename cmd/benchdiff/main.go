@@ -28,6 +28,15 @@
 //     tolerance below the baseline's. The absolute qps of both phases is
 //     hardware-sensitive and already gated individually; the ratio tracks
 //     the flavor gap itself, which survives a runner-class change.
+//   - disk-hit ratio (memory-pressure phase): regression when the fraction
+//     of queries answered by re-admitting a spilled entry falls below
+//     baseline − tolerance. A drop means evicted entries stopped reaching
+//     the disk tier (or stopped being found there) and are paying raw
+//     re-scans again.
+//   - memory-pressure qps ratio (memory-pressure / memory-pressure-raw):
+//     regression when the tiered cache's speedup over raw re-scans under a
+//     working set 10× the RAM budget drops more than the tolerance below
+//     the baseline's ratio.
 //
 // A phase present in the baseline but missing from the current report is a
 // failure: a metric that silently disappears is a regression too.
@@ -105,17 +114,29 @@ func main() {
 			}
 			check(bp, "skipped-ratio", baseRatio, curRatio, false, 0)
 		}
+		if bp.DiskHitRatio > 0 {
+			check(bp, "disk-hit-ratio", bp.DiskHitRatio, cp.DiskHitRatio, false, 0)
+		}
 	}
-	// Paired-phase gate: the vectorized-vs-row join speedup.
-	if baseRatio, ok := qpsRatio(base, "join-hot", "join-hot-off"); ok {
-		curRatio, _ := qpsRatio(cur, "join-hot", "join-hot-off")
+	// Paired-phase gates: the vectorized-vs-row join speedup and the
+	// tiered-cache-vs-raw-rescan speedup under memory pressure.
+	pairs := [][2]string{
+		{"join-hot", "join-hot-off"},
+		{"memory-pressure", "memory-pressure-raw"},
+	}
+	for _, pair := range pairs {
+		baseRatio, ok := qpsRatio(base, pair[0], pair[1])
+		if !ok {
+			continue
+		}
+		curRatio, _ := qpsRatio(cur, pair[0], pair[1])
 		status := "ok"
 		if curRatio < baseRatio*(1-*tolerance) {
 			status = "REGRESSION"
 			failures++
 		}
 		fmt.Printf("%-28s %-16s baseline %10.2f  current %10.2f  %s\n",
-			"join-hot/join-hot-off", "qps-ratio", baseRatio, curRatio, status)
+			pair[0]+"/"+pair[1], "qps-ratio", baseRatio, curRatio, status)
 	}
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d metric(s) regressed beyond ±%.0f%%\n", failures, 100**tolerance)

@@ -37,6 +37,8 @@ func main() {
 		admission = flag.String("admission", "adaptive", "admission mode: adaptive|eager|lazy|off")
 		layout    = flag.String("layout", "auto", "cache layout: auto|parquet|columnar|row")
 		capacity  = flag.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited)")
+		spillDir  = flag.String("spill-dir", "", "spill directory for the disk cache tier (empty = spilling off)")
+		diskCap   = flag.Int64("disk-capacity", 0, "disk tier capacity in bytes (0 = unlimited; needs -spill-dir)")
 		oneShot   = flag.String("e", "", "execute one query and exit")
 	)
 	flag.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
@@ -44,10 +46,12 @@ func main() {
 	flag.Parse()
 
 	eng, err := recache.Open(recache.Config{
-		Eviction:      *eviction,
-		Admission:     *admission,
-		Layout:        *layout,
-		CacheCapacity: *capacity,
+		Eviction:       *eviction,
+		Admission:      *admission,
+		Layout:         *layout,
+		CacheCapacity:  *capacity,
+		SpillDir:       *spillDir,
+		DiskCacheBytes: *diskCap,
 	})
 	if err != nil {
 		fatal(err)
@@ -181,6 +185,8 @@ func metaCommand(eng *recache.Engine, line string) (quit bool) {
 			s.VectorizedJoins, s.JoinProbeBatches)
 		fmt.Printf("pushdown-scans=%d pushed-conjuncts=%d records-skipped-early=%d\n",
 			s.PushdownScans, s.PushedConjuncts, s.RecordsSkippedEarly)
+		fmt.Printf("disk-hits=%d spills=%d spill-drops=%d disk-entries=%d disk-bytes=%d\n",
+			s.DiskHits, s.Spills, s.SpillDrops, s.DiskEntries, s.DiskBytes)
 	case "\\explain":
 		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
 		out, err := eng.Explain(sql)

@@ -30,6 +30,7 @@ type advisorState struct {
 	window      []scanObs
 	parquetHist []scanObs
 	rowcol      rowColCost
+	batch       batchTune
 	switches    int
 	// lastConvNanos is the measured cost of the previous layout switch.
 	// Eq. (3) extrapolates T from scan costs, which can badly underestimate
@@ -190,6 +191,105 @@ func (c *rowColCost) decide(cur store.Layout) layoutDecision {
 		return layoutDecision{switchTo: store.LayoutColumnar, doSwitch: true}
 	}
 	return layoutDecision{}
+}
+
+// --- Adaptive batch sizing ---
+
+// batchLadder is the set of batch sizes the tuner chooses between. The
+// default store.BatchRows sits in the middle; smaller batches fit hot
+// working sets into L1/L2 for wide rows, larger ones amortize per-batch
+// overhead for narrow selective scans.
+var batchLadder = [...]int{256, store.BatchRows, 4096}
+
+// batchTune is the per-entry batch-size tuner. It rides the same reactive
+// loop as the layout advisor: every vectorized scan's measured wall nanos
+// feed a per-size nanos-per-row EMA (RecordScan, under the manager lock),
+// and the executor asks BatchRowsFor before opening a batch pipeline.
+// Starting from the default, the tuner first gathers confidence at the
+// current size, then probes unmeasured neighbours, then settles on the
+// measured argmin — and periodically re-probes so a drifting workload
+// (projection width, selectivity) can move it again. Re-admission from
+// the disk tier resets the tuner: the reloaded store starts re-learning.
+type batchTune struct {
+	started bool
+	idx     int // index into batchLadder
+	ema     [len(batchLadder)]float64
+	obs     [len(batchLadder)]int
+	settled int
+}
+
+// batchTune pacing: observations needed at a size before acting, and how
+// many settled observations trigger a re-probe of the other sizes.
+const (
+	batchProbeAfter = 4
+	batchReprobe    = 64
+)
+
+// rows returns the batch size the next vectorized scan should use.
+func (t *batchTune) rows() int {
+	if !t.started {
+		return store.BatchRows
+	}
+	return batchLadder[t.idx]
+}
+
+// observe feeds one vectorized scan: rows scanned, the batch size the scan
+// actually used, and its measured wall nanos.
+func (t *batchTune) observe(rows, usedRows, nanos int64) {
+	if rows <= 0 || nanos <= 0 {
+		return
+	}
+	si := -1
+	for i, s := range batchLadder {
+		if int64(s) == usedRows {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return // off-ladder (e.g. a pipeline that ignored the tuner)
+	}
+	if !t.started {
+		t.started = true
+		t.idx = si
+	}
+	per := float64(nanos) / float64(rows)
+	if t.ema[si] == 0 {
+		t.ema[si] = per
+	} else {
+		t.ema[si] = 0.7*t.ema[si] + 0.3*per
+	}
+	t.obs[si]++
+	if t.obs[t.idx] < batchProbeAfter {
+		return // not confident at the current size yet
+	}
+	// Probe an unmeasured neighbour before judging.
+	for _, ni := range []int{t.idx - 1, t.idx + 1} {
+		if ni >= 0 && ni < len(batchLadder) && t.obs[ni] == 0 {
+			t.idx = ni
+			t.settled = 0
+			return
+		}
+	}
+	// All reachable sizes measured: sit on the argmin.
+	best := t.idx
+	for i := range batchLadder {
+		if t.ema[i] > 0 && t.ema[i] < t.ema[best] {
+			best = i
+		}
+	}
+	t.idx = best
+	t.settled++
+	if t.settled >= batchReprobe {
+		// Forget the losers so the next rounds re-measure them.
+		for i := range batchLadder {
+			if i != best {
+				t.ema[i] = 0
+				t.obs[i] = 0
+			}
+		}
+		t.settled = 0
+	}
 }
 
 // colWidths estimates per-column byte widths for the miss model.

@@ -79,6 +79,19 @@ type Entry struct {
 	doomed     bool // evicted while pinned; removal deferred to last unpin
 	converting bool // a layout conversion is in flight
 	upgrading  bool // a lazy→eager upgrade is in flight
+
+	// Disk-tier state, guarded by the Manager's lock. A spilled entry keeps
+	// all of its metadata (and its place in every lookup structure) in RAM;
+	// only the payload moves to the spill file. The demotion lifecycle is
+	// RAM → spilling → onDisk → (loadDone: re-admission in flight) → RAM,
+	// or onDisk → gone when the disk tier itself evicts.
+	spillPath   string        // spill file path (while spilling or on disk)
+	spillBytes  int64         // serialized payload size on disk
+	onDisk      bool          // payload lives in the spill file
+	spilling    bool          // a spill write is in flight
+	dropOnUnpin bool          // spill finished while pinned: drop RAM payload at last unpin
+	loadDone    chan struct{} // single-flight re-admission gate (non-nil while loading)
+	reloadNanos int64         // measured cost of the last disk re-admission
 }
 
 // SizeBytes is B: the entry's memory footprint.
@@ -104,6 +117,8 @@ func (e *Entry) String() string {
 	layout := "offsets"
 	if e.Mode == Eager && e.Store != nil {
 		layout = e.Store.Layout().String()
+	} else if e.onDisk {
+		layout = "disk"
 	}
 	return fmt.Sprintf("cache[%d] %s σ(%s) %s %s n=%d %dB",
 		e.ID, e.Dataset.Name, e.PredCanon, e.Mode, layout, e.Reuses, e.SizeBytes())

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,16 @@ type Config struct {
 	// FreezeBenefit uses insert-time benefit components at eviction instead
 	// of recomputing them (ablation; the paper reports up to 6% regression).
 	FreezeBenefit bool
+	// SpillDir enables the disk spill tier: eviction victims whose
+	// reconstruction cost exceeds their reload cost are serialized (Parquet
+	// format) into this directory instead of discarded, and re-admitted to
+	// RAM on their next hit. Empty disables spilling. The directory must be
+	// private to this manager: init removes any orphaned spill files in it.
+	SpillDir string
+	// DiskCacheBytes is the disk tier's byte budget; 0 means unlimited.
+	// When exceeded, the (tiered) eviction policy discards spilled entries
+	// for real, priced by reload-cost per byte.
+	DiskCacheBytes int64
 	// Oracle supplies the logical time of the next query that would hit an
 	// entry (offline eviction policies only). nil ⇒ NextUse unknown.
 	Oracle func(e *Entry, now int64) int64
@@ -125,8 +136,19 @@ type Stats struct {
 	PushdownScans       int64 `json:"pushdown_scans"`
 	PushedConjuncts     int64 `json:"pushed_conjuncts"`
 	RecordsSkippedEarly int64 `json:"records_skipped_early"`
-	TotalBytes          int64 `json:"total_bytes"`
-	Entries             int   `json:"entries"`
+	// Disk-tier counters: Spills counts RAM→disk demotions, DiskHits the
+	// lookups answered by a spilled entry (each triggers a re-admission),
+	// and SpillDrops the entries the disk tier discarded for real (disk
+	// eviction plus unreadable/failed spill files). DiskEntries/DiskBytes
+	// gauge what the spill directory currently holds.
+	DiskHits    int64 `json:"disk_hits"`
+	Spills      int64 `json:"spills"`
+	SpillDrops  int64 `json:"spill_drops"`
+	DiskEntries int   `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
+
+	TotalBytes int64 `json:"total_bytes"`
+	Entries    int   `json:"entries"`
 }
 
 // counters holds the manager's live statistics. Counters are atomics so hot
@@ -151,6 +173,9 @@ type counters struct {
 	pushdownScans       atomic.Int64
 	pushedConjuncts     atomic.Int64
 	recordsSkippedEarly atomic.Int64
+	diskHits            atomic.Int64
+	spills              atomic.Int64
+	spillDrops          atomic.Int64
 }
 
 // Manager owns the cache: entries, the exact-match table, the per-(dataset,
@@ -185,17 +210,30 @@ type Manager struct {
 	// total is the bytes held, guarded by mu. It includes doomed entries —
 	// entries evicted while pinned, gone from every lookup structure but
 	// kept alive (through their readers' Txn references and their doomed
-	// flag) until the last reader unpins.
+	// flag) until the last reader unpins. It also still includes entries
+	// whose spill write is in flight: their RAM bytes are released only
+	// when the spill finalizes and the payload actually drops.
 	total int64
+
+	// Disk-tier accounting, guarded by mu.
+	diskTotal   int64 // bytes held in spill files
+	diskEntries int
+	// pendingSpills queues eviction victims selected for demotion; spill
+	// writes run outside the lock (drainSpills), mirroring how layout
+	// conversions are kept off the lock.
+	pendingSpills []*Entry
 
 	clock  atomic.Int64  // logical time: one tick per query
 	nextTx atomic.Uint64 // Txn id generator
 	stats  counters
 }
 
-// NewManager creates a manager.
+// NewManager creates a manager. If the configuration enables the spill
+// tier, the spill directory is created and any orphaned spill files from a
+// previous process are removed (spilled state is not durable across
+// restarts: the metadata lives in RAM).
 func NewManager(cfg Config) *Manager {
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg.withDefaults(),
 		entries:  make(map[uint64]*Entry),
 		byKey:    make(map[string]*Entry),
@@ -203,6 +241,8 @@ func NewManager(cfg Config) *Manager {
 		uncon:    make(map[string]map[uint64]*Entry),
 		building: make(map[string]uint64),
 	}
+	m.initSpillDir()
+	return m
 }
 
 // Config returns the active configuration (with defaults applied).
@@ -272,11 +312,16 @@ func (m *Manager) Stats() Stats {
 		PushdownScans:       m.stats.pushdownScans.Load(),
 		PushedConjuncts:     m.stats.pushedConjuncts.Load(),
 		RecordsSkippedEarly: m.stats.recordsSkippedEarly.Load(),
+		DiskHits:            m.stats.diskHits.Load(),
+		Spills:              m.stats.spills.Load(),
+		SpillDrops:          m.stats.spillDrops.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
 	m.mu.Lock()
 	s.TotalBytes = m.total
 	s.Entries = len(m.entries)
+	s.DiskBytes = m.diskTotal
+	s.DiskEntries = m.diskEntries
 	m.mu.Unlock()
 	return s
 }
@@ -305,7 +350,8 @@ type EntryView struct {
 	Mode      Mode
 	Layout    store.Layout // meaningful when HasStore
 	HasStore  bool
-	Bytes     int64
+	OnDisk    bool  // payload spilled to the disk tier
+	Bytes     int64 // RAM footprint; spill-file bytes when OnDisk
 	Reuses    int64
 }
 
@@ -321,11 +367,14 @@ func (m *Manager) Snapshot() []EntryView {
 			PredCanon: e.PredCanon,
 			Mode:      e.Mode,
 			HasStore:  e.Store != nil,
+			OnDisk:    e.onDisk && e.Store == nil,
 			Bytes:     e.SizeBytes(),
 			Reuses:    e.Reuses,
 		}
 		if e.Store != nil {
 			v.Layout = e.Store.Layout()
+		} else if v.OnDisk {
+			v.Bytes = e.spillBytes
 		}
 		out = append(out, v)
 	}
@@ -392,14 +441,27 @@ func (t *Txn) Close() {
 }
 
 // unpinLocked drops one reader reference; the last unpin of a doomed entry
-// finalizes its eviction (releases its bytes).
+// finalizes its eviction (releases its bytes), and the last unpin of an
+// entry whose spill completed mid-scan drops its RAM payload (the third
+// deferred-eviction state: the entry lives on, on disk).
 func (m *Manager) unpinLocked(e *Entry) {
 	if e.pins > 0 {
 		e.pins--
 	}
-	if e.pins == 0 && e.doomed {
+	if e.pins != 0 {
+		return
+	}
+	if e.doomed {
 		e.doomed = false
 		m.total -= e.SizeBytes()
+	}
+	if e.dropOnUnpin {
+		e.dropOnUnpin = false
+		if e.Store != nil {
+			ram := e.SizeBytes()
+			e.Store = nil
+			m.total -= ram
+		}
 	}
 }
 
@@ -606,6 +668,10 @@ func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, 
 	}
 	m.mu.Lock()
 	e, exact := m.lookupLocked(ds, pred, canon)
+	disk := false
+	if e != nil {
+		disk = e.Mode == Eager && e.Store == nil && (e.onDisk || e.loadDone != nil)
+	}
 	if e != nil && !readOnly {
 		l := time.Since(start).Nanoseconds()
 		e.LookupNs = l
@@ -621,6 +687,9 @@ func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, 
 			m.stats.exactHits.Add(1)
 		} else {
 			m.stats.subsumedHits.Add(1)
+		}
+		if disk {
+			m.stats.diskHits.Add(1)
 		}
 	}
 	mode := Eager
@@ -639,6 +708,9 @@ func (m *Manager) lookupAndRewrite(ds *plan.Dataset, pred expr.Expr, flat bool, 
 	}
 	if mode == Lazy {
 		label += "+lazy"
+	}
+	if disk {
+		label += "+disk"
 	}
 	return &plan.CachedScan{
 		Entry:    e,
@@ -705,12 +777,25 @@ func (m *Manager) lookupLocked(ds *plan.Dataset, pred expr.Expr, canon string) (
 	return best, false
 }
 
-// betterCandidate prefers eager entries, then fewer rows to scan.
+// betterCandidate prefers eager entries, then RAM-resident payloads over
+// spilled ones (a disk hit costs a Parquet read), then fewer rows to scan.
 func betterCandidate(a, b *Entry) bool {
 	if (a.Mode == Eager) != (b.Mode == Eager) {
 		return a.Mode == Eager
 	}
-	return a.SizeBytes() < b.SizeBytes()
+	ar := a.Mode == Lazy || a.Store != nil
+	br := b.Mode == Lazy || b.Store != nil
+	if ar != br {
+		return ar
+	}
+	as, bs := a.SizeBytes(), b.SizeBytes()
+	if a.Store == nil && a.onDisk {
+		as = a.spillBytes
+	}
+	if b.Store == nil && b.onDisk {
+		bs = b.spillBytes
+	}
+	return as < bs
 }
 
 // cachedScanSchema computes the output row schema of a cache scan: the
@@ -755,12 +840,12 @@ func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64
 	mode Mode, opNanos, cacheNanos int64) *Entry {
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if spec.SlotTx != 0 && m.building[spec.SlotKey] == spec.SlotTx {
 		delete(m.building, spec.SlotKey)
 	}
 	key := entryKey(spec.Dataset.Name, spec.PredCanon)
 	if _, dup := m.byKey[key]; dup {
+		m.mu.Unlock()
 		return nil
 	}
 	m.nextID++
@@ -781,6 +866,8 @@ func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64
 		frozenOp:   opNanos, frozenCache: cacheNanos,
 	}
 	m.insertLocked(e)
+	m.mu.Unlock()
+	m.drainSpills()
 	return e
 }
 
@@ -813,11 +900,9 @@ func (m *Manager) insertLocked(e *Entry) {
 	m.evictLocked()
 }
 
-// removeLocked detaches an entry from every lookup structure. If readers
-// still pin the entry, the removal of its bytes is deferred: the entry
-// moves to the doomed set and the last unpin finalizes it — so eviction
-// never frees a store out from under a running CachedScan.
-func (m *Manager) removeLocked(e *Entry) {
+// detachLocked removes an entry from every lookup structure (shared by the
+// RAM- and disk-tier removal paths).
+func (m *Manager) detachLocked(e *Entry) {
 	delete(m.entries, e.ID)
 	if m.byKey[e.Key()] == e {
 		delete(m.byKey, e.Key())
@@ -832,6 +917,23 @@ func (m *Manager) removeLocked(e *Entry) {
 			}
 		}
 	}
+}
+
+// removeLocked detaches an entry from every lookup structure. If readers
+// still pin the entry, the removal of its bytes is deferred: the entry
+// moves to the doomed set and the last unpin finalizes it — so eviction
+// never frees a store out from under a running CachedScan.
+func (m *Manager) removeLocked(e *Entry) {
+	if e.spillPath != "" {
+		// A resident entry can hold a still-valid spill file (kept across
+		// re-admission); removal must release the file and its disk budget.
+		os.Remove(e.spillPath)
+		m.diskTotal -= e.spillBytes
+		m.diskEntries--
+		e.spillPath, e.spillBytes = "", 0
+		e.onDisk = false
+	}
+	m.detachLocked(e)
 	m.cfg.Policy.OnRemove(e.ID)
 	if e.pins > 0 {
 		e.doomed = true
@@ -840,7 +942,12 @@ func (m *Manager) removeLocked(e *Entry) {
 	m.total -= e.SizeBytes()
 }
 
-// evictLocked enforces the capacity limit through the configured policy.
+// evictLocked enforces the RAM capacity limit through the configured
+// policy. With the spill tier enabled, victims whose reconstruction cost
+// exceeds their estimated reload cost are demoted to disk (queued on
+// pendingSpills; the write runs outside the lock via drainSpills) instead
+// of discarded. Entries already demoted, mid-demotion, or mid-re-admission
+// hold no reclaimable RAM and are excluded from the victim pool.
 func (m *Manager) evictLocked() {
 	if m.cfg.Capacity <= 0 || m.total <= m.cfg.Capacity {
 		return
@@ -848,15 +955,45 @@ func (m *Manager) evictLocked() {
 	need := m.total - m.cfg.Capacity
 	items := make([]eviction.Item, 0, len(m.entries))
 	for _, e := range m.entries {
+		if e.onDisk || e.spilling || e.dropOnUnpin || e.loadDone != nil {
+			continue
+		}
 		items = append(items, m.itemFor(e))
 	}
 	victims := m.cfg.Policy.Victims(items, need)
 	for _, id := range victims {
-		if e, ok := m.entries[id]; ok {
-			m.removeLocked(e)
-			m.stats.evictions.Add(1)
+		e, ok := m.entries[id]
+		if !ok {
+			continue
 		}
+		switch {
+		case e.spillPath != "":
+			// The entry still owns a valid spill file from an earlier
+			// demotion (payloads are immutable): demote for free.
+			m.demoteFreeLocked(e)
+		case m.spillWorthwhile(e):
+			e.spilling = true
+			m.pendingSpills = append(m.pendingSpills, e)
+		default:
+			m.removeLocked(e)
+		}
+		m.stats.evictions.Add(1)
 	}
+}
+
+// demoteFreeLocked demotes an entry whose spill file is already on disk:
+// no serialization or IO, just drop the RAM payload (deferred to the last
+// unpin when readers are mid-scan, exactly like a fresh spill).
+func (m *Manager) demoteFreeLocked(e *Entry) {
+	e.onDisk = true
+	m.onDemoteLocked(e.ID)
+	if e.pins > 0 {
+		e.dropOnUnpin = true
+		return
+	}
+	ram := e.SizeBytes()
+	e.Store = nil
+	m.total -= ram
 }
 
 // itemFor snapshots an entry's accounting for the eviction policy. Unless
@@ -913,9 +1050,9 @@ func (m *Manager) CancelUpgrade(e *Entry) {
 // and the size change may trigger eviction.
 func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNanos int64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e.upgrading = false
 	if e.Mode != Lazy || e.doomed {
+		m.mu.Unlock()
 		return
 	}
 	m.total -= e.SizeBytes()
@@ -930,6 +1067,8 @@ func (m *Manager) UpgradeLazy(e *Entry, st store.Store, buildNanos, scanWallNano
 	m.total += e.SizeBytes()
 	m.stats.lazyUpgrades.Add(1)
 	m.evictLocked()
+	m.mu.Unlock()
+	m.drainSpills()
 }
 
 // RecordScan feeds one cache-scan observation into the entry's accounting
@@ -950,6 +1089,7 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 	}
 	if st.Vectorized {
 		e.VecScans++
+		e.advisor.batch.observe(st.RowsScanned, st.BatchRows, scanWallNanos)
 	}
 	e.ScanNanos = scanWallNanos
 	if e.frozenScan == 0 {
@@ -985,7 +1125,9 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 			dec = e.advisor.rowcol.decide(e.Store.Layout())
 		}
 	}
-	if !dec.doSwitch || e.converting {
+	if !dec.doSwitch || e.converting || e.spilling || e.dropOnUnpin {
+		// A demotion in flight wins over a layout switch: the payload is
+		// already on its way out of RAM.
 		m.mu.Unlock()
 		return 0
 	}
@@ -996,10 +1138,10 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 	// Conversion outside the lock: it can be slow.
 	newStore, dur, err := store.Convert(oldStore, dec.switchTo)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e.converting = false
 	if err != nil || e.doomed || e.Store != oldStore {
 		// Evicted or mutated while converting: drop the conversion.
+		m.mu.Unlock()
 		return 0
 	}
 	e.Store = newStore
@@ -1009,6 +1151,8 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 	m.total += e.SizeBytes() - oldSize
 	m.stats.layoutSwitches.Add(1)
 	m.evictLocked()
+	m.mu.Unlock()
+	m.drainSpills()
 	return dur
 }
 

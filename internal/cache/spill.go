@@ -1,0 +1,393 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"recache/internal/eviction"
+	"recache/internal/store"
+)
+
+// The disk spill tier. When RAM eviction selects a victim whose
+// reconstruction cost (raw scan + build, t+c) exceeds the estimated cost
+// of reloading it from disk, the victim is demoted instead of discarded:
+// its payload is serialized in the Parquet store format to a file in
+// Config.SpillDir, while the entry itself — predicate, ranges, accounting,
+// R-tree membership — stays in RAM, so lookups keep matching it. A hit on
+// a spilled entry re-admits the payload (one Parquet read, never a raw
+// re-scan) under a single-flight gate, then runs the normal pipeline.
+//
+// Entry payloads are immutable once built, so a spill file is write-once:
+// re-admission keeps the file, and while it exists the entry's later
+// demotions are free (drop the RAM pointer, no serialization or IO). Under
+// disk pressure these redundant copies are reclaimed before any disk-only
+// entry is dropped for real.
+//
+// Locking discipline, mirroring layout conversions: serialization and
+// file reads/writes always run outside the manager lock against an
+// immutable store snapshot; only cheap unlinks happen under the lock, so
+// a spill file's lifetime stays in step with the entry state it mirrors.
+
+// spillEnabled reports whether the disk tier is configured.
+func (m *Manager) spillEnabled() bool { return m.cfg.SpillDir != "" }
+
+// spillFile names an entry's spill file.
+func (m *Manager) spillFile(id uint64) string {
+	return filepath.Join(m.cfg.SpillDir, fmt.Sprintf("spill-%d.rcp", id))
+}
+
+// initSpillDir creates the spill directory and removes orphaned spill
+// files (finished or temporary) left by a previous process — spilled
+// entries are not durable: their metadata lived in that process's RAM.
+func (m *Manager) initSpillDir() {
+	dir := m.cfg.SpillDir
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		m.cfg.SpillDir = "" // unusable directory: degrade to RAM-only
+		return
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if strings.HasPrefix(name, "spill-") &&
+			(strings.HasSuffix(name, ".rcp") || strings.HasSuffix(name, ".tmp")) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// spillWorthwhile gates demotion (called under the lock): only eager
+// entries with a resident store can round-trip through Parquet — lazy
+// offset lists are cheap and just go — and demotion must be profitable:
+// a spilled entry that costs as much to reload as to rebuild is dead
+// weight in the disk budget.
+func (m *Manager) spillWorthwhile(e *Entry) bool {
+	if !m.spillEnabled() || e.Mode != Eager || e.Store == nil || e.converting {
+		return false
+	}
+	return e.OpNanos+e.CacheNanos > m.reloadEstimate(e)
+}
+
+// reloadEstimate prices a disk re-admission in nanoseconds: the measured
+// reload cost when one exists, otherwise a sequential read+decode
+// bandwidth model (~2 GB/s) plus a fixed open/validate overhead.
+func (m *Manager) reloadEstimate(e *Entry) int64 {
+	if e.reloadNanos > 0 {
+		return e.reloadNanos
+	}
+	sz := e.spillBytes
+	if sz == 0 {
+		sz = e.SizeBytes()
+	}
+	return sz/2 + 20_000
+}
+
+// drainSpills performs queued demotions. Callers invoke it after releasing
+// the manager lock; each spill write runs unlocked and finalizes under the
+// lock, and a finalize may queue further work (disk eviction never does,
+// but a re-admission's evictLocked can), hence the loop.
+func (m *Manager) drainSpills() {
+	for {
+		m.mu.Lock()
+		pend := m.pendingSpills
+		m.pendingSpills = nil
+		m.mu.Unlock()
+		if len(pend) == 0 {
+			return
+		}
+		for _, e := range pend {
+			m.spillOne(e)
+		}
+	}
+}
+
+// spillOne serializes one victim's payload and finalizes the demotion.
+func (m *Manager) spillOne(e *Entry) {
+	m.mu.Lock()
+	snap := e.Store
+	m.mu.Unlock()
+	if snap == nil {
+		m.mu.Lock()
+		e.spilling = false
+		m.mu.Unlock()
+		return
+	}
+	path := m.spillFile(e.ID)
+	n, err := writeSpillFile(path, snap)
+	m.mu.Lock()
+	e.spilling = false
+	if err != nil {
+		// The disk tier is unusable for this entry: evict for real.
+		m.removeLocked(e)
+		m.stats.spillDrops.Add(1)
+		m.mu.Unlock()
+		return
+	}
+	if e.doomed || e.Store != snap {
+		// A layout conversion replaced the store mid-spill (or the entry is
+		// gone): abandon the demotion; the entry stays as it is and the next
+		// eviction round re-decides.
+		os.Remove(path)
+		m.mu.Unlock()
+		return
+	}
+	e.spillPath = path
+	e.spillBytes = n
+	e.onDisk = true
+	m.diskTotal += n
+	m.diskEntries++
+	m.stats.spills.Add(1)
+	m.onDemoteLocked(e.ID)
+	if e.pins > 0 {
+		// A reader is mid-scan on the RAM store: pinned entries are never
+		// spilled out from under a scan, so the payload drop is deferred to
+		// the last unpin (see unpinLocked).
+		e.dropOnUnpin = true
+	} else {
+		ram := e.SizeBytes()
+		e.Store = nil
+		m.total -= ram
+	}
+	m.evictDiskLocked()
+	m.mu.Unlock()
+}
+
+// writeSpillFile atomically serializes st (converted to the Parquet layout
+// first if needed — the demote-by-conversion path for row/columnar
+// entries): the stream goes to a temp file in the spill directory and is
+// renamed into place, so a concurrent reader never sees a half-written
+// file under a live spill name. No fsync: spill files are cache state, not
+// durable state — after a crash, startup removes orphans and an entry
+// whose file turns out unreadable is simply dropped, so durability would
+// buy nothing and the sync would dominate the demotion cost. Returns the
+// file size.
+func writeSpillFile(path string, st store.Store) (int64, error) {
+	p := st
+	if p.Layout() != store.LayoutParquet {
+		var err error
+		p, _, err = store.Convert(st, store.LayoutParquet)
+		if err != nil {
+			return 0, err
+		}
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := store.WriteParquet(f, p); err != nil {
+		return fail(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Resident returns the entry's payload for a reader, re-admitting it from
+// the disk tier first when necessary. Concurrent readers of a spilled
+// entry are single-flight: one performs the Parquet read, the others wait
+// on its completion gate. Side-effect-free readers (EXPLAIN, tooling) use
+// Payload instead, which never triggers IO.
+func (m *Manager) Resident(e *Entry) (Mode, store.Store, []int64, error) {
+	m.mu.Lock()
+	for e.Mode == Eager && e.Store == nil && (e.onDisk || e.loadDone != nil) {
+		if e.loadDone != nil {
+			gate := e.loadDone
+			m.mu.Unlock()
+			<-gate
+			m.mu.Lock()
+			continue
+		}
+		return m.readmitLocked(e)
+	}
+	mode, st, off := e.Mode, e.Store, e.Offsets
+	m.mu.Unlock()
+	if mode == Eager && st == nil {
+		// The loader that beat us to the gate hit an unreadable spill file
+		// and dropped the entry.
+		return mode, nil, nil, fmt.Errorf("cache: entry %d lost its spilled payload", e.ID)
+	}
+	return mode, st, off, nil
+}
+
+// readmitLocked loads a spilled entry back into RAM. Called with the lock
+// held and the entry in state (onDisk, no loader); returns with the lock
+// released.
+func (m *Manager) readmitLocked(e *Entry) (Mode, store.Store, []int64, error) {
+	gate := make(chan struct{})
+	e.loadDone = gate
+	path := e.spillPath
+	schema := e.Dataset.Schema()
+	m.mu.Unlock()
+
+	start := time.Now()
+	var st store.Store
+	data, err := os.ReadFile(path) // one right-sized read, no ReadAll growth
+	if err == nil {
+		st, err = store.ReadParquetBytes(data, schema)
+	}
+	reload := time.Since(start).Nanoseconds()
+
+	m.mu.Lock()
+	e.loadDone = nil
+	if err != nil {
+		// Unreadable spill file: the entry is gone for real. (Atomic writes
+		// and startup cleanup make this an OS-failure path, not a normal one.)
+		m.dropDiskLocked(e)
+		m.stats.spillDrops.Add(1)
+		m.mu.Unlock()
+		close(gate)
+		return e.Mode, nil, nil, fmt.Errorf("cache: reload entry %d: %w", e.ID, err)
+	}
+	// The spill file is retained (entry payloads are immutable once built),
+	// so it stays valid and this entry's next demotion is free: drop the
+	// RAM pointer, no serialization, no write. The file keeps occupying the
+	// disk budget until the entry is removed for real or the disk tier
+	// reclaims redundant copies under pressure (see evictDiskLocked).
+	e.Store = st
+	e.onDisk = false
+	e.reloadNanos = reload
+	e.advisor.batch = batchTune{} // re-learn batch size after re-admission
+	m.total += e.SizeBytes()
+	m.onPromoteLocked(e.ID)
+	// Snapshot the return values before evicting: with the spill file kept,
+	// evictLocked may demote this very entry again for free (dropping
+	// e.Store); the loaded store itself is immutable and stays scannable.
+	mode, stc, off := e.Mode, e.Store, e.Offsets
+	m.evictLocked()
+	m.mu.Unlock()
+	close(gate)
+	m.drainSpills()
+	return mode, stc, off, nil
+}
+
+// dropDiskLocked discards a disk-tier entry for real: lookup structures,
+// disk accounting, policy state, and the spill file.
+func (m *Manager) dropDiskLocked(e *Entry) {
+	if e.spillPath != "" {
+		os.Remove(e.spillPath)
+	}
+	m.diskTotal -= e.spillBytes
+	m.diskEntries--
+	e.onDisk = false
+	e.spillPath = ""
+	e.spillBytes = 0
+	m.detachLocked(e)
+	m.onDiskRemoveLocked(e.ID)
+}
+
+// evictDiskLocked enforces the disk tier's byte budget. Disk items are
+// priced by reload cost: Size is the spill-file size and ScanNanos the
+// measured/estimated deserialization cost, so the benefit metric ranks
+// entries by what a disk hit still saves per byte of disk budget. Pinned
+// and mid-load entries are skipped.
+func (m *Manager) evictDiskLocked() {
+	if m.cfg.DiskCacheBytes <= 0 || m.diskTotal <= m.cfg.DiskCacheBytes {
+		return
+	}
+	// Reclaim redundant copies first: a resident entry's kept spill file
+	// only buys a free future demotion, so dropping it loses no data —
+	// strictly cheaper than dropping a disk-only entry for real.
+	for _, e := range m.entries {
+		if m.diskTotal <= m.cfg.DiskCacheBytes {
+			return
+		}
+		if e.spillPath != "" && !e.onDisk && e.loadDone == nil {
+			os.Remove(e.spillPath)
+			m.diskTotal -= e.spillBytes
+			m.diskEntries--
+			e.spillPath, e.spillBytes = "", 0
+		}
+	}
+	need := m.diskTotal - m.cfg.DiskCacheBytes
+	items := make([]eviction.Item, 0, m.diskEntries)
+	for _, e := range m.entries {
+		if !e.onDisk || e.Store != nil || e.loadDone != nil || e.pins > 0 {
+			continue
+		}
+		it := m.itemFor(e)
+		it.Size = e.spillBytes
+		it.ScanNanos = m.reloadEstimate(e)
+		items = append(items, it)
+	}
+	var victims []uint64
+	if tp, ok := m.cfg.Policy.(eviction.TieredPolicy); ok {
+		victims = tp.DiskVictims(items, need)
+	} else {
+		victims = m.cfg.Policy.Victims(items, need)
+	}
+	for _, id := range victims {
+		if e, ok := m.entries[id]; ok && e.onDisk && e.Store == nil {
+			m.dropDiskLocked(e)
+			m.stats.spillDrops.Add(1)
+		}
+	}
+}
+
+// Tiered-policy adapters: policies without disk-tier state see demotion as
+// removal and promotion as insertion (exact for the stateless comparators).
+func (m *Manager) onDemoteLocked(id uint64) {
+	if tp, ok := m.cfg.Policy.(eviction.TieredPolicy); ok {
+		tp.OnDemote(id)
+	} else {
+		m.cfg.Policy.OnRemove(id)
+	}
+}
+
+func (m *Manager) onPromoteLocked(id uint64) {
+	if tp, ok := m.cfg.Policy.(eviction.TieredPolicy); ok {
+		tp.OnPromote(id)
+	} else {
+		m.cfg.Policy.OnInsert(id)
+	}
+}
+
+func (m *Manager) onDiskRemoveLocked(id uint64) {
+	if tp, ok := m.cfg.Policy.(eviction.TieredPolicy); ok {
+		tp.OnDiskRemove(id)
+	} else {
+		m.cfg.Policy.OnRemove(id)
+	}
+}
+
+// EntryTier reports where an entry's payload currently lives ("ram" or
+// "disk") with no side effects; EXPLAIN uses it to annotate CachedScan.
+func (m *Manager) EntryTier(e *Entry) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.Mode == Eager && e.Store == nil && (e.onDisk || e.loadDone != nil) {
+		return "disk"
+	}
+	return "ram"
+}
+
+// BatchRowsFor returns the entry's adaptively tuned batch size for the
+// vectorized pipeline (store.BatchRows until the tuner has observations).
+func (m *Manager) BatchRowsFor(e *Entry) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return e.advisor.batch.rows()
+}

@@ -72,6 +72,32 @@ type Policy interface {
 	Victims(items []Item, need int64) []uint64
 }
 
+// TieredPolicy is an optional extension for caches with a disk tier below
+// RAM. Demotion moves an entry's accounting from the RAM tier to the disk
+// tier; promotion (re-admission on a hit) moves it back. DiskVictims picks
+// entries to discard *for real* from the disk tier. Disk items are priced
+// by reload cost: the manager fills Item.ScanNanos with the measured (or
+// estimated) cost of deserializing the entry back into RAM, so the benefit
+// metric b(p) = n·(t+c−s−l)/log2(B) naturally becomes "what a disk hit
+// still saves over re-scanning raw data, per byte of disk budget".
+//
+// Policies that do not implement TieredPolicy still work with a tiered
+// cache: the manager falls back to Victims for the disk tier and treats
+// demotion as removal (all comparator policies here are stateless, so that
+// fallback is exact).
+type TieredPolicy interface {
+	Policy
+	// OnDemote records an entry moving RAM → disk.
+	OnDemote(id uint64)
+	// OnPromote records an entry re-admitted disk → RAM.
+	OnPromote(id uint64)
+	// OnDiskRemove records an entry discarded from the disk tier.
+	OnDiskRemove(id uint64)
+	// DiskVictims returns disk-tier entry IDs to discard, in order, whose
+	// sizes sum to at least need bytes.
+	DiskVictims(items []Item, need int64) []uint64
+}
+
 // statelessPolicy provides no-op bookkeeping.
 type statelessPolicy struct{}
 

@@ -25,14 +25,16 @@ import (
 // locking; the cache manager serializes all calls under its lock (see the
 // package-level concurrency contract).
 type GreedyDual struct {
-	l     float64            // the global baseline L
-	lp    map[uint64]float64 // L(p) at last insert/access
+	l     float64            // the global baseline L (RAM tier)
+	lp    map[uint64]float64 // L(p) at last insert/access (RAM tier)
+	dl    float64            // disk-tier baseline
+	dlp   map[uint64]float64 // disk-tier L(p), keyed at demotion
 	plain bool               // disable the descending-size heuristic
 }
 
 // NewGreedyDual creates the policy with L = 0.
 func NewGreedyDual() *GreedyDual {
-	return &GreedyDual{lp: make(map[uint64]float64)}
+	return &GreedyDual{lp: make(map[uint64]float64), dlp: make(map[uint64]float64)}
 }
 
 // Name implements Policy.
@@ -47,6 +49,32 @@ func (g *GreedyDual) OnAccess(id uint64) { g.lp[id] = g.l }
 // OnRemove implements Policy.
 func (g *GreedyDual) OnRemove(id uint64) { delete(g.lp, id) }
 
+// OnDemote implements TieredPolicy: the entry leaves the RAM tier and
+// enters the disk tier at the current disk baseline, exactly as a fresh
+// insert would in single-tier Greedy-Dual.
+func (g *GreedyDual) OnDemote(id uint64) {
+	delete(g.lp, id)
+	g.dlp[id] = g.dl
+}
+
+// OnPromote implements TieredPolicy: re-admission is an insert into the
+// RAM tier (L(p) ← L) and a departure from the disk tier.
+func (g *GreedyDual) OnPromote(id uint64) {
+	delete(g.dlp, id)
+	g.lp[id] = g.l
+}
+
+// OnDiskRemove implements TieredPolicy.
+func (g *GreedyDual) OnDiskRemove(id uint64) { delete(g.dlp, id) }
+
+// DiskVictims implements TieredPolicy: Algorithm 1 run against the disk
+// tier's own baseline and L(p) table. Items arrive priced by reload cost
+// (ScanNanos = deserialization nanos), so low-H entries are those whose
+// disk hit saves little over re-scanning the raw file.
+func (g *GreedyDual) DiskVictims(items []Item, need int64) []uint64 {
+	return g.victims(items, need, g.dlp, &g.dl)
+}
+
 // L exposes the current baseline (monotonically non-decreasing; tested).
 func (g *GreedyDual) L() float64 { return g.l }
 
@@ -55,8 +83,14 @@ func (g *GreedyDual) L() float64 { return g.l }
 // Algorithm 1 against.
 func (g *GreedyDual) SetPlain(plain bool) { g.plain = plain }
 
-// Victims implements Policy — Algorithm 1.
+// Victims implements Policy — Algorithm 1 against the RAM tier.
 func (g *GreedyDual) Victims(items []Item, need int64) []uint64 {
+	return g.victims(items, need, g.lp, &g.l)
+}
+
+// victims is Algorithm 1 parameterized by tier state (L(p) table and
+// baseline), shared by the RAM and disk tiers.
+func (g *GreedyDual) victims(items []Item, need int64, lp map[uint64]float64, l *float64) []uint64 {
 	if need <= 0 || len(items) == 0 {
 		return nil
 	}
@@ -66,7 +100,7 @@ func (g *GreedyDual) Victims(items []Item, need int64) []uint64 {
 	}
 	hs := make([]hitem, len(items))
 	for i, it := range items {
-		hs[i] = hitem{Item: it, h: g.lp[it.ID] + it.Benefit()}
+		hs[i] = hitem{Item: it, h: lp[it.ID] + it.Benefit()}
 	}
 	sort.Slice(hs, func(i, j int) bool { return hs[i].h < hs[j].h })
 
@@ -80,8 +114,8 @@ func (g *GreedyDual) Victims(items []Item, need int64) []uint64 {
 		}
 		diff -= it.Size
 		cand = append(cand, it)
-		if g.l <= it.h {
-			g.l = it.h
+		if *l <= it.h {
+			*l = it.h
 		}
 	}
 	if g.plain {

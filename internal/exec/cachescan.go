@@ -20,11 +20,13 @@ import (
 // Every scan's cost split feeds the layout advisor via Manager.RecordScan.
 //
 // Concurrency: the entry's mode and payload are snapshotted through
-// Manager.Payload at execution time, so the scan keeps reading a consistent
+// Manager.Resident at execution time, so the scan keeps reading a consistent
 // immutable store even if the entry is concurrently upgraded, converted to
-// another layout, or evicted (the query's Txn pin keeps it alive). Lazy
-// upgrades go through Manager.TryStartUpgrade so that N concurrent replays
-// of one lazy entry build at most one eager store.
+// another layout, or evicted (the query's Txn pin keeps it alive). Resident
+// also re-admits a spilled entry from the disk tier — a disk hit costs one
+// spill-file read here, never a raw re-scan. Lazy upgrades go through
+// Manager.TryStartUpgrade so that N concurrent replays of one lazy entry
+// build at most one eager store.
 func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 	entry, ok := cs.Entry.(*cache.Entry)
 	if !ok || entry == nil {
@@ -42,7 +44,11 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 	return func(ctx *qctx, out emitFn) error {
 		mode, st, offsets := entry.Mode, entry.Store, entry.Offsets
 		if deps.Manager != nil {
-			mode, st, offsets = deps.Manager.Payload(entry)
+			var err error
+			mode, st, offsets, err = deps.Manager.Resident(entry)
+			if err != nil {
+				return err
+			}
 		}
 		if mode == cache.Lazy {
 			// §5.2: ReCache upgrades a reused lazy item to an eager cache.

@@ -63,10 +63,23 @@ func planVecScan(cs *plan.CachedScan, disable bool) (*vecScan, bool) {
 
 // open checks the run-time half against the entry's payload snapshot and
 // returns a batch cursor, or false to send this execution to the row path.
-func (p *vecScan) open(deps Deps) (*store.BatchCursor, bool) {
+// admit distinguishes a real execution (re-admit a spilled payload from the
+// disk tier, via Resident) from a side-effect-free probe (EXPLAIN reads the
+// snapshot only; a spilled entry reports non-vectorized rather than
+// triggering IO). A failed re-admission falls to the row path, whose own
+// Resident call surfaces the error.
+func (p *vecScan) open(deps Deps, admit bool) (*store.BatchCursor, bool) {
 	mode, st := p.entry.Mode, p.entry.Store
 	if deps.Manager != nil {
-		mode, st, _ = deps.Manager.Payload(p.entry)
+		if admit {
+			var err error
+			mode, st, _, err = deps.Manager.Resident(p.entry)
+			if err != nil {
+				return nil, false
+			}
+		} else {
+			mode, st, _ = deps.Manager.Payload(p.entry)
+		}
 	}
 	if mode != cache.Eager || st == nil {
 		return nil, false
@@ -90,7 +103,7 @@ func (p *vecScan) open(deps Deps) (*store.BatchCursor, bool) {
 // layout advisor and the VectorizedScans counters) and the query stats.
 // scanNanos excludes downstream operator time, so the attribution stays
 // per-entry even when a query touches several cached entries.
-func (p *vecScan) finish(ctx *qctx, batches, scanNanos, rows int64) {
+func (p *vecScan) finish(ctx *qctx, batches, scanNanos, rows, batchRows int64) {
 	if scanNanos < 0 {
 		scanNanos = 0
 	}
@@ -100,6 +113,7 @@ func (p *vecScan) finish(ctx *qctx, batches, scanNanos, rows int64) {
 			DataNanos:   scanNanos,
 			RowsScanned: rows,
 			Batches:     batches,
+			BatchRows:   batchRows,
 			Vectorized:  true,
 		}
 		conv := ctx.deps.Manager.RecordScan(p.entry, st, len(p.outNames), scanNanos)
@@ -115,7 +129,7 @@ func VectorizedInfo(cs *plan.CachedScan, m *cache.Manager) (bool, int64) {
 	if !ok {
 		return false, 0
 	}
-	cur, ok := p.open(Deps{Manager: m})
+	cur, ok := p.open(Deps{Manager: m}, false)
 	if !ok {
 		return false, 0
 	}
@@ -188,7 +202,7 @@ type scanSource struct {
 }
 
 func (s *scanSource) open(ctx *qctx) (vecIter, bool) {
-	cur, ok := s.p.open(ctx.deps)
+	cur, ok := s.p.open(ctx.deps, true)
 	if !ok {
 		return nil, false
 	}
@@ -197,12 +211,19 @@ func (s *scanSource) open(ctx *qctx) (vecIter, bool) {
 			return nil, false
 		}
 	}
+	// Batch size comes from the entry's adaptive tuner (store.BatchRows
+	// until it has learned otherwise); the cursor caps each batch at the
+	// selection buffer's capacity.
+	batchRows := store.BatchRows
+	if ctx.deps.Manager != nil {
+		batchRows = ctx.deps.Manager.BatchRowsFor(s.p.entry)
+	}
 	return &scanIter{p: s.p, filters: s.filters, cur: cur,
-		selBuf: make([]int32, store.BatchRows)}, true
+		selBuf: make([]int32, batchRows)}, true
 }
 
 func (s *scanSource) info(deps Deps) (int64, bool) {
-	cur, ok := s.p.open(deps)
+	cur, ok := s.p.open(deps, false)
 	if !ok {
 		return 0, false
 	}
@@ -255,7 +276,7 @@ func (it *scanIter) Next() ([]*store.Vec, []int32, bool) {
 }
 
 func (it *scanIter) Close(ctx *qctx) {
-	it.p.finish(ctx, it.batches, it.nanos, it.cur.Rows)
+	it.p.finish(ctx, it.batches, it.nanos, it.cur.Rows, int64(len(it.selBuf)))
 }
 
 // filterSource applies Select kernels on top of a non-scan source (the

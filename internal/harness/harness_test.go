@@ -133,6 +133,41 @@ func TestFig14(t *testing.T) {
 	}
 }
 
+func TestMemoryPressurePhase(t *testing.T) {
+	r, buf := tinyRunner(t)
+	paths, err := r.ensureTPCH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.memoryPressure(paths); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tiered/no-cache qps ratio") {
+		t.Errorf("memory-pressure summary missing:\n%s", buf.String())
+	}
+	var tiered, raw *Phase
+	for i := range r.report.Phases {
+		switch r.report.Phases[i].Name {
+		case "memory-pressure":
+			tiered = &r.report.Phases[i]
+		case "memory-pressure-raw":
+			raw = &r.report.Phases[i]
+		}
+	}
+	if tiered == nil || raw == nil {
+		t.Fatalf("phases missing from report: %+v", r.report.Phases)
+	}
+	if tiered.QPS <= 0 || raw.QPS <= 0 {
+		t.Errorf("qps not recorded: tiered %f raw %f", tiered.QPS, raw.QPS)
+	}
+	if tiered.DiskHitRatio <= 0 {
+		t.Errorf("disk-hit ratio not recorded: %f", tiered.DiskHitRatio)
+	}
+	if tiered.CacheStats == nil || tiered.CacheStats.Spills == 0 {
+		t.Error("tiered phase stats missing spills")
+	}
+}
+
 func TestFig15(t *testing.T) {
 	r, buf := tinyRunner(t)
 	if err := r.Run("fig15a"); err != nil {

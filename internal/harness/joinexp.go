@@ -63,5 +63,5 @@ func (r *Runner) joinHot(paths *datagen.TPCHPaths) error {
 			CacheStats: &stats,
 		})
 	}
-	return nil
+	return r.memoryPressure(paths)
 }

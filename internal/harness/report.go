@@ -27,6 +27,9 @@ type Phase struct {
 	// records-skipped ratio the bench gate tracks).
 	SkippedEarly int64 `json:"skipped_early,omitempty"`
 	RowsScanned  int64 `json:"rows_scanned,omitempty"`
+	// DiskHitRatio is the fraction of a memory-pressure phase's measured
+	// queries answered by re-admitting a spilled entry from the disk tier.
+	DiskHitRatio float64 `json:"disk_hit_ratio,omitempty"`
 	// CacheStats snapshots the engine's counters when the phase ended
 	// (hits, misses, shared scans, vectorized scans, ...).
 	CacheStats *cache.Stats `json:"cache_stats,omitempty"`

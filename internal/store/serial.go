@@ -1,0 +1,389 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"recache/internal/value"
+)
+
+// Spill serialization: a Parquet-layout store written as a flat binary
+// stream, used by the cache's disk tier. The format mirrors parquetStore's
+// in-memory shape (per-column vectors, repetition streams, list lengths)
+// so a spilled entry deserializes with typed bulk copies — no record
+// re-assembly — keeping a disk hit far cheaper than a raw re-scan.
+//
+// The schema is NOT serialized: a spilled entry keeps all of its metadata
+// (dataset, predicate, schema) in RAM and only the payload goes to disk,
+// so the reader is handed the schema and validates the stream against it
+// (column count, repeated-ness, and kind per column). Numeric payloads are
+// written bit-exactly (floats via IEEE-754 bits), so NaN and ±0 survive
+// the round trip.
+
+// spillMagic identifies version 1 of the spill stream.
+var spillMagic = [4]byte{'R', 'C', 'S', '1'}
+
+// WriteParquet serializes a Parquet-layout store to w. It returns an error
+// if st is not the Parquet layout (callers convert first; see Convert).
+func WriteParquet(w io.Writer, st Store) error {
+	p, ok := st.(*parquetStore)
+	if !ok {
+		return fmt.Errorf("store: WriteParquet: not a parquet store (layout %s)", st.Layout())
+	}
+	// Size the buffer to the payload so a typical spill drains in one or
+	// two write syscalls; the demotion write sits on the disk-hit path
+	// (every re-admission demotes a victim), so per-flush syscalls show up
+	// directly in the memory-pressure phase's throughput.
+	bw := bufio.NewWriterSize(w, bufSizeFor(p.size))
+	if _, err := bw.Write(spillMagic[:]); err != nil {
+		return err
+	}
+	hasList := byte(0)
+	if p.listPath != nil {
+		hasList = 1
+	}
+	bw.WriteByte(hasList)
+	writeU64(bw, uint64(p.nRecs))
+	writeU64(bw, uint64(p.nFlat))
+	writeU32(bw, uint32(len(p.cols)))
+	if hasList == 1 {
+		for _, l := range p.lengths {
+			writeU32(bw, uint32(l))
+		}
+	}
+	for ci, c := range p.cols {
+		rep := byte(0)
+		if c.Repeated {
+			rep = 1
+		}
+		bw.WriteByte(rep)
+		if c.Repeated {
+			writeU64(bw, uint64(len(p.reps[ci])))
+			bw.Write(p.reps[ci])
+			if err := writeVec(bw, p.repVecs[ci]); err != nil {
+				return err
+			}
+		} else {
+			if err := writeVec(bw, p.flatVecs[ci]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// bufSizeFor clamps a store's in-memory size to a sane bufio buffer:
+// at least the default 4KB, at most 1MB (large entries stream through).
+func bufSizeFor(sz int64) int {
+	const lo, hi = 4 << 10, 1 << 20
+	switch {
+	case sz < lo:
+		return lo
+	case sz > hi:
+		return hi
+	default:
+		return int(sz) + 64 // header + per-vec framing slack
+	}
+}
+
+func writeVec(w *bufio.Writer, v *vec) error {
+	w.WriteByte(byte(v.Kind))
+	n := v.Len()
+	writeU64(w, uint64(n))
+	for _, word := range v.Nulls.words {
+		writeU64(w, word)
+	}
+	switch v.Kind {
+	case value.Int:
+		for _, x := range v.Ints {
+			writeU64(w, uint64(x))
+		}
+	case value.Float:
+		for _, x := range v.Floats {
+			writeU64(w, math.Float64bits(x))
+		}
+	case value.Bool:
+		for _, x := range v.Bools {
+			b := byte(0)
+			if x {
+				b = 1
+			}
+			w.WriteByte(b)
+		}
+	case value.String:
+		for _, s := range v.Strs {
+			writeU32(w, uint32(len(s)))
+			w.WriteString(s)
+		}
+	default:
+		return fmt.Errorf("store: WriteParquet: unsupported vec kind %s", v.Kind)
+	}
+	return nil
+}
+
+func writeU32(w *bufio.Writer, x uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], x)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	w.Write(b[:])
+}
+
+// spillReader decodes the stream out of one contiguous buffer.
+type spillReader struct {
+	buf []byte
+	off int
+}
+
+func (r *spillReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("store: spill stream truncated at offset %d (need %d bytes)", r.off, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *spillReader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *spillReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *spillReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// ReadParquet deserializes a spill stream written by WriteParquet,
+// validating it against the expected record schema. The returned store is
+// a normal Parquet-layout store (convertible to other layouts as usual).
+// Callers that already hold the whole stream (the spill tier reads files
+// with os.ReadFile) should use ReadParquetBytes and skip the copy.
+func ReadParquet(rd io.Reader, schema *value.Type) (Store, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	return ReadParquetBytes(data, schema)
+}
+
+// ReadParquetBytes decodes a spill stream from an in-memory buffer. The
+// returned store aliases data's string bytes only via copies (string(raw)),
+// so data may be released after the call.
+func ReadParquetBytes(data []byte, schema *value.Type) (Store, error) {
+	r := &spillReader{buf: data}
+	magic, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(magic) != spillMagic {
+		return nil, fmt.Errorf("store: bad spill magic %q", magic)
+	}
+	cols, err := value.LeafColumns(schema)
+	if err != nil {
+		return nil, err
+	}
+	st := &parquetStore{
+		schema:   schema,
+		cols:     cols,
+		listPath: value.RepeatedField(schema),
+		flatVecs: make([]*vec, len(cols)),
+		repVecs:  make([]*vec, len(cols)),
+		reps:     make([][]uint8, len(cols)),
+	}
+	hasList, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if (hasList == 1) != (st.listPath != nil) {
+		return nil, fmt.Errorf("store: spill stream list presence %v does not match schema %s", hasList == 1, schema)
+	}
+	nRecs, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	nFlat, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	st.nRecs = int(nRecs)
+	st.nFlat = int(nFlat)
+	ncols, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(ncols) != len(cols) {
+		return nil, fmt.Errorf("store: spill stream has %d columns, schema %s has %d", ncols, schema, len(cols))
+	}
+	// Expected level-entry count: one per list element, plus one placeholder
+	// per empty list. For flat schemas the flattened view is the record view.
+	levelEntries := st.nRecs
+	if hasList == 1 {
+		st.lengths = make([]int32, st.nRecs)
+		flat, entries := 0, 0
+		for i := range st.lengths {
+			l, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			st.lengths[i] = int32(l)
+			if l == 0 {
+				flat++
+				entries++
+			} else {
+				flat += int(l)
+				entries += int(l)
+			}
+		}
+		if flat != st.nFlat {
+			return nil, fmt.Errorf("store: spill stream flat rows %d != lengths sum %d", st.nFlat, flat)
+		}
+		levelEntries = entries
+	} else if st.nFlat != st.nRecs {
+		return nil, fmt.Errorf("store: flat spill stream has nFlat %d != nRecs %d", st.nFlat, st.nRecs)
+	}
+	for ci, c := range cols {
+		rep, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if (rep == 1) != c.Repeated {
+			return nil, fmt.Errorf("store: spill column %d repeated=%v, schema says %v", ci, rep == 1, c.Repeated)
+		}
+		if c.Repeated {
+			nr, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			if int(nr) != levelEntries {
+				return nil, fmt.Errorf("store: spill column %d has %d level entries, want %d", ci, nr, levelEntries)
+			}
+			raw, err := r.bytes(int(nr))
+			if err != nil {
+				return nil, err
+			}
+			st.reps[ci] = append([]uint8(nil), raw...)
+			v, err := readVec(r, c.Type.Kind, levelEntries)
+			if err != nil {
+				return nil, fmt.Errorf("store: spill column %d (%s): %w", ci, c.Name(), err)
+			}
+			st.repVecs[ci] = v
+		} else {
+			v, err := readVec(r, c.Type.Kind, st.nRecs)
+			if err != nil {
+				return nil, fmt.Errorf("store: spill column %d (%s): %w", ci, c.Name(), err)
+			}
+			st.flatVecs[ci] = v
+		}
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("store: %d trailing bytes in spill stream", len(r.buf)-r.off)
+	}
+	var sz int64
+	for ci := range st.cols {
+		if v := st.flatVecs[ci]; v != nil {
+			sz += v.SizeBytes()
+		}
+		if v := st.repVecs[ci]; v != nil {
+			sz += v.SizeBytes()
+		}
+		sz += int64(len(st.reps[ci]))
+	}
+	st.size = sz + int64(len(st.lengths))*4
+	return st, nil
+}
+
+func readVec(r *spillReader, want value.Kind, wantLen int) (*vec, error) {
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if value.Kind(kind) != want {
+		return nil, fmt.Errorf("vec kind %s, schema says %s", value.Kind(kind), want)
+	}
+	n64, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	if n != wantLen {
+		return nil, fmt.Errorf("vec has %d entries, want %d", n, wantLen)
+	}
+	v := &vec{Kind: want}
+	words := (n + 63) / 64
+	v.Nulls.n = n
+	v.Nulls.words = make([]uint64, words)
+	for i := range v.Nulls.words {
+		w, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		v.Nulls.words[i] = w
+	}
+	switch want {
+	case value.Int:
+		v.Ints = make([]int64, n)
+		for i := range v.Ints {
+			x, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			v.Ints[i] = int64(x)
+		}
+	case value.Float:
+		v.Floats = make([]float64, n)
+		for i := range v.Floats {
+			x, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			v.Floats[i] = math.Float64frombits(x)
+		}
+	case value.Bool:
+		raw, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		v.Bools = make([]bool, n)
+		for i, b := range raw {
+			v.Bools[i] = b != 0
+		}
+	case value.String:
+		v.Strs = make([]string, n)
+		for i := range v.Strs {
+			l, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := r.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			v.Strs[i] = string(raw)
+		}
+	default:
+		return nil, fmt.Errorf("unsupported vec kind %s", want)
+	}
+	return v, nil
+}

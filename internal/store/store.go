@@ -60,7 +60,10 @@ type ScanStats struct {
 	ComputeNanos int64
 	RowsScanned  int64
 	Batches      int64
-	Vectorized   bool
+	// BatchRows is the batch size a vectorized scan ran with; the cache's
+	// adaptive batch tuner attributes the measured nanos to it.
+	BatchRows  int64
+	Vectorized bool
 }
 
 // Add accumulates another scan's stats.
@@ -69,6 +72,9 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.ComputeNanos += o.ComputeNanos
 	s.RowsScanned += o.RowsScanned
 	s.Batches += o.Batches
+	if o.BatchRows != 0 {
+		s.BatchRows = o.BatchRows
+	}
 	s.Vectorized = s.Vectorized || o.Vectorized
 }
 

@@ -54,6 +54,16 @@ import (
 type Config struct {
 	// CacheCapacity limits the cache size in bytes (0 = unlimited).
 	CacheCapacity int64
+	// SpillDir enables the tiered cache: RAM-evicted columnar entries are
+	// serialized into this directory and re-admitted to RAM on their next
+	// hit (one spill-file read instead of a raw re-scan). Empty disables
+	// spilling (evictions discard payloads, the pre-tiering behaviour).
+	// The directory is created if missing; orphaned spill files in it are
+	// removed on Open.
+	SpillDir string
+	// DiskCacheBytes limits the disk tier's total spill-file bytes
+	// (0 = unlimited). Only meaningful with SpillDir set.
+	DiskCacheBytes int64
 	// Eviction selects the eviction policy: "recache" (default), "lru",
 	// "lfu", "lru-json-over-csv", "cost-vectorwise", "cost-monetdb",
 	// "offline-farthest-first", "offline-log-optimal".
@@ -102,6 +112,8 @@ type Config struct {
 func (c Config) toCacheConfig() (cache.Config, error) {
 	out := cache.Config{
 		Capacity:           c.CacheCapacity,
+		SpillDir:           c.SpillDir,
+		DiskCacheBytes:     c.DiskCacheBytes,
 		Threshold:          c.AdmissionThreshold,
 		SampleSize:         c.AdmissionSampleSize,
 		DisableSubsumption: c.DisableSubsumption,
@@ -473,16 +485,23 @@ func pushNote(sel *plan.Select, noPush bool) string {
 	return s
 }
 
-// vecNote annotates a CachedScan with its execution flavor.
+// vecNote annotates a CachedScan with its execution flavor and cache tier.
+// A spilled entry's flavor is decided only after re-admission loads its
+// store back, so the note carries the tier alone; RAM entries get the
+// flavor plus "tier: ram". The probe stays side-effect-free: it reads the
+// entry's payload snapshot and never triggers the disk load itself.
 func vecNote(cs *plan.CachedScan, m *cache.Manager, noVec bool) string {
+	if entry, ok := cs.Entry.(*cache.Entry); ok && m.EntryTier(entry) == "disk" {
+		return "tier: disk (re-admitted)"
+	}
 	if noVec {
-		return "row"
+		return "row, tier: ram"
 	}
 	ok, batches := exec.VectorizedInfo(cs, m)
 	if !ok {
-		return "row"
+		return "row, tier: ram"
 	}
-	return fmt.Sprintf("vectorized, %d batches", batches)
+	return fmt.Sprintf("vectorized, %d batches, tier: ram", batches)
 }
 
 // joinNote annotates a Join with the flavor it would execute right now:
@@ -562,8 +581,20 @@ type CacheStats struct {
 	PushdownScans       int64
 	PushedConjuncts     int64
 	RecordsSkippedEarly int64
-	Entries             int
-	TotalBytes          int64
+	// Disk-tier counters (zero unless Config.SpillDir is set): Spills
+	// counts spill-file writes (a re-admitted entry keeps its file, so its
+	// later demotions are free and don't count), DiskHits the cache hits
+	// served by re-admitting a spilled entry, SpillDrops the entries the
+	// disk tier discarded for real; DiskEntries/DiskBytes snapshot the
+	// tier's current occupancy in spill files (a file is retained across
+	// re-admission, so a RAM-resident entry can still own one).
+	DiskHits    int64
+	Spills      int64
+	SpillDrops  int64
+	DiskEntries int
+	DiskBytes   int64
+	Entries     int
+	TotalBytes  int64
 }
 
 // CacheStats returns a snapshot of the cache counters. The counters are
@@ -589,6 +620,11 @@ func (e *Engine) CacheStats() CacheStats {
 		PushdownScans:       s.PushdownScans,
 		PushedConjuncts:     s.PushedConjuncts,
 		RecordsSkippedEarly: s.RecordsSkippedEarly,
+		DiskHits:            s.DiskHits,
+		Spills:              s.Spills,
+		SpillDrops:          s.SpillDrops,
+		DiskEntries:         s.DiskEntries,
+		DiskBytes:           s.DiskBytes,
 		Entries:             s.Entries,
 		TotalBytes:          s.TotalBytes,
 	}
@@ -600,8 +636,8 @@ type EntryInfo struct {
 	Table     string
 	Predicate string
 	Mode      string // "eager" or "lazy"
-	Layout    string // "parquet", "columnar", "row", or "offsets"
-	Bytes     int64
+	Layout    string // "parquet", "columnar", "row", "offsets", or "disk"
+	Bytes     int64  // RAM footprint; spill-file bytes for disk entries
 	Reuses    int64
 }
 
@@ -615,6 +651,8 @@ func (e *Engine) CacheEntries() []EntryInfo {
 		layout := "offsets"
 		if v.Mode == cache.Eager && v.HasStore {
 			layout = v.Layout.String()
+		} else if v.OnDisk {
+			layout = "disk"
 		}
 		out[i] = EntryInfo{
 			ID:        v.ID,

@@ -1,0 +1,204 @@
+package recache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// spillCSV writes an n-row CSV whose per-row values are exactly
+// representable in float64, so cached and raw execution sum identically.
+func spillCSV(t testing.TB, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d|%d|%d\n", i, i%100, i%500)
+	}
+	dir, err := os.MkdirTemp("", "recache-spill-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "big.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func spillEngine(t testing.TB, path string, cfg Config) *Engine {
+	t.Helper()
+	eng, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterCSV("big", path, "id int, qty int, price float", '|'); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestTieredCacheDifferential runs a working set ~10× the RAM budget
+// through a spill-enabled engine and checks every result against a
+// no-cache baseline: entries must churn through the disk tier (spills and
+// disk hits observed) without ever changing an answer.
+func TestTieredCacheDifferential(t *testing.T) {
+	const rows, ranges, span = 10000, 10, 1000
+	path := spillCSV(t, rows)
+	base := spillEngine(t, path, Config{Admission: "off"})
+	tiered := spillEngine(t, path, Config{
+		Admission:     "eager",
+		Layout:        "columnar",
+		CacheCapacity: 26 << 10, // roughly one entry: working set ~10× this
+		SpillDir:      filepath.Join(t.TempDir(), "spill"),
+	})
+
+	check := func(q string) {
+		t.Helper()
+		want, err := base.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tiered.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Fatalf("%s:\n  tiered  %v\n  nocache %v", q, got.Rows, want.Rows)
+		}
+	}
+
+	// Round 1 builds one entry per range (most spill under the tiny RAM
+	// budget); round 2 repeats exactly (disk hits re-admit); round 3 asks
+	// narrower ranges (subsumption must still match spilled entries).
+	for i := 0; i < ranges; i++ {
+		check(fmt.Sprintf("SELECT SUM(price), COUNT(*) FROM big WHERE id BETWEEN %d AND %d",
+			i*span, i*span+span-1))
+	}
+	for i := 0; i < ranges; i++ {
+		check(fmt.Sprintf("SELECT SUM(price), COUNT(*) FROM big WHERE id BETWEEN %d AND %d",
+			i*span, i*span+span-1))
+	}
+	for i := 0; i < ranges; i++ {
+		check(fmt.Sprintf("SELECT SUM(qty), COUNT(*) FROM big WHERE id BETWEEN %d AND %d",
+			i*span+100, i*span+span-101))
+	}
+
+	st := tiered.CacheStats()
+	if st.Spills == 0 {
+		t.Error("working set 10× the RAM budget never spilled")
+	}
+	if st.DiskHits == 0 {
+		t.Error("repeated queries never hit the disk tier")
+	}
+	if st.DiskBytes < 0 || st.TotalBytes < 0 {
+		t.Errorf("accounting went negative: %+v", st)
+	}
+}
+
+// TestExplainShowsTier: EXPLAIN annotates a CachedScan with the tier its
+// entry currently occupies, and re-admission moves the note back to RAM.
+func TestExplainShowsTier(t *testing.T) {
+	path := spillCSV(t, 5000)
+	eng := spillEngine(t, path, Config{
+		Admission:     "eager",
+		Layout:        "columnar",
+		CacheCapacity: 20 << 10,
+		SpillDir:      filepath.Join(t.TempDir(), "spill"),
+	})
+	qa := "SELECT SUM(price) FROM big WHERE id BETWEEN 0 AND 499"
+	qb := "SELECT SUM(price) FROM big WHERE id BETWEEN 2000 AND 2499"
+	if _, err := eng.Query(qa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(qb); err != nil {
+		t.Fatal(err)
+	}
+	// The two entries exceed the ~one-entry budget, so exactly one of them
+	// was demoted to disk; EXPLAIN must annotate each with its tier. (The
+	// policy breaks the tie between two never-reused entries either way.)
+	explain := func(q string) string {
+		t.Helper()
+		out, err := eng.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	diskQ := ""
+	for _, q := range []string{qa, qb} {
+		out := explain(q)
+		switch {
+		case strings.Contains(out, "tier: disk (re-admitted)"):
+			if diskQ != "" {
+				t.Fatalf("both entries on disk:\n%s", out)
+			}
+			diskQ = q
+		case strings.Contains(out, "tier: ram"):
+		default:
+			t.Fatalf("explain missing tier annotation:\n%s", out)
+		}
+	}
+	if diskQ == "" {
+		t.Fatal("no entry was demoted to disk")
+	}
+	// Executing the spilled query re-admits its entry (a disk hit), which
+	// in turn demotes the other under the same budget; the annotations must
+	// follow the state: still exactly one disk, one RAM.
+	if _, err := eng.Query(diskQ); err != nil {
+		t.Fatal(err)
+	}
+	disk, ram := 0, 0
+	for _, q := range []string{qa, qb} {
+		out := explain(q)
+		if strings.Contains(out, "tier: disk (re-admitted)") {
+			disk++
+		}
+		if strings.Contains(out, "tier: ram") {
+			ram++
+		}
+	}
+	if disk != 1 || ram != 1 {
+		t.Errorf("after re-admission: %d disk, %d ram annotations (want 1 and 1)", disk, ram)
+	}
+	st := eng.CacheStats()
+	if st.Spills == 0 || st.DiskHits == 0 {
+		t.Errorf("expected spill + disk hit, got %+v", st)
+	}
+}
+
+// BenchmarkSpillReadmit measures the disk-tier round trip: two entries
+// alternating through a one-entry RAM budget, so every query re-admits one
+// entry from disk and demotes the other.
+func BenchmarkSpillReadmit(b *testing.B) {
+	path := spillCSV(b, 20000)
+	eng := spillEngine(b, path, Config{
+		Admission:     "eager",
+		Layout:        "columnar",
+		CacheCapacity: 30 << 10,
+		SpillDir:      filepath.Join(b.TempDir(), "spill"),
+	})
+	qa := "SELECT SUM(price), COUNT(*) FROM big WHERE id BETWEEN 0 AND 999"
+	qb := "SELECT SUM(price), COUNT(*) FROM big WHERE id BETWEEN 10000 AND 10999"
+	for _, q := range []string{qa, qb} {
+		if _, err := eng.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qa
+		if i%2 == 1 {
+			q = qb
+		}
+		if _, err := eng.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := eng.CacheStats()
+	b.ReportMetric(float64(st.DiskHits)/float64(b.N), "disk-hits/op")
+}

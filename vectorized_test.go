@@ -168,7 +168,7 @@ func TestExplainShowsVectorizedFlavor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "(row)") {
+	if !strings.Contains(out, "(row, tier: ram)") {
 		t.Errorf("explain with vectorization disabled should mark the scan row:\n%s", out)
 	}
 }
