@@ -37,6 +37,14 @@
 //     regression when the tiered cache's speedup over raw re-scans under a
 //     working set 10× the RAM budget drops more than the tolerance below
 //     the baseline's ratio.
+//   - p99 latency (server-load phases): regression when the p99 request
+//     latency over the wire grows more than the tolerance beyond the
+//     baseline, plus a 2ms slack absorbing scheduler jitter on loaded
+//     runners.
+//   - server qps ratio (server-load / hit-throughput, each pair member at
+//     its largest swarm/worker count): regression when the wire path's
+//     share of the embedded hit throughput drops more than the tolerance
+//     below the baseline's ratio — the framing/demux overhead gate.
 //
 // A phase present in the baseline but missing from the current report is a
 // failure: a metric that silently disappears is a regression too.
@@ -117,12 +125,16 @@ func main() {
 		if bp.DiskHitRatio > 0 {
 			check(bp, "disk-hit-ratio", bp.DiskHitRatio, cp.DiskHitRatio, false, 0)
 		}
+		if bp.P99Millis > 0 {
+			check(bp, "p99-ms", bp.P99Millis, cp.P99Millis, true, 2)
+		}
 	}
 	// Paired-phase gates: the vectorized-vs-row join speedup and the
 	// tiered-cache-vs-raw-rescan speedup under memory pressure.
 	pairs := [][2]string{
 		{"join-hot", "join-hot-off"},
 		{"memory-pressure", "memory-pressure-raw"},
+		{"server-load", "hit-throughput"},
 	}
 	for _, pair := range pairs {
 		baseRatio, ok := qpsRatio(base, pair[0], pair[1])

@@ -1,0 +1,196 @@
+// Command recached is the recache daemon: it opens one engine, registers
+// tables from the command line, and serves the wire protocol to many
+// concurrent clients over a unix socket and/or TCP until SIGTERM/SIGINT,
+// then drains gracefully — in-flight queries finish, connections close,
+// pending disk-tier spills flush — and exits 0 only if the drain left no
+// cache transaction open.
+//
+// Usage:
+//
+//	recached -unix /tmp/recached.sock \
+//	         -csv 'lineitem=path.csv:l_orderkey int, l_quantity int' \
+//	         [-tcp 127.0.0.1:7878] [-stats 127.0.0.1:7879] \
+//	         [-capacity N -spill-dir DIR -disk-capacity N ...]
+//
+// The -stats address serves GET /stats: the same JSON document the wire
+// protocol's stats op returns (cache counters + serving counters), for
+// scraping without a protocol client.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"recache"
+	"recache/internal/server"
+	"recache/internal/wire"
+)
+
+type tableFlag struct {
+	specs *[]string
+}
+
+func (t tableFlag) String() string { return "" }
+func (t tableFlag) Set(s string) error {
+	*t.specs = append(*t.specs, s)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the SIGTERM drain path is
+// testable in-process. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recached", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var csvSpecs, jsonSpecs []string
+	var (
+		unixPath  = fs.String("unix", "", "serve on this unix socket path")
+		tcpAddr   = fs.String("tcp", "", "serve on this TCP address (host:port)")
+		statsAddr = fs.String("stats", "", "serve GET /stats (JSON counters) on this HTTP address")
+		eviction  = fs.String("eviction", "recache", "eviction policy")
+		admission = fs.String("admission", "adaptive", "admission mode: adaptive|eager|lazy|off")
+		layout    = fs.String("layout", "auto", "cache layout: auto|parquet|columnar|row")
+		capacity  = fs.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited)")
+		spillDir  = fs.String("spill-dir", "", "spill directory for the disk cache tier (empty = spilling off)")
+		diskCap   = fs.Int64("disk-capacity", 0, "disk tier capacity in bytes (0 = unlimited; needs -spill-dir)")
+	)
+	fs.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
+	fs.Var(tableFlag{&jsonSpecs}, "json", "register JSON table: name=path:schema (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *unixPath == "" && *tcpAddr == "" {
+		fmt.Fprintln(stderr, "recached: need -unix and/or -tcp to listen on")
+		return 2
+	}
+
+	eng, err := recache.Open(recache.Config{
+		Eviction:       *eviction,
+		Admission:      *admission,
+		Layout:         *layout,
+		CacheCapacity:  *capacity,
+		SpillDir:       *spillDir,
+		DiskCacheBytes: *diskCap,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "recached:", err)
+		return 1
+	}
+	for _, spec := range csvSpecs {
+		name, path, schema, err := splitSpec(spec)
+		if err == nil {
+			err = eng.RegisterCSV(name, path, schema, '|')
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "recached:", err)
+			return 1
+		}
+	}
+	for _, spec := range jsonSpecs {
+		name, path, schema, err := splitSpec(spec)
+		if err == nil {
+			err = eng.RegisterJSON(name, path, schema)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "recached:", err)
+			return 1
+		}
+	}
+
+	srv := server.New(eng)
+	serveErr := make(chan error, 2)
+	var listeners []string
+	if *unixPath != "" {
+		// A previous run that died without cleanup leaves a stale socket
+		// file; listening requires removing it first.
+		os.Remove(*unixPath)
+		ln, err := net.Listen("unix", *unixPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "recached:", err)
+			return 1
+		}
+		defer os.Remove(*unixPath)
+		listeners = append(listeners, "unix:"+*unixPath)
+		go func() { serveErr <- srv.Serve(ln) }()
+	}
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "recached:", err)
+			return 1
+		}
+		listeners = append(listeners, "tcp:"+ln.Addr().String())
+		go func() { serveErr <- srv.Serve(ln) }()
+	}
+	var statsSrv *http.Server
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(wire.Stats{
+				Cache:  eng.Manager().Stats(),
+				Server: srv.Stats(),
+			})
+		})
+		ln, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "recached:", err)
+			return 1
+		}
+		statsSrv = &http.Server{Handler: mux}
+		go statsSrv.Serve(ln)
+		listeners = append(listeners, "http:"+ln.Addr().String())
+	}
+	fmt.Fprintf(stdout, "recached: serving on %s\n", strings.Join(listeners, ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "recached: %v, draining\n", s)
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(stderr, "recached: accept:", err)
+		}
+	}
+
+	// Graceful drain: wire first (in-flight requests complete, responses
+	// flush, connections close), then the engine (waits for any stragglers,
+	// flushes pending spills).
+	srv.Shutdown()
+	if statsSrv != nil {
+		statsSrv.Close()
+	}
+	eng.Close()
+	if open := eng.CacheStats().OpenTxns; open != 0 {
+		fmt.Fprintf(stderr, "recached: drain left %d transactions open\n", open)
+		return 1
+	}
+	fmt.Fprintln(stdout, "recached: drained, bye")
+	return 0
+}
+
+func splitSpec(spec string) (name, path, schema string, err error) {
+	eq := strings.IndexByte(spec, '=')
+	if eq < 0 {
+		return "", "", "", fmt.Errorf("bad table spec %q (want name=path[:schema])", spec)
+	}
+	name = spec[:eq]
+	rest := spec[eq+1:]
+	if colon := strings.IndexByte(rest, ':'); colon >= 0 {
+		return name, rest[:colon], rest[colon+1:], nil
+	}
+	return name, rest, "", nil
+}

@@ -149,6 +149,11 @@ type Stats struct {
 
 	TotalBytes int64 `json:"total_bytes"`
 	Entries    int   `json:"entries"`
+
+	// OpenTxns gauges query transactions begun but not yet closed. Every
+	// entry pin lives inside a Txn, so OpenTxns == 0 implies no entry is
+	// pinned by a query — the invariant a drained server asserts.
+	OpenTxns int64 `json:"open_txns"`
 }
 
 // counters holds the manager's live statistics. Counters are atomics so hot
@@ -176,6 +181,7 @@ type counters struct {
 	diskHits            atomic.Int64
 	spills              atomic.Int64
 	spillDrops          atomic.Int64
+	openTxns            atomic.Int64 // gauge: Begin +1, first Txn.Close -1
 }
 
 // Manager owns the cache: entries, the exact-match table, the per-(dataset,
@@ -315,6 +321,7 @@ func (m *Manager) Stats() Stats {
 		DiskHits:            m.stats.diskHits.Load(),
 		Spills:              m.stats.spills.Load(),
 		SpillDrops:          m.stats.spillDrops.Load(),
+		OpenTxns:            m.stats.openTxns.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
 	m.mu.Lock()
@@ -408,6 +415,7 @@ type Txn struct {
 // that tracks the query's pins and build reservations.
 func (m *Manager) Begin() *Txn {
 	m.BeginQuery()
+	m.stats.openTxns.Add(1)
 	return &Txn{m: m, id: m.nextTx.Add(1)}
 }
 
@@ -427,6 +435,7 @@ func (t *Txn) Close() {
 	}
 	t.closed = true
 	m := t.m
+	m.stats.openTxns.Add(-1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, key := range t.slots {
@@ -631,7 +640,7 @@ func (m *Manager) wrapMaterialize(sel *plan.Select, ds *plan.Dataset, tx *Txn, r
 // columnar; fixed modes override. It reads only immutable configuration,
 // so it needs no lock.
 func (m *Manager) ChooseLayout(ds *plan.Dataset) store.Layout {
-	nested := value.RepeatedField(ds.Schema()) != nil
+	nested := value.RepeatedFieldCached(ds.Schema()) != nil
 	switch m.cfg.Layout {
 	case LayoutFixedParquet:
 		return store.LayoutParquet
@@ -1099,7 +1108,7 @@ func (m *Manager) RecordScan(e *Entry, st store.ScanStats, ncols int, scanWallNa
 		m.mu.Unlock()
 		return 0
 	}
-	nested := value.RepeatedField(e.Dataset.Schema()) != nil
+	nested := value.RepeatedFieldCached(e.Dataset.Schema()) != nil
 	var dec layoutDecision
 	if nested {
 		if m.cfg.Layout == LayoutAuto {

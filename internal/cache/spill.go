@@ -90,6 +90,13 @@ func (m *Manager) reloadEstimate(e *Entry) int64 {
 	return sz/2 + 20_000
 }
 
+// FlushSpills completes every queued RAM→disk demotion synchronously. A
+// shutting-down engine calls it after the last query drains so no evicted
+// payload is lost between "queued for spill" and process exit.
+func (m *Manager) FlushSpills() {
+	m.drainSpills()
+}
+
 // drainSpills performs queued demotions. Callers invoke it after releasing
 // the manager lock; each spill write runs unlocked and finalizes under the
 // lock, and a finalize may queue further work (disk eviction never does,

@@ -288,8 +288,11 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 // ScanPushdown implements plan.PushdownScanner: it streams only the records
 // passing pd, decoding each tested column straight from its raw bytes (no
 // value boxing) and skipping the rest of the line as soon as a test fails.
-// Surviving records decode the needed ∪ tested fields; complete() parses the
-// rest on demand, exactly like Scan.
+// When the pushdown carries a string-equality conjunct, a memchr-style
+// substring search over the raw file rejects records that cannot contain
+// the literal before any field is even located (bulk-skipping the stretch
+// between matches). Surviving records decode the needed ∪ tested fields;
+// complete() parses the rest on demand, exactly like Scan.
 func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) (int64, error) {
 	tests := pd.Tests()
 	if len(tests) == 0 {
@@ -305,14 +308,30 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 		return 0, err
 	}
 	eff := p.effectiveMask(mask, tests)
+	needle := expr.NewNeedleCursor(p.data, pd.EqNeedle())
 	var skipped int64
 	defer func() { p.pushSkipped.Add(skipped) }()
 	if !p.mapped.Load() {
-		return p.firstScanPushdown(tests, eff, &skipped, fn)
+		return p.firstScanPushdown(tests, eff, needle, &skipped, fn)
 	}
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
-	for ri, start := range p.recStart {
+	for ri := 0; ri < len(p.recStart); ri++ {
+		start := p.recStart[ri]
+		if needle != nil {
+			// Jump to the next record that can contain the equality
+			// literal, bulk-counting the records in between as skipped.
+			m := needle.Next(int(start))
+			if m == len(p.data) {
+				skipped += int64(len(p.recStart) - ri)
+				break
+			}
+			if rj := p.recordAt(int64(m)); rj > ri {
+				skipped += int64(rj - ri)
+				ri = rj
+				start = p.recStart[ri]
+			}
+		}
 		offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
 		pass := true
 		for ti := range tests {
@@ -343,6 +362,13 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 		}
 	}
 	return skipped, nil
+}
+
+// recordAt returns the index of the record whose span contains byte offset
+// off (the last record starting at or before it). Requires the positional
+// map.
+func (p *Provider) recordAt(off int64) int {
+	return sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] > off }) - 1
 }
 
 // effectiveMask unions the tested columns into the needed mask: survivors
@@ -393,8 +419,9 @@ func (p *Provider) testField(t *expr.ColTest, beg int) (bool, error) {
 
 // firstScanPushdown is the pushdown flavor of the first scan: every record
 // is still tokenized (the positional map needs every field offset), but a
-// record failing a pushed test skips all field parsing and boxing.
-func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, skipped *int64, fn plan.ScanFunc) (int64, error) {
+// record failing the needle filter or a pushed test skips all field parsing
+// and boxing.
+func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
 	data := p.data
 	i := 0
 	if p.opts.HasHeader {
@@ -429,6 +456,13 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, skipped *
 		}
 		if fi < p.nfields {
 			return *skipped, fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, fi, p.nfields)
+		}
+		if needle != nil && needle.Next(start) >= i {
+			// No occurrence of the equality literal within the record: no
+			// field can equal it, so skip without decoding any test column.
+			*skipped++
+			i++
+			continue
 		}
 		offs := fieldOff[len(fieldOff)-p.nfields:]
 		pass := true

@@ -109,19 +109,11 @@ type qctx struct {
 
 // Run compiles and executes a plan, returning the materialized result.
 func Run(root plan.Node, deps Deps) (*Result, *QueryStats, error) {
-	run, err := compile(root, deps)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &QueryStats{}
-	ctx := &qctx{start: time.Now(), deps: deps, stats: stats}
 	var rows [][]value.Value
-	err = run(ctx, func(row []value.Value) error {
+	stats, err := RunInto(root, deps, func(row []value.Value) error {
 		rows = append(rows, append([]value.Value(nil), row...))
 		return nil
 	})
-	stats.Wall = time.Since(ctx.start)
-	stats.RowsOut = len(rows)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -131,6 +123,28 @@ func Run(root plan.Node, deps Deps) (*Result, *QueryStats, error) {
 		cols[i] = f.Name
 	}
 	return &Result{Schema: schema, Columns: cols, Rows: rows}, stats, nil
+}
+
+// RunInto compiles and executes a plan, pushing each result row into sink.
+// The row slice is reused between calls; sinks that retain rows must copy.
+// This is the zero-copy exit for callers with their own materialization —
+// the server feeds rows straight into a columnar batch builder here.
+func RunInto(root plan.Node, deps Deps, sink func(row []value.Value) error) (*QueryStats, error) {
+	run, err := compile(root, deps)
+	if err != nil {
+		return nil, err
+	}
+	stats := &QueryStats{}
+	ctx := &qctx{start: time.Now(), deps: deps, stats: stats}
+	err = run(ctx, func(row []value.Value) error {
+		stats.RowsOut++
+		return sink(row)
+	})
+	stats.Wall = time.Since(ctx.start)
+	if err != nil {
+		return stats, err
+	}
+	return stats, nil
 }
 
 func compile(n plan.Node, deps Deps) (runFn, error) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"recache/internal/cache"
@@ -219,7 +220,27 @@ func (s *scanSource) open(ctx *qctx) (vecIter, bool) {
 		batchRows = ctx.deps.Manager.BatchRowsFor(s.p.entry)
 	}
 	return &scanIter{p: s.p, filters: s.filters, cur: cur,
-		selBuf: make([]int32, batchRows)}, true
+		selBuf: getSelBuf(batchRows)}, true
+}
+
+// selBufPool recycles selection buffers across queries: the buffer is the
+// hot path's only per-query allocation of batch size, and at hundreds of
+// concurrent cache-hit queries the allocation rate alone drives the GC
+// hard enough to show up in server-load throughput. Stored as *[]int32 to
+// keep Put/Get themselves allocation-free.
+var selBufPool sync.Pool
+
+func getSelBuf(n int) []int32 {
+	if v := selBufPool.Get(); v != nil {
+		if b := *v.(*[]int32); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+func putSelBuf(b []int32) {
+	selBufPool.Put(&b)
 }
 
 func (s *scanSource) info(deps Deps) (int64, bool) {
@@ -277,6 +298,10 @@ func (it *scanIter) Next() ([]*store.Vec, []int32, bool) {
 
 func (it *scanIter) Close(ctx *qctx) {
 	it.p.finish(ctx, it.batches, it.nanos, it.cur.Rows, int64(len(it.selBuf)))
+	// The last batch's selection has been consumed by the time the
+	// pipeline closes its source, so the buffer can go back to the pool.
+	putSelBuf(it.selBuf)
+	it.selBuf = nil
 }
 
 // filterSource applies Select kernels on top of a non-scan source (the

@@ -270,6 +270,62 @@ func (p *Pushdown) Conjuncts() []Expr {
 	return p.conj
 }
 
+// EqNeedle returns the longest string-equality literal among the pushed
+// conjuncts, or nil if none was pushed. A record whose raw bytes do not
+// contain the literal at all cannot have any field equal to it, so scan
+// providers use the needle for memchr-style candidate filtering: one
+// forward substring search over the file rejects whole records before any
+// field is located or decoded. The longest literal is chosen because it is
+// the most selective and the cheapest to search for.
+func (p *Pushdown) EqNeedle() []byte {
+	if p == nil {
+		return nil
+	}
+	var best []byte
+	for i := range p.tests {
+		for _, sp := range p.tests[i].strs {
+			if sp.op == OpEq && len(sp.b) > len(best) {
+				best = sp.b
+			}
+		}
+	}
+	return best
+}
+
+// NeedleCursor is a monotone substring-search cursor over a byte buffer:
+// Next reports the offset of the first needle occurrence at or after from,
+// re-searching only when the cursor has fallen behind. Scanning records in
+// file order therefore costs one amortized pass of bytes.Index over the
+// whole buffer, however many records consult the cursor.
+type NeedleCursor struct {
+	data   []byte
+	needle []byte
+	at     int // offset of the match found by the last search, or len(data)
+}
+
+// NewNeedleCursor returns a cursor over data, or nil for an empty needle
+// (an empty needle matches everywhere, so no filtering is possible).
+func NewNeedleCursor(data, needle []byte) *NeedleCursor {
+	if len(needle) == 0 {
+		return nil
+	}
+	return &NeedleCursor{data: data, needle: needle, at: -1}
+}
+
+// Next returns the offset of the first occurrence at or after from, or
+// len(data) when there is none. from must not decrease across calls.
+func (c *NeedleCursor) Next(from int) int {
+	if c.at >= from {
+		return c.at
+	}
+	if i := bytes.Index(c.data[from:], c.needle); i >= 0 {
+		c.at = from + i
+	} else {
+		c.at = len(c.data)
+	}
+	return c.at
+}
+
 // Cols returns the tested column paths in evaluation order.
 func (p *Pushdown) Cols() []value.Path {
 	if p == nil {

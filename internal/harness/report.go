@@ -16,6 +16,8 @@ type Phase struct {
 	Goroutines int    `json:"goroutines,omitempty"`
 	// QPS is the aggregate cache-hit query throughput of a parallel phase.
 	QPS float64 `json:"qps,omitempty"`
+	// P99Millis is the p99 per-request latency of a server-load phase.
+	P99Millis float64 `json:"p99_ms,omitempty"`
 	// WallSeconds is an experiment phase's end-to-end duration.
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
 	// Burst parses: raw-file scans a burst of concurrent identical cold

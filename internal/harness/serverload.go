@@ -1,0 +1,382 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"recache/internal/cache"
+	"recache/internal/client"
+	"recache/internal/datagen"
+	"recache/internal/server"
+)
+
+// serverLoad is the wire-protocol phase of the perf-trajectory report: the
+// same cache-hit workload the parallel harness replays embedded is driven
+// through a recached server over a unix socket by swarms of concurrent
+// clients (64, 256, 1024 connections, one pipelined request stream each),
+// reporting aggregate queries/sec and p99 request latency per swarm size.
+// The wire path must keep at least half the embedded hit throughput —
+// framing, demuxing, and the per-request goroutine are the only additions —
+// and a 16-client cold burst over the wire must still collapse into shared
+// raw scans exactly like embedded bursts do. The bench gate (cmd/benchdiff)
+// tracks the qps values, the p99s, the server/embedded qps ratio, and the
+// burst parse counts across PRs.
+func (r *Runner) serverLoad(paths *datagen.TPCHPaths) error {
+	// The phase models a tuned daemon: relax GC the way a serving process
+	// would. Embedded reference and wire swarms both run under it, so the
+	// ratio stays apples-to-apples.
+	defer debug.SetGCPercent(debug.SetGCPercent(800))
+	eng := newEngine(cache.Config{Admission: cache.AlwaysEager})
+	if err := registerTPCH(eng, paths, false); err != nil {
+		return err
+	}
+	// The same fixed pool of overlapping range selections as Parallel:
+	// after one warm pass every replay is an exact cache hit.
+	var queries []string
+	for i := 0; i < 16; i++ {
+		lo := 1 + (i*3)%40
+		hi := lo + 8
+		queries = append(queries,
+			fmt.Sprintf("SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity BETWEEN %d AND %d", lo, hi))
+	}
+	for _, q := range queries {
+		if _, err := eng.Query(q); err != nil {
+			return err
+		}
+	}
+	// Both sides of the server/embedded ratio are medians over repeated
+	// runs, with the embedded reference re-sampled between swarm sizes:
+	// on a shared box either single measurement can swing ±20%, and a
+	// ratio of two one-shot readings taken at different moments gates on
+	// the noise, not the wire path. Interleaving samples both sides
+	// across the same noise epochs. The embedded replay is also sized to
+	// the wire swarms' query volume — a short burst can slip between GC
+	// cycles that a sustained run amortizes, which would overstate the
+	// embedded rate.
+	total := r.nq(2000)
+	embTotal := total
+	if wireTotal := 256 * pipeDepth * 8; embTotal < wireTotal {
+		embTotal = wireTotal
+	}
+	runs := 1
+	if total >= 1000 {
+		runs = 3
+	}
+	var embS []float64
+	sampleEmbedded := func() error {
+		q, err := replayParallel(eng, queries, embTotal, 16)
+		if err != nil {
+			return err
+		}
+		embS = append(embS, q)
+		return nil
+	}
+
+	srv := server.New(eng)
+	sock := filepath.Join(r.opts.Dir, "recached-bench.sock")
+	os.Remove(sock)
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(sock)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+
+	concs := feasibleConcurrencies([]int{64, 256, 1024}, total, r.printf)
+	r.printf("\nserver load: %d cache-hit queries over a unix socket per client-swarm size (median of %d runs)\n", total, runs)
+	r.printf("%12s %14s %12s %14s\n", "clients", "queries/sec", "p99 ms", "vs embedded")
+	var ratio256 float64
+	for _, conc := range concs {
+		if err := sampleEmbedded(); err != nil {
+			return err
+		}
+		qpsS := make([]float64, 0, runs)
+		p99S := make([]float64, 0, runs)
+		for i := 0; i < runs; i++ {
+			qps, p99, err := serverReplay("unix:"+sock, queries, total, conc)
+			if err != nil {
+				return err
+			}
+			qpsS = append(qpsS, qps)
+			p99S = append(p99S, p99)
+		}
+		qps, p99 := median(qpsS), median(p99S)
+		embeddedQPS := median(embS)
+		r.printf("%12d %14.0f %12.2f %13.2fx\n", conc, qps, p99, qps/embeddedQPS)
+		if conc == 256 {
+			ratio256 = qps / embeddedQPS
+		}
+		r.addPhase(Phase{
+			Name:       "server-load",
+			Goroutines: conc,
+			QPS:        qps,
+			P99Millis:  p99,
+		})
+	}
+	if err := sampleEmbedded(); err != nil {
+		return err
+	}
+	// The 256-client ratio is re-derived against the full embedded sample
+	// set so the hard gate sees every epoch.
+	if ratio256 > 0 {
+		for _, p := range r.report.Phases {
+			if p.Name == "server-load" && p.Goroutines == 256 {
+				ratio256 = p.QPS / median(embS)
+			}
+		}
+	}
+	r.printf("embedded reference: %.0f queries/sec (median of %d)\n", median(embS), len(embS))
+	if ratio256 > 0 && ratio256 < 0.5 {
+		return fmt.Errorf("harness: 256-client server load reached only %.2fx the embedded hit throughput, want >= 0.5x", ratio256)
+	}
+	return r.serverColdShared(paths)
+}
+
+// serverColdShared drives the cold-burst work-sharing probe through the
+// wire: 16 clients fire one identical cold query each at a fresh daemon,
+// twice on disjoint predicates, and the raw-parse counts come back through
+// the table-stats op — the client-observable proof that concurrent misses
+// over the wire still collapse into shared raw scans.
+func (r *Runner) serverColdShared(paths *datagen.TPCHPaths) error {
+	const w = 16
+	eng := newEngine(cache.Config{Admission: cache.AlwaysEager})
+	if err := registerTPCH(eng, paths, false); err != nil {
+		return err
+	}
+	srv := server.New(eng)
+	sock := filepath.Join(r.opts.Dir, "recached-cold.sock")
+	os.Remove(sock)
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(sock)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		<-serveErr
+	}()
+
+	cls := make([]*client.Client, w)
+	for i := range cls {
+		cl, err := client.Dial("unix:"+sock, client.Options{RequestTimeout: 5 * time.Minute})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		cls[i] = cl
+	}
+	burst := func(q string) (int64, error) {
+		ts, err := cls[0].TableStats("lineitem")
+		if err != nil {
+			return 0, err
+		}
+		before := ts.RawScans
+		start := make(chan struct{})
+		errs := make([]error, w)
+		var wg sync.WaitGroup
+		for i, cl := range cls {
+			wg.Add(1)
+			go func(i int, cl *client.Client) {
+				defer wg.Done()
+				<-start
+				_, errs[i] = cl.Query(q)
+			}(i, cl)
+		}
+		close(start)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		ts, err = cls[0].TableStats("lineitem")
+		if err != nil {
+			return 0, err
+		}
+		return ts.RawScans - before, nil
+	}
+	b1, err := burst("SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN 1 AND 5")
+	if err != nil {
+		return err
+	}
+	b2, err := burst("SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN 10 AND 14")
+	if err != nil {
+		return err
+	}
+	ws, err := cls[0].Stats()
+	if err != nil {
+		return err
+	}
+	r.printf("\nserver cold burst: raw lineitem parses per burst of %d concurrent identical cold queries over the wire\n", w)
+	r.printf("burst1 %d parses, burst2 %d parses; %d shared cycles served %d consumers\n",
+		b1, b2, ws.Cache.SharedScans, ws.Cache.SharedConsumers)
+	if b2 > 2 {
+		return fmt.Errorf("harness: second wire cold burst cost %d raw parses, want <= 2 (work sharing broken over the wire)", b2)
+	}
+	r.addPhase(Phase{
+		Name:         "server-cold-shared",
+		Goroutines:   w,
+		Burst1Parses: b1,
+		Burst2Parses: b2,
+		CacheStats:   &ws.Cache,
+	})
+	return nil
+}
+
+// median returns the middle value (mean of the two middles for even n).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 0 {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+	return s[len(s)/2]
+}
+
+// pipeDepth is how many requests each connection keeps in flight during
+// the replay: the protocol is pipelined (responses match requests by id),
+// so a sustained client streams requests without waiting for each
+// response, and the flush coalescing on both sides batches frames into
+// shared syscalls. One request at a time per connection would measure
+// round-trip wakeup latency, not serving throughput.
+const pipeDepth = 6
+
+// serverReplay replays total queries round-robin from the pool across conc
+// wire clients (one connection each, pipeDepth requests in flight per
+// connection, released by a start barrier) and returns the aggregate
+// queries/sec and the p99 per-request latency in milliseconds.
+func serverReplay(addr string, queries []string, total, conc int) (qps, p99ms float64, err error) {
+	cls := make([]*client.Client, conc)
+	for i := range cls {
+		// No request timeout: a per-request timer is pure overhead at this
+		// rate, and a wedged daemon already fails the run's outer timeout.
+		cl, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			for _, c := range cls[:i] {
+				c.Close()
+			}
+			return 0, 0, err
+		}
+		cls[i] = cl
+	}
+	defer func() {
+		for _, cl := range cls {
+			cl.Close()
+		}
+	}()
+
+	lanes := conc * pipeDepth
+	perLane := total / lanes
+	// Sustained load needs every lane in steady state: a lane that fires
+	// one query and exits measures the connection storm, not serving.
+	if perLane < 16 {
+		perLane = 16
+	}
+	lats := make([][]time.Duration, lanes)
+	errs := make([]error, lanes)
+	start := make(chan struct{})
+	var wg, warmWG sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		warmWG.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			cl := cls[l/pipeDepth]
+			// One untimed warm query per lane: connection ramp-up, handler
+			// stack growth, and cold branch state are setup, not serving.
+			_, _, werr := cl.Exec(queries[l%len(queries)])
+			warmWG.Done()
+			if werr != nil {
+				errs[l] = werr
+				return
+			}
+			<-start
+			own := make([]time.Duration, 0, perLane)
+			for j := 0; j < perLane; j++ {
+				q := queries[(l+j)%len(queries)]
+				t0 := time.Now()
+				// Exec: the load phase measures the daemon, so the lanes
+				// skip client-side row materialization (the batch still
+				// crosses the wire). The cold-burst phase uses full Query.
+				if _, _, err := cl.Exec(q); err != nil {
+					errs[l] = err
+					return
+				}
+				own = append(own, time.Since(t0))
+			}
+			lats[l] = own
+		}(l)
+	}
+	warmWG.Wait()
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	idx := len(all) * 99 / 100
+	if idx >= len(all) {
+		idx = len(all) - 1
+	}
+	p99 := all[idx]
+	return float64(len(all)) / elapsed.Seconds(), float64(p99.Microseconds()) / 1000, nil
+}
+
+// feasibleConcurrencies raises the process fd limit as far as the hard cap
+// allows and trims swarm sizes the budget cannot hold (each client costs
+// two fds: its socket and the server's accepted side, both in this
+// process) or the workload cannot keep busy (a swarm larger than the query
+// count would measure connection setup, not serving).
+func feasibleConcurrencies(concs []int, total int, logf func(string, ...any)) []int {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return concs
+	}
+	want := uint64(65536)
+	if want > lim.Max {
+		want = lim.Max
+	}
+	if lim.Cur < want {
+		lim.Cur = want
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim) // best effort
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+	const overhead = 64 // stdio, data files, listeners, spill dirs
+	out := concs[:0]
+	for _, c := range concs {
+		switch {
+		case uint64(2*c+overhead) > lim.Cur:
+			logf("server load: skipping %d clients (fd limit %d)\n", c, lim.Cur)
+		case c > total:
+			logf("server load: skipping %d clients (workload is only %d queries)\n", c, total)
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -280,8 +280,13 @@ func (p *Provider) parseMapped(ri int, start int64, mask []bool, row []value.Val
 // passing pd, jumping to each tested top-level field's value offset through
 // the positional map and decoding it typed (no value boxing); an absent key
 // or a null literal fails the test — the same SQL semantics the row filter
-// applies — and a failing record skips the entire object. Surviving records
-// decode the needed ∪ tested fields, with complete() parsing the rest.
+// applies — and a failing record skips the entire object. When the pushdown
+// carries a string-equality conjunct, a memchr-style substring search for
+// the quoted literal rejects records that cannot contain it before any
+// field offset is consulted; records containing a backslash stay candidates
+// regardless, because an escaped string (\uXXXX and friends) can denote the
+// literal without containing its bytes. Surviving records decode the
+// needed ∪ tested fields, with complete() parsing the rest.
 func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.ScanFunc) (int64, error) {
 	tests := pd.Tests()
 	if len(tests) == 0 {
@@ -297,14 +302,33 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 		return 0, err
 	}
 	eff := p.effectiveMask(mask, tests)
+	needle, escape := p.needleCursors(pd)
 	var skipped int64
 	defer func() { p.pushSkipped.Add(skipped) }()
 	if !p.mapped.Load() {
-		return p.firstScanPushdown(tests, eff, &skipped, fn)
+		return p.firstScanPushdown(tests, eff, needle, escape, &skipped, fn)
 	}
 	row := make([]value.Value, p.ntop)
 	rec := value.Value{Kind: value.Record, L: row}
-	for ri, start := range p.recStart {
+	for ri := 0; ri < len(p.recStart); ri++ {
+		start := p.recStart[ri]
+		if needle != nil {
+			// Jump to the next record that can contain the quoted literal
+			// (or any escape), bulk-counting the stretch in between.
+			m := needle.Next(int(start))
+			if e := escape.Next(int(start)); e < m {
+				m = e
+			}
+			if m == len(p.data) {
+				skipped += int64(len(p.recStart) - ri)
+				break
+			}
+			if rj := p.recordAt(int64(m)); rj > ri {
+				skipped += int64(rj - ri)
+				ri = rj
+				start = p.recStart[ri]
+			}
+		}
 		offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
 		pass := true
 		for ti := range tests {
@@ -339,6 +363,28 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 		}
 	}
 	return skipped, nil
+}
+
+// needleCursors builds the candidate-filter cursors for a pushdown's
+// string-equality literal: one searching for the literal in its quoted raw
+// form, one for backslashes (any escape makes a record a candidate, since
+// escaped text can denote the literal without containing its bytes). Both
+// are nil when the pushdown has no equality literal.
+func (p *Provider) needleCursors(pd *expr.Pushdown) (needle, escape *expr.NeedleCursor) {
+	lit := pd.EqNeedle()
+	if lit == nil {
+		return nil, nil
+	}
+	quoted := make([]byte, 0, len(lit)+2)
+	quoted = append(append(append(quoted, '"'), lit...), '"')
+	return expr.NewNeedleCursor(p.data, quoted), expr.NewNeedleCursor(p.data, []byte{'\\'})
+}
+
+// recordAt returns the index of the record whose span contains byte offset
+// off (the last record starting at or before it). Requires the positional
+// map.
+func (p *Provider) recordAt(off int64) int {
+	return sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] > off }) - 1
 }
 
 // effectiveMask unions the tested top-level fields into the needed mask so
@@ -416,7 +462,7 @@ func (p *Provider) testValue(t *expr.ColTest, i int) (bool, error) {
 // is tokenized just enough to map every top-level field offset (values are
 // skipped, not materialized), the pushed tests run on the mapped offsets,
 // and only surviving records decode their needed fields.
-func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, skipped *int64, fn plan.ScanFunc) (int64, error) {
+func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle, escape *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
 	data := p.data
 	i := skipWS(data, 0)
 	row := make([]value.Value, p.ntop)
@@ -433,6 +479,19 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, skipped *
 		}
 		recStart = append(recStart, int64(start))
 		fieldOff = append(fieldOff, offs...)
+		if needle != nil {
+			m := needle.Next(start)
+			if e := escape.Next(start); e < m {
+				m = e
+			}
+			if m >= end {
+				// Neither the quoted literal nor any escape occurs within
+				// the record: no string field can equal the literal.
+				*skipped++
+				i = skipWS(data, end)
+				continue
+			}
+		}
 		pass := true
 		for ti := range tests {
 			t := &tests[ti]

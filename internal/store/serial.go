@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -26,6 +27,16 @@ import (
 // spillMagic identifies version 1 of the spill stream.
 var spillMagic = [4]byte{'R', 'C', 'S', '1'}
 
+// spillWriter is what the stream encoder needs from its sink. Both
+// *bufio.Writer and *bytes.Buffer satisfy it, so in-memory encodes (the
+// wire path serializes every query result) skip the bufio layer — and its
+// per-call buffer allocation — entirely.
+type spillWriter interface {
+	io.Writer
+	io.ByteWriter
+	io.StringWriter
+}
+
 // WriteParquet serializes a Parquet-layout store to w. It returns an error
 // if st is not the Parquet layout (callers convert first; see Convert).
 func WriteParquet(w io.Writer, st Store) error {
@@ -33,11 +44,24 @@ func WriteParquet(w io.Writer, st Store) error {
 	if !ok {
 		return fmt.Errorf("store: WriteParquet: not a parquet store (layout %s)", st.Layout())
 	}
-	// Size the buffer to the payload so a typical spill drains in one or
-	// two write syscalls; the demotion write sits on the disk-hit path
-	// (every re-admission demotes a victim), so per-flush syscalls show up
-	// directly in the memory-pressure phase's throughput.
-	bw := bufio.NewWriterSize(w, bufSizeFor(p.size))
+	var bw spillWriter
+	var flush func() error
+	if bb, ok := w.(*bytes.Buffer); ok {
+		// Already an in-memory sink: write straight into it.
+		bb.Grow(bufSizeFor(p.size))
+		bw = bb
+		flush = func() error { return nil }
+	} else {
+		// Size the buffer to the payload so a typical spill drains in one
+		// or two write syscalls; the demotion write sits on the disk-hit
+		// path (every re-admission demotes a victim), so per-flush
+		// syscalls show up directly in the memory-pressure phase's
+		// throughput.
+		b := bufio.NewWriterSize(w, bufSizeFor(p.size))
+		bw = b
+		flush = b.Flush
+	}
+	lw := &leWriter{w: bw}
 	if _, err := bw.Write(spillMagic[:]); err != nil {
 		return err
 	}
@@ -46,12 +70,12 @@ func WriteParquet(w io.Writer, st Store) error {
 		hasList = 1
 	}
 	bw.WriteByte(hasList)
-	writeU64(bw, uint64(p.nRecs))
-	writeU64(bw, uint64(p.nFlat))
-	writeU32(bw, uint32(len(p.cols)))
+	lw.u64(uint64(p.nRecs))
+	lw.u64(uint64(p.nFlat))
+	lw.u32(uint32(len(p.cols)))
 	if hasList == 1 {
 		for _, l := range p.lengths {
-			writeU32(bw, uint32(l))
+			lw.u32(uint32(l))
 		}
 	}
 	for ci, c := range p.cols {
@@ -61,18 +85,18 @@ func WriteParquet(w io.Writer, st Store) error {
 		}
 		bw.WriteByte(rep)
 		if c.Repeated {
-			writeU64(bw, uint64(len(p.reps[ci])))
+			lw.u64(uint64(len(p.reps[ci])))
 			bw.Write(p.reps[ci])
-			if err := writeVec(bw, p.repVecs[ci]); err != nil {
+			if err := lw.vec(p.repVecs[ci]); err != nil {
 				return err
 			}
 		} else {
-			if err := writeVec(bw, p.flatVecs[ci]); err != nil {
+			if err := lw.vec(p.flatVecs[ci]); err != nil {
 				return err
 			}
 		}
 	}
-	return bw.Flush()
+	return flush()
 }
 
 // bufSizeFor clamps a store's in-memory size to a sane bufio buffer:
@@ -89,21 +113,41 @@ func bufSizeFor(sz int64) int {
 	}
 }
 
-func writeVec(w *bufio.Writer, v *vec) error {
+// leWriter wraps the sink with a reusable little-endian scratch buffer.
+// A stack `var b [8]byte` passed to an interface Write escapes, which
+// costs one heap allocation per integer written — per value in a column
+// vector. One leWriter per encode amortizes that to a single allocation.
+type leWriter struct {
+	w       spillWriter
+	scratch [8]byte
+}
+
+func (lw *leWriter) u32(x uint32) {
+	binary.LittleEndian.PutUint32(lw.scratch[:4], x)
+	lw.w.Write(lw.scratch[:4])
+}
+
+func (lw *leWriter) u64(x uint64) {
+	binary.LittleEndian.PutUint64(lw.scratch[:], x)
+	lw.w.Write(lw.scratch[:])
+}
+
+func (lw *leWriter) vec(v *vec) error {
+	w := lw.w
 	w.WriteByte(byte(v.Kind))
 	n := v.Len()
-	writeU64(w, uint64(n))
+	lw.u64(uint64(n))
 	for _, word := range v.Nulls.words {
-		writeU64(w, word)
+		lw.u64(word)
 	}
 	switch v.Kind {
 	case value.Int:
 		for _, x := range v.Ints {
-			writeU64(w, uint64(x))
+			lw.u64(uint64(x))
 		}
 	case value.Float:
 		for _, x := range v.Floats {
-			writeU64(w, math.Float64bits(x))
+			lw.u64(math.Float64bits(x))
 		}
 	case value.Bool:
 		for _, x := range v.Bools {
@@ -115,25 +159,13 @@ func writeVec(w *bufio.Writer, v *vec) error {
 		}
 	case value.String:
 		for _, s := range v.Strs {
-			writeU32(w, uint32(len(s)))
+			lw.u32(uint32(len(s)))
 			w.WriteString(s)
 		}
 	default:
 		return fmt.Errorf("store: WriteParquet: unsupported vec kind %s", v.Kind)
 	}
 	return nil
-}
-
-func writeU32(w *bufio.Writer, x uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], x)
-	w.Write(b[:])
-}
-
-func writeU64(w *bufio.Writer, x uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], x)
-	w.Write(b[:])
 }
 
 // spillReader decodes the stream out of one contiguous buffer.
@@ -200,14 +232,14 @@ func ReadParquetBytes(data []byte, schema *value.Type) (Store, error) {
 	if [4]byte(magic) != spillMagic {
 		return nil, fmt.Errorf("store: bad spill magic %q", magic)
 	}
-	cols, err := value.LeafColumns(schema)
+	cols, err := value.LeafColumnsCached(schema)
 	if err != nil {
 		return nil, err
 	}
 	st := &parquetStore{
 		schema:   schema,
 		cols:     cols,
-		listPath: value.RepeatedField(schema),
+		listPath: value.RepeatedFieldCached(schema),
 		flatVecs: make([]*vec, len(cols)),
 		repVecs:  make([]*vec, len(cols)),
 		reps:     make([][]uint8, len(cols)),
@@ -235,6 +267,18 @@ func ReadParquetBytes(data []byte, schema *value.Type) (Store, error) {
 	}
 	if int(ncols) != len(cols) {
 		return nil, fmt.Errorf("store: spill stream has %d columns, schema %s has %d", ncols, schema, len(cols))
+	}
+	// A corrupt (or, on the wire path, hostile) stream must not size
+	// allocations from counts the payload cannot back: every flat row costs
+	// at least one null-bitmap bit per column, so nFlat — and a flat
+	// stream's nRecs — is bounded by 8× the bytes left; a list stream
+	// additionally spends four bytes per record on lengths.
+	rem := uint64(len(r.buf) - r.off)
+	if nRecs > 8*rem || nFlat > 8*rem {
+		return nil, fmt.Errorf("store: spill stream claims %d records / %d flat rows with %d bytes left", nRecs, nFlat, rem)
+	}
+	if hasList == 1 && nRecs*4 > rem {
+		return nil, fmt.Errorf("store: spill stream claims %d list lengths with %d bytes left", nRecs, rem)
 	}
 	// Expected level-entry count: one per list element, plus one placeholder
 	// per empty list. For flat schemas the flattened view is the record view.
@@ -327,11 +371,26 @@ func readVec(r *spillReader, want value.Kind, wantLen int) (*vec, error) {
 		return nil, err
 	}
 	n := int(n64)
-	if n != wantLen {
+	if n < 0 || n != wantLen {
 		return nil, fmt.Errorf("vec has %d entries, want %d", n, wantLen)
 	}
-	v := &vec{Kind: want}
+	// Size every allocation only after the stream proves it holds at least
+	// the minimum encoding of n entries (bitmap words plus fixed-width
+	// payload, or the 4-byte length prefixes for strings).
 	words := (n + 63) / 64
+	need := int64(words) * 8
+	switch want {
+	case value.Int, value.Float:
+		need += int64(n) * 8
+	case value.Bool:
+		need += int64(n)
+	case value.String:
+		need += int64(n) * 4
+	}
+	if rem := int64(len(r.buf) - r.off); need > rem {
+		return nil, fmt.Errorf("vec of %d entries needs %d bytes, stream has %d", n, need, rem)
+	}
+	v := &vec{Kind: want}
 	v.Nulls.n = n
 	v.Nulls.words = make([]uint64, words)
 	for i := range v.Nulls.words {

@@ -3,6 +3,8 @@ package value
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Path names a (possibly nested) field: a sequence of record field names.
@@ -89,6 +91,38 @@ type LeafColumn struct {
 // Name returns the dotted column name.
 func (c LeafColumn) Name() string { return c.Path.String() }
 
+// leafMemo caches LeafColumns results by schema pointer. Types are
+// immutable once built and long-lived schemas keep stable pointers (table
+// schemas, cache-entry schemas, interned wire schemas), so decode-heavy
+// paths — a client unpacking one result batch per response, the spill tier
+// re-admitting entries — skip the walk entirely. Short-lived schema
+// pointers just miss; bounded by wholesale reset so they cannot grow the
+// memo without limit. The cached slice is shared: callers must not mutate
+// what LeafColumnsCached returns.
+var leafMemo sync.Map // *Type -> []LeafColumn
+
+var leafMemoLen atomic.Int64
+
+const leafMemoCap = 4096
+
+// LeafColumnsCached is LeafColumns with a pointer-keyed memo. Errors are
+// not cached (they are a schema-construction bug, not a hot path).
+func LeafColumnsCached(t *Type) ([]LeafColumn, error) {
+	if got, ok := leafMemo.Load(t); ok {
+		return got.([]LeafColumn), nil
+	}
+	cols, err := LeafColumns(t)
+	if err != nil {
+		return nil, err
+	}
+	if leafMemoLen.Add(1) > leafMemoCap {
+		leafMemo.Clear()
+		leafMemoLen.Store(1)
+	}
+	leafMemo.Store(t, cols)
+	return cols, nil
+}
+
 // LeafColumns enumerates every primitive leaf of a record schema in
 // depth-first field order. It returns an error if the schema nests more
 // than one repeated level on any root-to-leaf path, or if a list element is
@@ -139,6 +173,28 @@ func LeafColumns(t *Type) ([]LeafColumn, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// repMemo caches RepeatedField by schema pointer, under the same
+// stable-pointer reasoning (and the same bound) as leafMemo. A nil path
+// (flat schema) is cached too — that is the common, allocation-heavy case.
+var repMemo sync.Map // *Type -> Path
+
+var repMemoLen atomic.Int64
+
+// RepeatedFieldCached is RepeatedField with a pointer-keyed memo. The
+// cached path is shared: callers must not mutate it.
+func RepeatedFieldCached(t *Type) Path {
+	if got, ok := repMemo.Load(t); ok {
+		return got.(Path)
+	}
+	p := RepeatedField(t)
+	if repMemoLen.Add(1) > leafMemoCap {
+		repMemo.Clear()
+		repMemoLen.Store(1)
+	}
+	repMemo.Store(t, p)
+	return p
 }
 
 // RepeatedField returns the path of the single repeated (list) field of the

@@ -31,6 +31,7 @@
 package recache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -44,8 +45,12 @@ import (
 	"recache/internal/plan"
 	"recache/internal/share"
 	"recache/internal/sqlparse"
+	"recache/internal/store"
 	"recache/internal/value"
 )
+
+// ErrClosed is returned by queries submitted after Close has begun.
+var ErrClosed = errors.New("recache: engine closed")
 
 // Config configures an Engine. The zero value enables every ReCache
 // mechanism with the paper's defaults: unlimited cache, Greedy-Dual
@@ -181,6 +186,13 @@ type Engine struct {
 	// noPush disables predicate pushdown into raw scans
 	// (Config.DisablePushdown).
 	noPush bool
+	// closed (guarded by mu) rejects queries submitted after Close begins;
+	// inflight counts queries admitted before it flipped, so Close can wait
+	// for them. A query enters under mu.RLock (check closed, then Add), and
+	// Close flips closed under mu.Lock before Wait — so every Add is
+	// ordered before the Wait that must observe it.
+	closed   bool
+	inflight sync.WaitGroup
 }
 
 // Open creates an engine.
@@ -370,54 +382,156 @@ type Result struct {
 	Stats   QueryStats
 }
 
-// Query parses, plans, rewrites against the cache, and executes one SQL
-// query. Query is safe to call from many goroutines at once; each call
-// runs a private compiled pipeline against the shared cache.
-func (e *Engine) Query(sql string) (*Result, error) {
+// beginQuery admits one query against the engine lifecycle: it fails with
+// ErrClosed once Close has begun, and otherwise registers the query so
+// Close waits for it. The check-then-Add runs under mu.RLock while Close
+// flips closed under mu.Lock before waiting, so every successful Add is
+// ordered before the Wait that must observe it.
+func (e *Engine) beginQuery() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight.Add(1)
+	return nil
+}
+
+// Close shuts the engine down gracefully: queries submitted after Close
+// begins fail with ErrClosed, in-flight queries run to completion, and
+// queued disk-tier demotions are flushed so no evicted payload is lost
+// between "queued for spill" and process exit. Close is idempotent and
+// safe to call concurrently with queries; every call returns only once
+// the engine is fully drained.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
+	e.manager.FlushSpills()
+	return nil
+}
+
+// prepare parses and plans one query and opens its cache transaction. The
+// returned Txn pins every cache entry the rewrite hit (so eviction cannot
+// free a store mid-scan) and reserved single-flight build slots for the
+// misses; the caller must Close it even when execution fails.
+func (e *Engine) prepare(sql string) (plan.Node, exec.Deps, *cache.Txn, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, exec.Deps{}, nil, err
 	}
 	e.mu.RLock()
 	pl, err := e.buildPlan(q)
 	coord := e.share
 	e.mu.RUnlock()
 	if err != nil {
-		return nil, err
+		return nil, exec.Deps{}, nil, err
 	}
-	// The Txn pins every cache entry the rewrite hits (so eviction cannot
-	// free a store mid-scan) and reserves single-flight build slots for the
-	// misses; Close releases both even when execution fails.
 	tx := e.manager.Begin()
-	defer tx.Close()
 	root := tx.Rewrite(pl.root, pl.neededNames)
-	res, stats, err := exec.Run(root, exec.Deps{
+	deps := exec.Deps{
 		Manager:                e.manager,
 		Share:                  coord,
 		Needed:                 pl.neededPaths,
 		DisableVectorized:      e.noVec,
 		DisableVectorizedJoins: e.noVecJoins,
 		DisablePushdown:        e.noPush,
-	})
+	}
+	return root, deps, tx, nil
+}
+
+func toQueryStats(stats *exec.QueryStats) QueryStats {
+	return QueryStats{
+		Wall:         stats.Wall,
+		CacheBuild:   time.Duration(stats.CacheBuildNanos),
+		CacheScan:    time.Duration(stats.CacheScanNanos),
+		LayoutSwitch: time.Duration(stats.LayoutSwitchNanos),
+		Overhead:     stats.Overhead(),
+		Rows:         stats.RowsOut,
+	}
+}
+
+// Query parses, plans, rewrites against the cache, and executes one SQL
+// query. Query is safe to call from many goroutines at once; each call
+// runs a private compiled pipeline against the shared cache.
+func (e *Engine) Query(sql string) (*Result, error) {
+	if err := e.beginQuery(); err != nil {
+		return nil, err
+	}
+	defer e.inflight.Done()
+	root, deps, tx, err := e.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Close()
+	res, stats, err := exec.Run(root, deps)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
 		Columns: res.Columns,
 		Rows:    make([][]any, len(res.Rows)),
-		Stats: QueryStats{
-			Wall:         stats.Wall,
-			CacheBuild:   time.Duration(stats.CacheBuildNanos),
-			CacheScan:    time.Duration(stats.CacheScanNanos),
-			LayoutSwitch: time.Duration(stats.LayoutSwitchNanos),
-			Overhead:     stats.Overhead(),
-			Rows:         stats.RowsOut,
-		},
+		Stats:   toQueryStats(stats),
 	}
 	for i, row := range res.Rows {
 		out.Rows[i] = toNative(row)
 	}
 	return out, nil
+}
+
+// BatchResult is a query result kept columnar: the result rows live in a
+// Parquet-layout store instead of boxed row slices. It is the zero-copy
+// result shape for the wire path — store.WriteParquet serializes Store
+// into the RCS1 frame the server ships, and the receiving client rebuilds
+// an identical store with store.ReadParquetBytes against Schema.
+type BatchResult struct {
+	Columns []string
+	// Schema is the result-record type (one field per output column).
+	Schema *value.Type
+	// Store holds the result rows in the Parquet layout.
+	Store store.Store
+	Stats QueryStats
+}
+
+// QueryColumnar executes one SQL query like Query but materializes the
+// result as a columnar batch: rows stream from the vectorized pipeline
+// straight into a Parquet-layout store builder, never boxing into []any.
+// The serving layer uses this so a result crosses the wire as the same
+// RCS1 bytes a disk spill would hold.
+func (e *Engine) QueryColumnar(sql string) (*BatchResult, error) {
+	if err := e.beginQuery(); err != nil {
+		return nil, err
+	}
+	defer e.inflight.Done()
+	root, deps, tx, err := e.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Close()
+	schema := root.OutSchema()
+	b, err := store.NewBuilder(store.LayoutParquet, schema)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := exec.RunInto(root, deps, func(row []value.Value) error {
+		// The builder stripes field values into typed column vectors, so
+		// the reused row slice is not retained.
+		return b.Add(value.Value{Kind: value.Record, L: row})
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(schema.Fields))
+	for i, f := range schema.Fields {
+		cols[i] = f.Name
+	}
+	return &BatchResult{
+		Columns: cols,
+		Schema:  schema,
+		Store:   b.Finish(),
+		Stats:   toQueryStats(stats),
+	}, nil
 }
 
 // Explain returns the rewritten physical plan of a query as indented text,
@@ -595,6 +709,10 @@ type CacheStats struct {
 	DiskBytes   int64
 	Entries     int
 	TotalBytes  int64
+	// OpenTxns gauges query transactions begun but not yet closed. Every
+	// cache-entry pin lives inside a transaction, so a drained engine (or
+	// server) asserts quiescence as OpenTxns == 0.
+	OpenTxns int64
 }
 
 // CacheStats returns a snapshot of the cache counters. The counters are
@@ -627,6 +745,7 @@ func (e *Engine) CacheStats() CacheStats {
 		DiskBytes:           s.DiskBytes,
 		Entries:             s.Entries,
 		TotalBytes:          s.TotalBytes,
+		OpenTxns:            s.OpenTxns,
 	}
 }
 
