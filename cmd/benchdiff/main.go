@@ -45,6 +45,13 @@
 //     its largest swarm/worker count): regression when the wire path's
 //     share of the embedded hit throughput drops more than the tolerance
 //     below the baseline's ratio — the framing/demux overhead gate.
+//   - shard qps ratio (shard-scale-4 / shard-scale-1): regression when the
+//     4-shard fleet's aggregate hit throughput over the capacity-starved
+//     1-shard fleet drops more than the tolerance below the baseline's
+//     ratio — the sharded-capacity gate.
+//   - raw parses (shard-scale phases): regression when a fleet pays more
+//     fleet-wide raw parses than baseline + tolerance + one parse; a
+//     routing or lease fault shows up here as duplicate builds.
 //
 // A phase present in the baseline but missing from the current report is a
 // failure: a metric that silently disappears is a regression too.
@@ -128,6 +135,9 @@ func main() {
 		if bp.P99Millis > 0 {
 			check(bp, "p99-ms", bp.P99Millis, cp.P99Millis, true, 2)
 		}
+		if bp.RawParses > 0 {
+			check(bp, "raw-parses", float64(bp.RawParses), float64(cp.RawParses), true, 1)
+		}
 	}
 	// Paired-phase gates: the vectorized-vs-row join speedup and the
 	// tiered-cache-vs-raw-rescan speedup under memory pressure.
@@ -135,6 +145,7 @@ func main() {
 		{"join-hot", "join-hot-off"},
 		{"memory-pressure", "memory-pressure-raw"},
 		{"server-load", "hit-throughput"},
+		{"shard-scale-4", "shard-scale-1"},
 	}
 	for _, pair := range pairs {
 		baseRatio, ok := qpsRatio(base, pair[0], pair[1])

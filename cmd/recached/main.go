@@ -10,7 +10,14 @@
 //	recached -unix /tmp/recached.sock \
 //	         -csv 'lineitem=path.csv:l_orderkey int, l_quantity int' \
 //	         [-tcp 127.0.0.1:7878] [-stats 127.0.0.1:7879] \
-//	         [-capacity N -spill-dir DIR -disk-capacity N ...]
+//	         [-capacity N -spill-dir DIR -disk-capacity N ...] \
+//	         [-fleet unix:/tmp/s0.sock,unix:/tmp/s1.sock -shard-id 0]
+//
+// With -fleet/-shard-id the daemon serves as one shard of a rendezvous-
+// hashed fleet: it answers the fleet-topology wire op (so clients can
+// discover the other shards from any member) and coordinates cache builds
+// with its peers through short-TTL materialization leases. Launch one
+// daemon per address in the list, each with its own -shard-id.
 //
 // The -stats address serves GET /stats: the same JSON document the wire
 // protocol's stats op returns (cache counters + serving counters), for
@@ -30,7 +37,9 @@ import (
 	"syscall"
 
 	"recache"
+	"recache/internal/client"
 	"recache/internal/server"
+	"recache/internal/shard"
 	"recache/internal/wire"
 )
 
@@ -64,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		capacity  = fs.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited)")
 		spillDir  = fs.String("spill-dir", "", "spill directory for the disk cache tier (empty = spilling off)")
 		diskCap   = fs.Int64("disk-capacity", 0, "disk tier capacity in bytes (0 = unlimited; needs -spill-dir)")
+		fleetSpec = fs.String("fleet", "", "comma-separated shard addresses for the whole fleet (needs -shard-id)")
+		shardID   = fs.Int("shard-id", -1, "this daemon's position in -fleet")
 	)
 	fs.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
 	fs.Var(tableFlag{&jsonSpecs}, "json", "register JSON table: name=path:schema (repeatable)")
@@ -75,14 +86,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	eng, err := recache.Open(recache.Config{
+	// Fleet mode: the daemon knows the full topology and its own position,
+	// and takes materialization leases from each key's rendezvous owner
+	// before building (fleet-wide single-flight). The lease table is shared
+	// between the Flight hook (local acquires) and the server (remote
+	// acquires over the wire).
+	var (
+		fleetMap *shard.Map
+		leases   *shard.LeaseTable
+		flight   *client.Flight
+	)
+	if (*fleetSpec == "") != (*shardID < 0) {
+		fmt.Fprintln(stderr, "recached: -fleet and -shard-id go together")
+		return 2
+	}
+	if *fleetSpec != "" {
+		m, err := shard.ParseFleet(*fleetSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "recached:", err)
+			return 2
+		}
+		if *shardID >= m.Len() {
+			fmt.Fprintf(stderr, "recached: -shard-id %d out of range for a %d-shard fleet\n", *shardID, m.Len())
+			return 2
+		}
+		fleetMap = m
+		leases = shard.NewLeaseTable()
+		flight = client.NewFlight(*shardID, m, leases, 0, client.Options{})
+		defer flight.Close()
+	}
+
+	cfg := recache.Config{
 		Eviction:       *eviction,
 		Admission:      *admission,
 		Layout:         *layout,
 		CacheCapacity:  *capacity,
 		SpillDir:       *spillDir,
 		DiskCacheBytes: *diskCap,
-	})
+	}
+	if flight != nil {
+		cfg.RemoteFlight = flight.Materialize
+	}
+	eng, err := recache.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "recached:", err)
 		return 1
@@ -109,6 +154,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := server.New(eng)
+	if fleetMap != nil {
+		srv.SetFleet(*shardID, fleetMap, leases)
+	}
 	serveErr := make(chan error, 2)
 	var listeners []string
 	if *unixPath != "" {

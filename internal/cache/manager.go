@@ -84,6 +84,15 @@ type Config struct {
 	// Oracle supplies the logical time of the next query that would hit an
 	// entry (offline eviction policies only). nil ⇒ NextUse unknown.
 	Oracle func(e *Entry, now int64) int64
+	// RemoteFlight extends single-flight materialization across a shard
+	// fleet: after a miss reserves its local build slot, the manager asks
+	// the hook for a fleet-wide materialization lease on (dataset,
+	// predCanon). ok=false means another process is already building the
+	// entry — the miss executes raw without admitting, exactly like a local
+	// single-flight denial. On ok=true a non-nil release is called when the
+	// query's Txn closes. The hook runs outside the manager lock (it is a
+	// network call); nil disables remote flight (single-process engines).
+	RemoteFlight func(dataset, predCanon string) (release func(), ok bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -408,6 +417,9 @@ type Txn struct {
 	id     uint64
 	pinned []*Entry
 	slots  []string
+	// remote holds fleet-lease releases acquired through Config.RemoteFlight;
+	// Close runs them outside the manager lock (they are network calls).
+	remote []func()
 	closed bool
 }
 
@@ -437,7 +449,6 @@ func (t *Txn) Close() {
 	m := t.m
 	m.stats.openTxns.Add(-1)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, key := range t.slots {
 		if m.building[key] == t.id {
 			delete(m.building, key)
@@ -447,6 +458,12 @@ func (t *Txn) Close() {
 		m.unpinLocked(e)
 	}
 	t.pinned, t.slots = nil, nil
+	m.mu.Unlock()
+	// Fleet-lease releases are network calls; they must not run under mu.
+	for _, rel := range t.remote {
+		rel()
+	}
+	t.remote = nil
 }
 
 // unpinLocked drops one reader reference; the last unpin of a doomed entry
@@ -615,6 +632,25 @@ func (m *Manager) wrapMaterialize(sel *plan.Select, ds *plan.Dataset, tx *Txn, r
 		}
 	}
 	m.mu.Unlock()
+	if tx != nil && m.cfg.RemoteFlight != nil {
+		// Fleet-wide single-flight: ask the key's owning shard for a
+		// materialization lease (a network call, so outside mu). Denial
+		// means another process is already building this entry — take the
+		// same raw-execution path as a local single-flight denial, after
+		// handing back the local slot just reserved.
+		release, ok := m.cfg.RemoteFlight(ds.Name, canon)
+		if !ok {
+			m.mu.Lock()
+			if m.building[key] == tx.id {
+				delete(m.building, key)
+			}
+			m.mu.Unlock()
+			return sel
+		}
+		if release != nil {
+			tx.remote = append(tx.remote, release)
+		}
+	}
 	spec := &BuildSpec{
 		Manager:    m,
 		Dataset:    ds,

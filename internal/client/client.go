@@ -485,6 +485,44 @@ func (cl *Client) Entries() ([]wire.Entry, error) {
 	return entries, nil
 }
 
+// Fleet fetches the daemon's fleet topology; standalone daemons answer
+// with an error.
+func (cl *Client) Fleet() (*wire.Fleet, error) {
+	resp, payload, err := cl.call(&wire.Request{Op: wire.OpFleet})
+	if err != nil {
+		return nil, err
+	}
+	putPayload(payload) // shard addrs are copied during the parse
+	if resp.Fleet == nil {
+		return nil, errors.New("client: fleet response without topology")
+	}
+	return resp.Fleet, nil
+}
+
+// LeaseAcquire asks the daemon for a materialization lease on key — the
+// wire half of fleet-wide single-flight (see internal/shard).
+func (cl *Client) LeaseAcquire(key string, holder uint64, ttl time.Duration) (*wire.Lease, error) {
+	resp, payload, err := cl.call(&wire.Request{
+		Op: wire.OpLeaseAcquire, Key: key, Holder: holder,
+		TTLMillis: uint32(ttl / time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	putPayload(payload) // the lease is scalars
+	if resp.Lease == nil {
+		return nil, errors.New("client: lease response without lease")
+	}
+	return resp.Lease, nil
+}
+
+// LeaseRelease hands back a lease previously granted to holder.
+func (cl *Client) LeaseRelease(key string, holder uint64) error {
+	_, payload, err := cl.call(&wire.Request{Op: wire.OpLeaseRelease, Key: key, Holder: holder})
+	putPayload(payload)
+	return err
+}
+
 // RegisterCSV registers a CSV file on the daemon (path is resolved on the
 // daemon's filesystem). Empty schema infers from the file.
 func (cl *Client) RegisterCSV(name, path, schema string, delim byte) error {

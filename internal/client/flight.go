@@ -1,0 +1,138 @@
+package client
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recache/internal/shard"
+)
+
+// Flight is a shard's client side of fleet-wide single-flight: before the
+// local engine materializes a missed (dataset, predicate) entry, the
+// Materialize hook asks the key's rendezvous owner for a short-TTL lease.
+// Keys the shard owns itself are taken from its local lease table — the
+// same table its server answers wire lease requests from — so local builds
+// and remote requests for one key contend on one lock.
+//
+// Failure policy is availability-first: if the owning shard is unreachable
+// or answers with an error, the build proceeds without a lease. A dead
+// owner can therefore cost duplicate parses for the keys it owned, but it
+// can never wedge the fleet — and a dead *holder* is bounded by the lease
+// TTL on the owner. Wired into the engine via recache.Config.RemoteFlight.
+type Flight struct {
+	self   int
+	m      *shard.Map
+	local  *shard.LeaseTable
+	ttl    time.Duration
+	opts   Options
+	holder uint64
+
+	mu    sync.Mutex
+	peers map[int]*Client // shard id → lazily dialed connection
+}
+
+// holderSeq disambiguates Flights created within one clock tick (tests
+// build several per process).
+var holderSeq atomic.Uint64
+
+// NewFlight creates the hook for the shard at position self of m, backed
+// by the local lease table shared with the shard's server. ttl 0 means
+// shard.DefaultTTL. opts configures the peer connections; a zero
+// RequestTimeout gets a short default so a hung owner delays a query, not
+// hangs it.
+func NewFlight(self int, m *shard.Map, local *shard.LeaseTable, ttl time.Duration, opts Options) *Flight {
+	if ttl <= 0 {
+		ttl = shard.DefaultTTL
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 2 * time.Second
+	}
+	return &Flight{
+		self:   self,
+		m:      m,
+		local:  local,
+		ttl:    ttl,
+		opts:   opts,
+		holder: uint64(time.Now().UnixNano())<<16 | uint64(os.Getpid()+int(holderSeq.Add(1)))&0xffff,
+		peers:  make(map[int]*Client),
+	}
+}
+
+// Materialize implements recache.Config.RemoteFlight for (dataset,
+// predCanon): ok=false means another process holds the build lease and the
+// caller should execute raw without admitting; on ok=true the release (nil
+// when no lease backs the build) runs when the query's Txn closes.
+func (f *Flight) Materialize(dataset, predCanon string) (release func(), ok bool) {
+	key := shard.Key(dataset, predCanon)
+	owner := f.m.Owner(key)
+	if owner.ID == f.self {
+		granted, _ := f.local.Acquire(key, f.holder, f.ttl)
+		if !granted {
+			return nil, false
+		}
+		return func() { f.local.Release(key, f.holder) }, true
+	}
+	cl, err := f.peer(owner)
+	if err != nil {
+		return nil, true // owner unreachable: build anyway (see doc comment)
+	}
+	l, err := cl.LeaseAcquire(key, f.holder, f.ttl)
+	if err != nil {
+		// RPC failure: drop the cached connection so the next query
+		// re-dials (the owner may have restarted), and build anyway.
+		f.dropPeer(owner.ID, cl)
+		return nil, true
+	}
+	if !l.Granted {
+		return nil, false
+	}
+	return func() { cl.LeaseRelease(key, f.holder) }, true
+}
+
+// peer returns the cached connection to a shard, dialing on first use.
+func (f *Flight) peer(s shard.Info) (*Client, error) {
+	f.mu.Lock()
+	if cl, ok := f.peers[s.ID]; ok {
+		f.mu.Unlock()
+		return cl, nil
+	}
+	f.mu.Unlock()
+	// Dial outside the lock; a concurrent dial of the same peer loses the
+	// insert race below and closes its extra connection.
+	cl, err := Dial(s.Addr, f.opts)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prior, ok := f.peers[s.ID]; ok {
+		go cl.Close()
+		return prior, nil
+	}
+	f.peers[s.ID] = cl
+	return cl, nil
+}
+
+// dropPeer evicts a failed connection if it is still the cached one.
+func (f *Flight) dropPeer(id int, cl *Client) {
+	f.mu.Lock()
+	if f.peers[id] == cl {
+		delete(f.peers, id)
+	}
+	f.mu.Unlock()
+	cl.Close()
+}
+
+// Close tears down the peer connections.
+func (f *Flight) Close() error {
+	f.mu.Lock()
+	peers := f.peers
+	f.peers = make(map[int]*Client)
+	f.mu.Unlock()
+	for _, cl := range peers {
+		cl.Close()
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"recache/internal/shard"
+	"recache/internal/wire"
+)
+
+// Router fans a fleet of recached shards behind the single-daemon client
+// API. Each query is routed to the shard owning its route key (sorted
+// tables + canonical predicate — the same rendezvous hash every fleet
+// member computes, see internal/shard), so repeated queries always land on
+// the shard holding their cache entries; per-shard connections are pooled
+// and pipelined exactly like a single Client's. Admin operations
+// (registration, ping) broadcast; table stats sum across the fleet, which
+// makes fleet-wide raw-parse counts observable to harnesses and monitors.
+//
+// A Router is safe for concurrent use. It does not fail over reads: a
+// query whose owning shard is down errors (fast — the dead shard's
+// connections fail every waiter), while queries owned by surviving shards
+// are untouched. Routing state is static after dial; restart the router to
+// pick up a new topology.
+type Router struct {
+	m   *shard.Map
+	cls []*Client // parallel to m.Shards()
+	pos map[int]int
+}
+
+// DialRouter connects to every shard in addrs; shard ids are list
+// positions, so the list must match the fleet's -fleet flag order.
+func DialRouter(addrs []string, opts Options) (*Router, error) {
+	infos := make([]shard.Info, len(addrs))
+	for i, a := range addrs {
+		infos[i] = shard.Info{ID: i, Addr: a}
+	}
+	m, err := shard.NewMap(infos)
+	if err != nil {
+		return nil, err
+	}
+	return dialMap(m, opts)
+}
+
+// DialFleet discovers the topology from one seed shard (the fleet wire op)
+// and connects to every member.
+func DialFleet(seed string, opts Options) (*Router, error) {
+	scl, err := Dial(seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := scl.Fleet()
+	scl.Close()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]shard.Info, len(f.Shards))
+	for i, s := range f.Shards {
+		infos[i] = shard.Info{ID: int(s.ID), Addr: s.Addr}
+	}
+	m, err := shard.NewMap(infos)
+	if err != nil {
+		return nil, err
+	}
+	return dialMap(m, opts)
+}
+
+func dialMap(m *shard.Map, opts Options) (*Router, error) {
+	r := &Router{m: m, pos: make(map[int]int, m.Len())}
+	for i, s := range m.Shards() {
+		cl, err := Dial(s.Addr, opts)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("client: shard %d: %w", s.ID, err)
+		}
+		r.cls = append(r.cls, cl)
+		r.pos[s.ID] = i
+	}
+	return r, nil
+}
+
+// Close tears down every shard connection.
+func (r *Router) Close() error {
+	for _, cl := range r.cls {
+		cl.Close()
+	}
+	return nil
+}
+
+// Shards returns the fleet size.
+func (r *Router) Shards() int { return r.m.Len() }
+
+// ShardFor returns the id of the shard that owns sql's route key.
+func (r *Router) ShardFor(sql string) int {
+	return r.m.Owner(shard.RouteKey(sql)).ID
+}
+
+// route picks the owning shard's client for sql.
+func (r *Router) route(sql string) *Client {
+	return r.cls[r.pos[r.m.Owner(shard.RouteKey(sql)).ID]]
+}
+
+// Query executes sql on its owning shard and decodes the result rows.
+func (r *Router) Query(sql string) (*Result, error) {
+	return r.route(sql).Query(sql)
+}
+
+// Exec runs sql on its owning shard without materializing rows.
+func (r *Router) Exec(sql string) (rows int64, wall time.Duration, err error) {
+	return r.route(sql).Exec(sql)
+}
+
+// Explain returns the owning shard's rewritten plan for sql — the shard
+// whose cache the query would actually hit.
+func (r *Router) Explain(sql string) (string, error) {
+	return r.route(sql).Explain(sql)
+}
+
+// Ping round-trips every shard; the first failure wins.
+func (r *Router) Ping() error {
+	for i, cl := range r.cls {
+		if err := cl.Ping(); err != nil {
+			return fmt.Errorf("client: shard %d: %w", r.m.Shards()[i].ID, err)
+		}
+	}
+	return nil
+}
+
+// RegisterCSV registers the table on every shard: any shard can own any
+// predicate over it, so the whole fleet must know the file.
+func (r *Router) RegisterCSV(name, path, schema string, delim byte) error {
+	return r.broadcast(func(cl *Client) error { return cl.RegisterCSV(name, path, schema, delim) })
+}
+
+// RegisterJSON registers the table on every shard.
+func (r *Router) RegisterJSON(name, path, schema string) error {
+	return r.broadcast(func(cl *Client) error { return cl.RegisterJSON(name, path, schema) })
+}
+
+func (r *Router) broadcast(op func(*Client) error) error {
+	for i, cl := range r.cls {
+		if err := op(cl); err != nil {
+			return fmt.Errorf("client: shard %d: %w", r.m.Shards()[i].ID, err)
+		}
+	}
+	return nil
+}
+
+// Tables lists the registered tables from the first reachable shard
+// (registration broadcasts, so every member holds the same set).
+func (r *Router) Tables() ([]string, error) {
+	var lastErr error
+	for _, cl := range r.cls {
+		tables, err := cl.Tables()
+		if err == nil {
+			return tables, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: empty fleet")
+	}
+	return nil, lastErr
+}
+
+// StatsAll snapshots every shard's cache and serving counters, in fleet
+// order.
+func (r *Router) StatsAll() ([]*wire.Stats, error) {
+	out := make([]*wire.Stats, len(r.cls))
+	for i, cl := range r.cls {
+		s, err := cl.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("client: shard %d: %w", r.m.Shards()[i].ID, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// TableStats sums one table's raw-scan counters across the fleet — the
+// fleet-wide cost of cold misses on that table.
+func (r *Router) TableStats(name string) (*wire.TableStats, error) {
+	sum := &wire.TableStats{}
+	for i, cl := range r.cls {
+		ts, err := cl.TableStats(name)
+		if err != nil {
+			return nil, fmt.Errorf("client: shard %d: %w", r.m.Shards()[i].ID, err)
+		}
+		sum.RawScans += ts.RawScans
+		sum.PushScans += ts.PushScans
+		sum.SkippedEarly += ts.SkippedEarly
+	}
+	return sum, nil
+}

@@ -8,6 +8,7 @@
 package csvio
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sort"
@@ -202,18 +203,52 @@ func (p *Provider) completeAt(ri int, start int64, mask []bool, row []value.Valu
 	return nil
 }
 
+// skipHeader returns the offset of the first data byte, past the header
+// line when the options declare one.
+func (p *Provider) skipHeader() int {
+	if !p.opts.HasHeader {
+		return 0
+	}
+	if j := bytes.IndexByte(p.data, '\n'); j >= 0 {
+		return j + 1
+	}
+	return len(p.data)
+}
+
+// lineEnd returns the offset of the newline terminating the record that
+// starts at i (len(data) for an unterminated last record), found with one
+// memchr-backed prescan instead of a byte-at-a-time loop.
+func lineEnd(data []byte, i int) int {
+	if j := bytes.IndexByte(data[i:], '\n'); j >= 0 {
+		return i + j
+	}
+	return len(data)
+}
+
+// tokenizeLine appends the first max field offsets (relative to the record
+// start) of line to fieldOff and returns the extended slice plus the total
+// field count. bytes.IndexByte does the delimiter search word-at-a-time —
+// the first scan still touches every byte of the file, but in the
+// runtime's vectorized memchr rather than a branchy per-byte loop.
+func tokenizeLine(line []byte, delim byte, fieldOff []uint32, max int) ([]uint32, int) {
+	fi, off := 0, 0
+	for {
+		if fi < max {
+			fieldOff = append(fieldOff, uint32(off))
+		}
+		fi++
+		j := bytes.IndexByte(line[off:], delim)
+		if j < 0 {
+			return fieldOff, fi
+		}
+		off += j + 1
+	}
+}
+
 // firstScan tokenizes every record, filling the positional map as it goes.
 func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 	data := p.data
-	i := 0
-	if p.opts.HasHeader {
-		for i < len(data) && data[i] != '\n' {
-			i++
-		}
-		if i < len(data) {
-			i++
-		}
-	}
+	i := p.skipHeader()
 	delim := p.opts.delim()
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
@@ -222,34 +257,35 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 	for i < len(data) {
 		start := i
 		recStart = append(recStart, int64(start))
-		// Tokenize the record: this pass necessarily touches every byte of
-		// the line, which is what makes first-touch raw access expensive.
-		fi := 0
-		fieldBeg := i
-		for ; i <= len(data); i++ {
-			if i == len(data) || data[i] == delim || data[i] == '\n' {
-				if fi < p.nfields {
-					fieldOff = append(fieldOff, uint32(fieldBeg-start))
-					if mask == nil || mask[fi] {
-						v, err := p.parseField(fi, data[fieldBeg:i])
-						if err != nil {
-							return err
-						}
-						row[fi] = v
-					} else {
-						row[fi] = value.VNull
-					}
-				}
-				fi++
-				fieldBeg = i + 1
-				if i == len(data) || data[i] == '\n' {
-					break
-				}
+		end := lineEnd(data, i)
+		var nf int
+		fieldOff, nf = tokenizeLine(data[start:end], delim, fieldOff, p.nfields)
+		if nf < p.nfields {
+			return fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, nf, p.nfields)
+		}
+		offs := fieldOff[len(fieldOff)-p.nfields:]
+		for fi := 0; fi < p.nfields; fi++ {
+			if mask != nil && !mask[fi] {
+				row[fi] = value.VNull
+				continue
 			}
+			beg := start + int(offs[fi])
+			fe := end
+			switch {
+			case fi+1 < p.nfields:
+				fe = start + int(offs[fi+1]) - 1
+			case nf > p.nfields:
+				// Extra trailing fields: the last mapped field ends at its
+				// own delimiter, not the line end.
+				fe = p.fieldEnd(beg)
+			}
+			v, err := p.parseField(fi, data[beg:fe])
+			if err != nil {
+				return err
+			}
+			row[fi] = v
 		}
-		if fi < p.nfields {
-			return fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, fi, p.nfields)
-		}
+		i = end
 		complete := noComplete
 		if mask != nil {
 			recOffs := fieldOff[len(fieldOff)-p.nfields:]
@@ -423,15 +459,7 @@ func (p *Provider) testField(t *expr.ColTest, beg int) (bool, error) {
 // and boxing.
 func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
 	data := p.data
-	i := 0
-	if p.opts.HasHeader {
-		for i < len(data) && data[i] != '\n' {
-			i++
-		}
-		if i < len(data) {
-			i++
-		}
-	}
+	i := p.skipHeader()
 	delim := p.opts.delim()
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
@@ -440,23 +468,13 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *e
 	for i < len(data) {
 		start := i
 		recStart = append(recStart, int64(start))
-		fi := 0
-		fieldBeg := i
-		for ; i <= len(data); i++ {
-			if i == len(data) || data[i] == delim || data[i] == '\n' {
-				if fi < p.nfields {
-					fieldOff = append(fieldOff, uint32(fieldBeg-start))
-				}
-				fi++
-				fieldBeg = i + 1
-				if i == len(data) || data[i] == '\n' {
-					break
-				}
-			}
+		end := lineEnd(data, i)
+		var nf int
+		fieldOff, nf = tokenizeLine(data[start:end], delim, fieldOff, p.nfields)
+		if nf < p.nfields {
+			return *skipped, fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, nf, p.nfields)
 		}
-		if fi < p.nfields {
-			return *skipped, fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, fi, p.nfields)
-		}
+		i = end
 		if needle != nil && needle.Next(start) >= i {
 			// No occurrence of the equality literal within the record: no
 			// field can equal it, so skip without decoding any test column.

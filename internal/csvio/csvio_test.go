@@ -262,3 +262,28 @@ func TestCompleteParsesSkippedFields(t *testing.T) {
 		t.Errorf("mapped names = %v", names)
 	}
 }
+
+// Extra trailing fields are tolerated, and the last schema field must end
+// at its own delimiter — not swallow the extras up to the line end.
+func TestExtraTrailingFields(t *testing.T) {
+	p, err := New(writeFile(t, "1|10.5|alpha|extra|junk\n2|20.25|beta\n"), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := collect(t, p, nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if got := rows[0][2].S; got != "alpha" {
+		t.Errorf("last field = %q, want %q", got, "alpha")
+	}
+	// Unterminated last record: the final field runs to end-of-file.
+	p2, err := New(writeFile(t, "1|10.5|alpha"), testSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, _ := collect(t, p2, nil)
+	if len(rows2) != 1 || rows2[0][2].S != "alpha" {
+		t.Fatalf("unterminated record rows = %v", rows2)
+	}
+}

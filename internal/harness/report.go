@@ -32,6 +32,10 @@ type Phase struct {
 	// DiskHitRatio is the fraction of a memory-pressure phase's measured
 	// queries answered by re-admitting a spilled entry from the disk tier.
 	DiskHitRatio float64 `json:"disk_hit_ratio,omitempty"`
+	// RawParses is the fleet-wide raw-file parse count a shard-scale phase
+	// accumulated (warm misses + capacity re-scans summed over every
+	// shard): the aggregate-capacity metric — more shards, fewer re-scans.
+	RawParses int64 `json:"raw_parses,omitempty"`
 	// CacheStats snapshots the engine's counters when the phase ended
 	// (hits, misses, shared scans, vectorized scans, ...).
 	CacheStats *cache.Stats `json:"cache_stats,omitempty"`

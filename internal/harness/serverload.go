@@ -234,7 +234,7 @@ func (r *Runner) serverColdShared(paths *datagen.TPCHPaths) error {
 		Burst2Parses: b2,
 		CacheStats:   &ws.Cache,
 	})
-	return nil
+	return r.shardScale(paths)
 }
 
 // median returns the middle value (mean of the two middles for even n).

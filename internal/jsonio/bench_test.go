@@ -1,0 +1,44 @@
+package jsonio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recache/internal/value"
+)
+
+// BenchmarkFirstScan measures the first-touch parse of an NDJSON file —
+// dominated by string scanning, which is the memchr fast path in rawString.
+// A fresh provider per iteration keeps each scan a true first scan.
+func BenchmarkFirstScan(b *testing.B) {
+	var data []byte
+	for i := 1; i <= 10000; i++ {
+		data = fmt.Appendf(data,
+			`{"o_orderkey":%d,"o_totalprice":%d.5,"o_comment":"comment-%d padding padding padding","origin":{"country":"CH","ip":"10.0.%d.%d"},"lineitems":[{"l_quantity":%d,"l_discount":0.1}]}`+"\n",
+			i, i%500, i, i%256, (i*7)%256, i%50)
+	}
+	path := filepath.Join(b.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	schema := orderSchema()
+	needed := []value.Path{value.ParsePath("o_orderkey")}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := New(path, schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		err = p.Scan(needed, func(value.Value, int64, func() error) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 10000 {
+			b.Fatalf("scan: %d rows, %v", n, err)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"recache"
+	"recache/internal/shard"
 	"recache/internal/store"
 	"recache/internal/wire"
 )
@@ -41,6 +43,15 @@ const maxRequestFrame = 1 << 20
 // Server serves one engine over any number of listeners.
 type Server struct {
 	eng *recache.Engine
+
+	// Fleet state: fleetMap is the shared topology (nil outside fleet
+	// mode), fleetSelf this daemon's shard id in it. leases backs the wire
+	// lease ops; it is always non-nil so leases work on a standalone daemon
+	// too, and fleet mode injects the table the engine's remote-flight hook
+	// shares (SetFleet). Both are set before Serve and read-only afterwards.
+	fleetSelf int
+	fleetMap  *shard.Map
+	leases    *shard.LeaseTable
 
 	// mu guards listeners, sessions, and the draining transition; wg counts
 	// live sessions. A session is registered (and wg.Add called) under mu
@@ -64,10 +75,27 @@ type Server struct {
 func New(eng *recache.Engine) *Server {
 	return &Server{
 		eng:       eng,
+		leases:    shard.NewLeaseTable(),
 		listeners: make(map[net.Listener]struct{}),
 		sessions:  make(map[*session]struct{}),
 	}
 }
+
+// SetFleet puts the server in fleet mode: self is this daemon's shard id,
+// m the topology every fleet member and router holds. A non-nil lt
+// replaces the server's lease table — fleet mode passes the table the
+// engine's remote-flight hook uses, so a key the daemon materializes
+// itself blocks wire lease requests for it and vice versa. Must be called
+// before Serve.
+func (s *Server) SetFleet(self int, m *shard.Map, lt *shard.LeaseTable) {
+	s.fleetSelf, s.fleetMap = self, m
+	if lt != nil {
+		s.leases = lt
+	}
+}
+
+// Leases exposes the server's lease table (fleet wiring, tests).
+func (s *Server) Leases() *shard.LeaseTable { return s.leases }
 
 // Serve accepts connections on ln until Shutdown (returns nil) or a fatal
 // accept error (returned). Multiple Serve calls on different listeners may
@@ -369,6 +397,21 @@ func (s *Server) dispatch(req *wire.Request, scratch *bytes.Buffer) *wire.Respon
 		if err := s.eng.RegisterJSON(req.Name, req.Path, req.Schema); err != nil {
 			return fail(err)
 		}
+	case wire.OpFleet:
+		if s.fleetMap == nil {
+			return fail(errors.New("daemon is not part of a fleet"))
+		}
+		f := &wire.Fleet{Self: int32(s.fleetSelf)}
+		for _, sh := range s.fleetMap.Shards() {
+			f.Shards = append(f.Shards, wire.FleetShard{ID: int32(sh.ID), Addr: sh.Addr})
+		}
+		resp.Fleet = f
+	case wire.OpLeaseAcquire:
+		granted, exp := s.leases.Acquire(req.Key, req.Holder,
+			time.Duration(req.TTLMillis)*time.Millisecond)
+		resp.Lease = &wire.Lease{Granted: granted, ExpiresUnixMicro: exp.UnixMicro()}
+	case wire.OpLeaseRelease:
+		s.leases.Release(req.Key, req.Holder)
 	default:
 		resp.Err = fmt.Sprintf("unsupported op %s", req.Op)
 	}

@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func fleet(n int) *Map {
+	shards := make([]Info, n)
+	for i := range shards {
+		shards[i] = Info{ID: i, Addr: fmt.Sprintf("unix:/tmp/s%d.sock", i)}
+	}
+	m, err := NewMap(shards)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestNewMapRejectsBadFleets(t *testing.T) {
+	if _, err := NewMap(nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewMap([]Info{{ID: 0}, {ID: 0}}); err == nil {
+		t.Fatal("duplicate shard id accepted")
+	}
+	if _, err := ParseFleet("a.sock,,c.sock"); err == nil {
+		t.Fatal("empty fleet address accepted")
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	m, err := ParseFleet("unix:/a.sock, tcp:h:1, /b.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Info{{0, "unix:/a.sock"}, {1, "tcp:h:1"}, {2, "/b.sock"}}
+	for i, s := range m.Shards() {
+		if s != want[i] {
+			t.Fatalf("shard %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestOwnerBalancesKeys(t *testing.T) {
+	m := fleet(4)
+	counts := make(map[int]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[m.Owner(fmt.Sprintf("lineitem|l_quantity between %d and %d", i, i+5)).ID]++
+	}
+	for id := 0; id < 4; id++ {
+		got := counts[id]
+		// Uniform would be n/4; accept a generous band — the test guards
+		// against degenerate hashing (everything on one shard), not variance.
+		if got < n/8 || got > n/2 {
+			t.Fatalf("shard %d owns %d of %d keys; distribution %v", id, got, n, counts)
+		}
+	}
+}
+
+func TestOwnerDeterministicAcrossMaps(t *testing.T) {
+	a, b := fleet(4), fleet(4)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q owned differently by identical maps", key)
+		}
+	}
+}
+
+func TestRendezvousRemapStability(t *testing.T) {
+	// Removing one shard must remap only the keys that shard owned: the
+	// defining property of rendezvous hashing.
+	full := fleet(4)
+	reduced, err := NewMap([]Info{
+		{ID: 0, Addr: "a"}, {ID: 1, Addr: "b"}, {ID: 3, Addr: "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("dataset|pred-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before.ID != 2 {
+			if after.ID != before.ID {
+				t.Fatalf("key %q moved from surviving shard %d to %d", key, before.ID, after.ID)
+			}
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("shard 2 owned no keys out of 1000")
+	}
+}
+
+func TestRankOrdersAllShards(t *testing.T) {
+	m := fleet(4)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		rank := m.Rank(key)
+		if len(rank) != 4 {
+			t.Fatalf("rank has %d shards, want 4", len(rank))
+		}
+		if rank[0] != m.Owner(key) {
+			t.Fatalf("rank[0] %+v != owner %+v", rank[0], m.Owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, s := range rank {
+			if seen[s.ID] {
+				t.Fatalf("shard %d appears twice in rank", s.ID)
+			}
+			seen[s.ID] = true
+		}
+	}
+}
+
+func TestRouteKeyNormalizes(t *testing.T) {
+	a := RouteKey("SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN 1 AND 5")
+	b := RouteKey("select   sum(l_extendedprice)   from lineitem where l_quantity between 1 and 5")
+	if a != b {
+		t.Fatalf("projection/whitespace changed route key:\n a=%q\n b=%q", a, b)
+	}
+	c := RouteKey("SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN 6 AND 9")
+	if a == c {
+		t.Fatalf("different predicates share route key %q", a)
+	}
+	d := RouteKey("SELECT COUNT(*) FROM orders WHERE o_custkey BETWEEN 1 AND 5")
+	if a == d {
+		t.Fatal("different tables share route key")
+	}
+}
+
+func TestRouteKeyJoinTablesSorted(t *testing.T) {
+	a := RouteKey("SELECT COUNT(*) FROM orders JOIN lineitem ON o_orderkey = l_orderkey")
+	if a == "" {
+		t.Fatal("empty route key")
+	}
+	// Both tables must appear so the join routes by its full input set.
+	for _, tbl := range []string{"lineitem", "orders"} {
+		if !contains(a, tbl) {
+			t.Fatalf("route key %q missing table %s", a, tbl)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRouteKeyUnparseableFallsBack(t *testing.T) {
+	a := RouteKey("NOT SQL AT ALL ~~~")
+	b := RouteKey("not  SQL   at all ~~~")
+	if a != b {
+		t.Fatalf("fallback normalization unstable: %q vs %q", a, b)
+	}
+	if a == RouteKey("other garbage") {
+		t.Fatal("distinct garbage shares route key")
+	}
+}
+
+func TestLeaseAcquireReleaseRenew(t *testing.T) {
+	lt := NewLeaseTable()
+	ok, _ := lt.Acquire("k", 1, time.Minute)
+	if !ok {
+		t.Fatal("fresh acquire denied")
+	}
+	if ok, _ := lt.Acquire("k", 2, time.Minute); ok {
+		t.Fatal("second holder granted while lease held")
+	}
+	if ok, _ := lt.Acquire("k", 1, time.Minute); !ok {
+		t.Fatal("same-holder renewal denied")
+	}
+	if ok, _ := lt.Acquire("k2", 2, time.Minute); !ok {
+		t.Fatal("unrelated key denied")
+	}
+	if !lt.Release("k", 1) {
+		t.Fatal("holder release failed")
+	}
+	if ok, _ := lt.Acquire("k", 2, time.Minute); !ok {
+		t.Fatal("acquire after release denied")
+	}
+	if lt.Release("k", 1) {
+		t.Fatal("non-holder release succeeded")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	lt := NewLeaseTable()
+	lt.now = func() time.Time { return now }
+	if ok, _ := lt.Acquire("k", 1, time.Second); !ok {
+		t.Fatal("fresh acquire denied")
+	}
+	if ok, _ := lt.Acquire("k", 2, time.Second); ok {
+		t.Fatal("granted before expiry")
+	}
+	now = now.Add(2 * time.Second)
+	// The dead holder never released; expiry must unblock holder 2.
+	if ok, _ := lt.Acquire("k", 2, time.Second); !ok {
+		t.Fatal("acquire after expiry denied")
+	}
+	// Holder 1's stale release must not revoke holder 2's lease.
+	if lt.Release("k", 1) {
+		t.Fatal("stale holder revoked successor's lease")
+	}
+	if lt.Len() != 1 {
+		t.Fatalf("lease table holds %d leases, want 1", lt.Len())
+	}
+}
+
+func TestLeaseTTLClamped(t *testing.T) {
+	now := time.Unix(1000, 0)
+	lt := NewLeaseTable()
+	lt.now = func() time.Time { return now }
+	_, exp := lt.Acquire("a", 1, 0)
+	if got := exp.Sub(now); got != DefaultTTL {
+		t.Fatalf("zero TTL granted %v, want default %v", got, DefaultTTL)
+	}
+	_, exp = lt.Acquire("b", 1, time.Hour)
+	if got := exp.Sub(now); got != MaxTTL {
+		t.Fatalf("huge TTL granted %v, want cap %v", got, MaxTTL)
+	}
+}

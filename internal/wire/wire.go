@@ -59,6 +59,14 @@ const (
 	OpEntries
 	OpRegisterCSV
 	OpRegisterJSON
+	// Fleet ops (sharded tier). OpFleet returns the daemon's fleet topology
+	// so a client dialing any one shard can discover the rest. The lease
+	// ops implement fleet-wide single-flight: a shard missing on a cache
+	// key it does not own asks the key's owner for a short-TTL
+	// materialization lease before building (see internal/shard).
+	OpFleet
+	OpLeaseAcquire
+	OpLeaseRelease
 	opMax
 )
 
@@ -85,6 +93,12 @@ func (o Op) String() string {
 		return "register-csv"
 	case OpRegisterJSON:
 		return "register-json"
+	case OpFleet:
+		return "fleet"
+	case OpLeaseAcquire:
+		return "lease-acquire"
+	case OpLeaseRelease:
+		return "lease-release"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -99,6 +113,13 @@ type Request struct {
 	Path   string // OpRegister*
 	Schema string // OpRegister* (schema DSL; empty infers for CSV)
 	Delim  byte   // OpRegisterCSV
+
+	// Lease ops: the cache key being leased (shard.Key form), the
+	// requesting process's holder token, and the requested TTL
+	// (OpLeaseAcquire only; the server clamps it to shard.MaxTTL).
+	Key       string // OpLeaseAcquire, OpLeaseRelease
+	Holder    uint64 // OpLeaseAcquire, OpLeaseRelease
+	TTLMillis uint32 // OpLeaseAcquire
 }
 
 // Result is a query result as it crosses the wire: column names, the
@@ -134,6 +155,29 @@ type Response struct {
 	StatsJSON   []byte      // OpStats: JSON-encoded Stats
 	EntriesJSON []byte      // OpEntries: JSON-encoded []Entry
 	TableStats  *TableStats // OpTableStats
+	Fleet       *Fleet      // OpFleet
+	Lease       *Lease      // OpLeaseAcquire
+}
+
+// FleetShard is one member of an OpFleet topology response.
+type FleetShard struct {
+	ID   int32
+	Addr string
+}
+
+// Fleet is the OpFleet payload: the fleet list (same order on every
+// member) and the answering daemon's own position in it.
+type Fleet struct {
+	Self   int32
+	Shards []FleetShard
+}
+
+// Lease is the OpLeaseAcquire payload: whether the materialization lease
+// was granted and when the granted (or, on denial, the blocking) lease
+// expires.
+type Lease struct {
+	Granted          bool
+	ExpiresUnixMicro int64
 }
 
 // Stats is the OpStats payload: the engine's cache counters plus the
@@ -291,7 +335,7 @@ func EncodeRequest(req *Request) ([]byte, error) {
 	e.u8(byte(req.Op))
 	e.u64(req.ID)
 	switch req.Op {
-	case OpPing, OpStats, OpTables, OpEntries:
+	case OpPing, OpStats, OpTables, OpEntries, OpFleet:
 	case OpQuery, OpExplain:
 		e.str(req.SQL)
 	case OpSchema, OpTableStats:
@@ -305,6 +349,13 @@ func EncodeRequest(req *Request) ([]byte, error) {
 		e.str(req.Name)
 		e.str(req.Path)
 		e.str(req.Schema)
+	case OpLeaseAcquire:
+		e.str(req.Key)
+		e.u64(req.Holder)
+		e.u32(req.TTLMillis)
+	case OpLeaseRelease:
+		e.str(req.Key)
+		e.u64(req.Holder)
 	default:
 		return nil, fmt.Errorf("wire: encode request: unknown op %s", req.Op)
 	}
@@ -328,7 +379,7 @@ func EncodeResponse(resp *Response) ([]byte, error) {
 		return e.finish()
 	}
 	switch resp.Op {
-	case OpPing, OpRegisterCSV, OpRegisterJSON:
+	case OpPing, OpRegisterCSV, OpRegisterJSON, OpLeaseRelease:
 	case OpQuery:
 		r := resp.Result
 		if r == nil {
@@ -369,6 +420,31 @@ func EncodeResponse(resp *Response) ([]byte, error) {
 		e.u64(uint64(ts.RawScans))
 		e.u64(uint64(ts.PushScans))
 		e.u64(uint64(ts.SkippedEarly))
+	case OpFleet:
+		f := resp.Fleet
+		if f == nil {
+			return nil, errors.New("wire: encode response: fleet missing")
+		}
+		if len(f.Shards) > maxFields {
+			return nil, fmt.Errorf("wire: encode response: %d shards exceeds cap %d", len(f.Shards), maxFields)
+		}
+		e.u32(uint32(f.Self))
+		e.u32(uint32(len(f.Shards)))
+		for _, s := range f.Shards {
+			e.u32(uint32(s.ID))
+			e.str(s.Addr)
+		}
+	case OpLeaseAcquire:
+		l := resp.Lease
+		if l == nil {
+			return nil, errors.New("wire: encode response: lease missing")
+		}
+		g := byte(0)
+		if l.Granted {
+			g = 1
+		}
+		e.u8(g)
+		e.u64(uint64(l.ExpiresUnixMicro))
 	default:
 		return nil, fmt.Errorf("wire: encode response: unknown op %s", resp.Op)
 	}
@@ -517,7 +593,7 @@ func ParseRequest(payload []byte) (*Request, error) {
 		return nil, err
 	}
 	switch req.Op {
-	case OpPing, OpStats, OpTables, OpEntries:
+	case OpPing, OpStats, OpTables, OpEntries, OpFleet:
 	case OpQuery, OpExplain:
 		if req.SQL, err = d.str(); err != nil {
 			return nil, err
@@ -538,6 +614,18 @@ func ParseRequest(payload []byte) (*Request, error) {
 		}
 		if req.Op == OpRegisterCSV {
 			if req.Delim, err = d.u8(); err != nil {
+				return nil, err
+			}
+		}
+	case OpLeaseAcquire, OpLeaseRelease:
+		if req.Key, err = d.str(); err != nil {
+			return nil, err
+		}
+		if req.Holder, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if req.Op == OpLeaseAcquire {
+			if req.TTLMillis, err = d.u32(); err != nil {
 				return nil, err
 			}
 		}
@@ -650,7 +738,7 @@ func ParseResponse(payload []byte) (*Response, error) {
 		return resp, d.done()
 	}
 	switch resp.Op {
-	case OpPing, OpRegisterCSV, OpRegisterJSON:
+	case OpPing, OpRegisterCSV, OpRegisterJSON, OpLeaseRelease:
 	case OpQuery:
 		r := &Result{}
 		wall, err := d.u64()
@@ -715,6 +803,43 @@ func ParseResponse(payload []byte) (*Response, error) {
 			*dst = int64(x)
 		}
 		resp.TableStats = ts
+	case OpFleet:
+		f := &Fleet{}
+		self, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		f.Self = int32(self)
+		// A shard entry costs at least 8 bytes (id + addr length).
+		n, err := d.count(8, maxFields)
+		if err != nil {
+			return nil, err
+		}
+		f.Shards = make([]FleetShard, n)
+		for i := range f.Shards {
+			id, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			f.Shards[i].ID = int32(id)
+			if f.Shards[i].Addr, err = d.str(); err != nil {
+				return nil, err
+			}
+		}
+		resp.Fleet = f
+	case OpLeaseAcquire:
+		l := &Lease{}
+		g, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		l.Granted = g == 1
+		exp, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		l.ExpiresUnixMicro = int64(exp)
+		resp.Lease = l
 	}
 	if err := d.done(); err != nil {
 		return nil, err

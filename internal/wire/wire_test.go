@@ -25,6 +25,9 @@ func allRequests() []*Request {
 		{ID: 9, Op: OpRegisterCSV, Name: "t", Path: "/tmp/t.csv", Schema: "a int, b string", Delim: '|'},
 		{ID: 10, Op: OpRegisterJSON, Name: "j", Path: "/tmp/j.json", Schema: "a int"},
 		{ID: 11, Op: OpQuery, SQL: ""}, // empty SQL still frames
+		{ID: 12, Op: OpFleet},
+		{ID: 13, Op: OpLeaseAcquire, Key: "lineitem|l_quantity in [1,5]", Holder: 0xDEADBEEF, TTLMillis: 3000},
+		{ID: 14, Op: OpLeaseRelease, Key: "lineitem|l_quantity in [1,5]", Holder: 0xDEADBEEF},
 	}
 }
 
@@ -59,6 +62,16 @@ func allResponses() []*Response {
 		{ID: 10, Op: OpRegisterJSON},
 		{ID: 11, Op: OpQuery, Err: "parse error: unexpected token"},
 		{ID: 12, Op: OpTables, Tables: []string{}},
+		{ID: 13, Op: OpFleet, Fleet: &Fleet{Self: 1, Shards: []FleetShard{
+			{ID: 0, Addr: "unix:/tmp/s0.sock"},
+			{ID: 1, Addr: "unix:/tmp/s1.sock"},
+			{ID: 2, Addr: "tcp:127.0.0.1:7878"},
+		}}},
+		{ID: 14, Op: OpFleet, Fleet: &Fleet{Self: 0, Shards: []FleetShard{{ID: 0, Addr: "/lone.sock"}}}},
+		{ID: 15, Op: OpLeaseAcquire, Lease: &Lease{Granted: true, ExpiresUnixMicro: 1754550000123456}},
+		{ID: 16, Op: OpLeaseAcquire, Lease: &Lease{Granted: false, ExpiresUnixMicro: 1754550000123456}},
+		{ID: 17, Op: OpLeaseRelease},
+		{ID: 18, Op: OpLeaseAcquire, Err: "daemon is not part of a fleet"},
 	}
 }
 
@@ -131,6 +144,12 @@ func TestResponseRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got.TableStats, resp.TableStats) {
 			t.Errorf("%s: table stats mismatch", resp.Op)
 		}
+		if !reflect.DeepEqual(got.Fleet, resp.Fleet) {
+			t.Errorf("%s: fleet mismatch: got %+v want %+v", resp.Op, got.Fleet, resp.Fleet)
+		}
+		if !reflect.DeepEqual(got.Lease, resp.Lease) {
+			t.Errorf("%s: lease mismatch: got %+v want %+v", resp.Op, got.Lease, resp.Lease)
+		}
 	}
 }
 
@@ -194,6 +213,14 @@ func TestParseRejectsGarbage(t *testing.T) {
 			b = binary.LittleEndian.AppendUint32(b, 0xFFFFFFF0)
 			return append(b, 'S')
 		}(),
+		"lease missing holder": func() []byte {
+			// OpLeaseAcquire truncated after the key.
+			b := []byte{byte(OpLeaseAcquire)}
+			b = binary.LittleEndian.AppendUint64(b, 1)
+			b = binary.LittleEndian.AppendUint32(b, 1)
+			return append(b, 'k')
+		}(),
+		"fleet trailing junk": append(mustEncodeReq(&Request{ID: 2, Op: OpFleet}), 0x01),
 	}
 	for name, payload := range cases {
 		if _, err := ParseRequest(payload); err == nil {

@@ -112,6 +112,14 @@ type Config struct {
 	// cache-miss scan decodes all needed fields of every record and filters
 	// afterwards (pre-pushdown behaviour; ablation and benchmarking).
 	DisablePushdown bool
+	// RemoteFlight extends single-flight materialization across a shard
+	// fleet: before a cache miss admits a new (dataset, predicate) entry,
+	// the hook is asked for a fleet-wide materialization lease. ok=false
+	// executes the miss raw without admitting (another process is building
+	// it); a non-nil release runs when the query finishes. nil disables
+	// remote flight — the single-process default. Wired by cmd/recached's
+	// fleet mode via internal/client.Flight.
+	RemoteFlight func(dataset, predCanon string) (release func(), ok bool)
 }
 
 func (c Config) toCacheConfig() (cache.Config, error) {
@@ -122,6 +130,7 @@ func (c Config) toCacheConfig() (cache.Config, error) {
 		Threshold:          c.AdmissionThreshold,
 		SampleSize:         c.AdmissionSampleSize,
 		DisableSubsumption: c.DisableSubsumption,
+		RemoteFlight:       c.RemoteFlight,
 	}
 	switch c.Eviction {
 	case "", "recache", "greedy-dual":
