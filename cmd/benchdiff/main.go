@@ -52,6 +52,14 @@
 //   - raw parses (shard-scale phases): regression when a fleet pays more
 //     fleet-wide raw parses than baseline + tolerance + one parse; a
 //     routing or lease fault shows up here as duplicate builds.
+//   - tail-extend ratio (append-stream phase): regression when the
+//     fraction of freshness revalidations that incrementally extended
+//     cached entries (rather than invalidating them) falls below
+//     baseline − tolerance — appends silently degrading to rebuilds.
+//   - append-stream qps ratio (append-stream / append-stream-rebuild):
+//     regression when tail extension's throughput lead over the
+//     invalidate-on-append ablation drops more than the tolerance below
+//     the baseline's ratio — the reactive-invalidation gate.
 //
 // A phase present in the baseline but missing from the current report is a
 // failure: a metric that silently disappears is a regression too.
@@ -132,6 +140,9 @@ func main() {
 		if bp.DiskHitRatio > 0 {
 			check(bp, "disk-hit-ratio", bp.DiskHitRatio, cp.DiskHitRatio, false, 0)
 		}
+		if bp.TailExtendRatio > 0 {
+			check(bp, "tail-extend-ratio", bp.TailExtendRatio, cp.TailExtendRatio, false, 0)
+		}
 		if bp.P99Millis > 0 {
 			check(bp, "p99-ms", bp.P99Millis, cp.P99Millis, true, 2)
 		}
@@ -146,6 +157,7 @@ func main() {
 		{"memory-pressure", "memory-pressure-raw"},
 		{"server-load", "hit-throughput"},
 		{"shard-scale-4", "shard-scale-1"},
+		{"append-stream", "append-stream-rebuild"},
 	}
 	for _, pair := range pairs {
 		baseRatio, ok := qpsRatio(base, pair[0], pair[1])

@@ -181,6 +181,9 @@ func cacheStatsFromWire(s cache.Stats) recache.CacheStats {
 		SpillDrops:          s.SpillDrops,
 		DiskEntries:         s.DiskEntries,
 		DiskBytes:           s.DiskBytes,
+		StaleInvalidations:  s.StaleInvalidations,
+		TailExtensions:      s.TailExtensions,
+		TailBytesScanned:    s.TailBytesScanned,
 		Entries:             s.Entries,
 		TotalBytes:          s.TotalBytes,
 		OpenTxns:            s.OpenTxns,
@@ -197,6 +200,7 @@ func main() {
 		capacity  = flag.Int64("capacity", 0, "cache capacity in bytes (0 = unlimited; embedded mode)")
 		spillDir  = flag.String("spill-dir", "", "spill directory for the disk cache tier (empty = spilling off; embedded mode)")
 		diskCap   = flag.Int64("disk-capacity", 0, "disk tier capacity in bytes (0 = unlimited; needs -spill-dir; embedded mode)")
+		freshness = flag.String("freshness", "off", "raw-file freshness mode: off|check-on-access|watch|invalidate (embedded mode)")
 		oneShot   = flag.String("e", "", "execute one query and exit")
 	)
 	flag.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
@@ -219,6 +223,7 @@ func main() {
 			CacheCapacity:  *capacity,
 			SpillDir:       *spillDir,
 			DiskCacheBytes: *diskCap,
+			FreshnessMode:  *freshness,
 		})
 		if err != nil {
 			fatal(err)
@@ -379,6 +384,8 @@ func metaCommand(b backend, line string, w io.Writer) (quit bool) {
 			s.PushdownScans, s.PushedConjuncts, s.RecordsSkippedEarly)
 		fmt.Fprintf(w, "disk-hits=%d spills=%d spill-drops=%d disk-entries=%d disk-bytes=%d\n",
 			s.DiskHits, s.Spills, s.SpillDrops, s.DiskEntries, s.DiskBytes)
+		fmt.Fprintf(w, "stale-invalidations=%d tail-extensions=%d tail-bytes-scanned=%d\n",
+			s.StaleInvalidations, s.TailExtensions, s.TailBytesScanned)
 		if sv.Server != "" {
 			fmt.Fprintln(w, sv.Server)
 		}

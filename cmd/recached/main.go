@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diskCap   = fs.Int64("disk-capacity", 0, "disk tier capacity in bytes (0 = unlimited; needs -spill-dir)")
 		fleetSpec = fs.String("fleet", "", "comma-separated shard addresses for the whole fleet (needs -shard-id)")
 		shardID   = fs.Int("shard-id", -1, "this daemon's position in -fleet")
+		freshness = fs.String("freshness", "off", "raw-file freshness mode: off|check-on-access|watch|invalidate")
 	)
 	fs.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
 	fs.Var(tableFlag{&jsonSpecs}, "json", "register JSON table: name=path:schema (repeatable)")
@@ -123,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheCapacity:  *capacity,
 		SpillDir:       *spillDir,
 		DiskCacheBytes: *diskCap,
+		FreshnessMode:  *freshness,
 	}
 	if flight != nil {
 		cfg.RemoteFlight = flight.Materialize

@@ -56,6 +56,14 @@ type Entry struct {
 	Store   store.Store // eager mode
 	Offsets []int64     // lazy mode (satisfying-record byte offsets)
 
+	// Freshness provenance. FileEpoch is the provider file epoch the payload
+	// was built against (0: built before freshness tracking, or the provider
+	// does not expose epochs); it is immutable after insert. CoveredBytes is
+	// the raw-file byte length the payload covers — revalidation extends it
+	// when the file grows by appends; guarded by the Manager's lock.
+	FileEpoch    uint64
+	CoveredBytes int64
+
 	// Benefit-metric components (nanoseconds).
 	OpNanos    int64 // t: executing the operator (read+parse+filter)
 	CacheNanos int64 // c: building the cached representation

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"os"
+
+	"recache/internal/expr"
+	"recache/internal/plan"
+	"recache/internal/store"
+	"recache/internal/value"
+)
+
+// Reactive invalidation. ReCache's caching unit is a select over a raw
+// file scan, so every cached payload is a claim about that file's bytes.
+// Revalidate keeps the claim honest when files mutate under a running
+// engine: the provider classifies the change (unchanged / appended /
+// rewritten, see internal/freshness), and the cache responds at entry
+// granularity — rewrites drop every dependent entry (and its spill file),
+// while appends *extend* entries in place by scanning only the new tail,
+// so a growing log file never forces a full re-parse of its cold prefix.
+//
+// Versioning is two-level. The provider epoch (bumped on every rewrite)
+// is captured into Entry.FileEpoch at build time; an entry whose epoch no
+// longer matches the provider's was built against dead bytes and can only
+// be dropped. Within an epoch, the covered byte length grows monotonically,
+// so Entry.CoveredBytes against the provider's covered length decides
+// exactly which tail an extension must scan.
+//
+// Locking mirrors the spill tier: classification and tail scans run
+// outside the manager lock against immutable snapshots; the swap of the
+// extended payload re-verifies the entry under the lock and falls back to
+// invalidation if anything moved. A per-dataset single-flight gate
+// (refreshing) keeps a burst of queries from stat'ing and re-parsing the
+// same tail concurrently.
+
+// AbandonBuild releases a materializer's single-flight build slot without
+// inserting an entry. Materializers call it when the provider's file
+// version moved between the version capture and the end of the build: the
+// payload mixes bytes from two file states and must not be admitted.
+func (m *Manager) AbandonBuild(spec *BuildSpec) {
+	m.mu.Lock()
+	if spec.SlotTx != 0 && m.building[spec.SlotKey] == spec.SlotTx {
+		delete(m.building, spec.SlotKey)
+	}
+	m.mu.Unlock()
+}
+
+// Revalidate re-checks ds's raw file against its cached entries, dropping
+// entries the file outgrew (rewrites) and extending entries over appended
+// tails. forceInvalidate treats appends as rewrites (the full-rebuild
+// ablation). Concurrent revalidations of the same dataset are
+// single-flight: the loser waits for the winner and returns an unchanged
+// report. Providers that do not implement plan.RefreshableProvider are
+// never stale by definition (their files are assumed immutable).
+func (m *Manager) Revalidate(ds *plan.Dataset, forceInvalidate bool) (plan.FreshnessReport, error) {
+	rp, ok := ds.Provider.(plan.RefreshableProvider)
+	if !ok {
+		return plan.FreshnessReport{Status: plan.FileUnchanged}, nil
+	}
+
+	m.refreshMu.Lock()
+	if ch, busy := m.refreshing[ds.Name]; busy {
+		m.refreshMu.Unlock()
+		<-ch
+		// The winner just reconciled the cache with the file; by the time
+		// this query rewrites its plan the entries are current enough.
+		return plan.FreshnessReport{Status: plan.FileUnchanged}, nil
+	}
+	ch := make(chan struct{})
+	m.refreshing[ds.Name] = ch
+	m.refreshMu.Unlock()
+	defer func() {
+		m.refreshMu.Lock()
+		delete(m.refreshing, ds.Name)
+		m.refreshMu.Unlock()
+		close(ch)
+	}()
+
+	// Classification and tail ingestion run in the provider, outside the
+	// manager lock (they stat and possibly parse file bytes).
+	rep, err := rp.Refresh()
+	if err != nil {
+		// An unreadable file proves nothing about the cached bytes, but
+		// serving them would silently mask the IO failure: drop them so the
+		// next query surfaces the provider error.
+		m.invalidateDataset(ds.Name)
+		return rep, err
+	}
+	m.stats.tailBytesScanned.Add(rep.TailBytes)
+
+	switch {
+	case rep.Status == plan.FileUnchanged:
+		return rep, nil
+	case rep.Status == plan.FileRewritten || forceInvalidate:
+		m.invalidateDataset(ds.Name)
+		return rep, nil
+	}
+	m.extendDataset(ds, rp, rep)
+	return rep, nil
+}
+
+// invalidateDataset drops every entry cached from the dataset. Pinned
+// entries die through the usual deferred-removal path, so readers mid-scan
+// finish against their snapshotted (old-version) payload.
+func (m *Manager) invalidateDataset(name string) {
+	m.mu.Lock()
+	for _, e := range m.entries {
+		if e.Dataset.Name == name {
+			m.removeLocked(e)
+			m.stats.staleInvalidations.Add(1)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// extension is the unlocked work item for one appended-to entry: the
+// payload snapshot taken under the lock that the tail scan builds on.
+type extension struct {
+	e       *Entry
+	mode    Mode
+	store   store.Store // eager snapshot
+	offsets []int64     // lazy snapshot
+	covered int64
+}
+
+// extendDataset reconciles the dataset's entries with an appended file:
+// entries from older epochs (or untracked builds) are dropped, current
+// entries already covering the new length are untouched, and the rest are
+// extended by scanning only the appended tail. Entries in any transitional
+// state (upgrade, conversion, spill, disk residence) are dropped rather
+// than extended — those states all hold payload references the swap could
+// not atomically respect, and an append burst hitting a mid-transition
+// entry is rare enough that rebuilding is the simpler correct answer.
+func (m *Manager) extendDataset(ds *plan.Dataset, rp plan.RefreshableProvider, rep plan.FreshnessReport) {
+	var work []extension
+	m.mu.Lock()
+	for _, e := range m.entries {
+		if e.Dataset.Name != ds.Name {
+			continue
+		}
+		busy := e.upgrading || e.converting || e.spilling || e.dropOnUnpin ||
+			e.onDisk || e.loadDone != nil || (e.Mode == Eager && e.Store == nil)
+		switch {
+		case e.FileEpoch == 0 || e.FileEpoch != rep.Epoch:
+			m.removeLocked(e)
+			m.stats.staleInvalidations.Add(1)
+		case e.CoveredBytes >= rep.Covered:
+			// Already covers the appended tail (a racing build admitted it).
+		case busy:
+			m.removeLocked(e)
+			m.stats.staleInvalidations.Add(1)
+		default:
+			work = append(work, extension{
+				e: e, mode: e.Mode, store: e.Store,
+				offsets: e.Offsets, covered: e.CoveredBytes,
+			})
+		}
+	}
+	m.mu.Unlock()
+
+	for _, x := range work {
+		var err error
+		if x.mode == Lazy {
+			err = m.extendLazy(ds, rp, rep, x)
+		} else {
+			err = m.extendEager(ds, rp, rep, x)
+		}
+		if err != nil {
+			// The tail failed to parse or the entry moved mid-extension:
+			// fall back to invalidation, never to a half-extended payload.
+			m.mu.Lock()
+			if _, live := m.entries[x.e.ID]; live {
+				m.removeLocked(x.e)
+				m.stats.staleInvalidations.Add(1)
+			}
+			m.mu.Unlock()
+		}
+	}
+	m.drainSpills()
+}
+
+// replayExtend is the slow extension path for store layouts without a
+// copy fast path: the old payload is replayed row by row through a fresh
+// builder and the tail records are appended after it.
+func (m *Manager) replayExtend(src store.Store, schema *value.Type, tail []value.Value) (store.Store, error) {
+	builder, err := store.NewBuilder(src.Layout(), schema)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, len(src.Columns()))
+	for i := range cols {
+		cols[i] = i
+	}
+	if _, err := src.ScanRecords(cols, func(row []value.Value) error {
+		return builder.Add(value.Value{Kind: value.Record, L: row})
+	}); err != nil {
+		return nil, err
+	}
+	for _, rec := range tail {
+		if err := builder.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	return builder.Finish(), nil
+}
+
+// errEntryMoved reports a failed swap re-verification.
+type errEntryMoved struct{}
+
+func (errEntryMoved) Error() string { return "cache: entry changed during tail extension" }
+
+// extendLazy appends the offsets of satisfying tail records to a lazy
+// entry's offset list.
+func (m *Manager) extendLazy(ds *plan.Dataset, rp plan.RefreshableProvider, rep plan.FreshnessReport, x extension) error {
+	pred, err := expr.CompilePredicate(x.e.Pred, ds.Schema())
+	if err != nil {
+		return err
+	}
+	extra := []int64{}
+	err = rp.ScanFrom(x.covered, nil, func(rec value.Value, off int64, _ func() error) error {
+		if pred(rec.L) {
+			extra = append(extra, off)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	e := x.e
+	if _, live := m.entries[e.ID]; !live || e.doomed || e.Mode != Lazy ||
+		e.CoveredBytes != x.covered || len(e.Offsets) != len(x.offsets) {
+		m.mu.Unlock()
+		return errEntryMoved{}
+	}
+	m.total -= e.SizeBytes()
+	combined := make([]int64, 0, len(x.offsets)+len(extra))
+	combined = append(combined, x.offsets...)
+	combined = append(combined, extra...)
+	e.Offsets = combined
+	e.CoveredBytes = rep.Covered
+	m.total += e.SizeBytes()
+	m.stats.tailExtensions.Add(1)
+	m.evictLocked()
+	m.mu.Unlock()
+	return nil
+}
+
+// extendEager grows an eager entry's store over the appended tail: the
+// satisfying tail records are collected with one predicate-filtered tail
+// scan and appended to the old payload through store.Extend, which copies
+// the flat layouts' column vectors wholesale (a memcpy of the old bytes,
+// per-row work only for the tail). Layouts without the copy fast path fall
+// back to replaying the old store through a builder; replay goes through
+// ScanRecords, which cannot project repeated columns, so nested datasets
+// always take the invalidation path instead.
+func (m *Manager) extendEager(ds *plan.Dataset, rp plan.RefreshableProvider, rep plan.FreshnessReport, x extension) error {
+	schema := ds.Schema()
+	if value.RepeatedFieldCached(schema) != nil {
+		return errEntryMoved{} // caller invalidates; nested stores never extend
+	}
+	pred, err := expr.CompilePredicate(x.e.Pred, schema)
+	if err != nil {
+		return err
+	}
+	var tail []value.Value
+	err = rp.ScanFrom(x.covered, nil, func(rec value.Value, _ int64, _ func() error) error {
+		if pred(rec.L) {
+			tail = append(tail, value.VRecord(append([]value.Value(nil), rec.L...)...))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st, ok, err := store.Extend(x.store, tail)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if st, err = m.replayExtend(x.store, schema, tail); err != nil {
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	e := x.e
+	if _, live := m.entries[e.ID]; !live || e.doomed || e.Mode != Eager ||
+		e.Store != x.store || e.CoveredBytes != x.covered {
+		m.mu.Unlock()
+		return errEntryMoved{}
+	}
+	m.total -= e.SizeBytes()
+	e.Store = st
+	e.CoveredBytes = rep.Covered
+	m.total += e.SizeBytes()
+	if e.spillPath != "" {
+		// The retained spill file serializes the pre-append payload; a free
+		// demotion would resurrect it. Pay for the next spill instead.
+		os.Remove(e.spillPath)
+		m.diskTotal -= e.spillBytes
+		m.diskEntries--
+		e.spillPath, e.spillBytes = "", 0
+	}
+	m.stats.tailExtensions.Add(1)
+	m.evictLocked()
+	m.mu.Unlock()
+	return nil
+}

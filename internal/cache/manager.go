@@ -155,6 +155,14 @@ type Stats struct {
 	SpillDrops  int64 `json:"spill_drops"`
 	DiskEntries int   `json:"disk_entries"`
 	DiskBytes   int64 `json:"disk_bytes"`
+	// Freshness counters: StaleInvalidations counts entries dropped because
+	// their raw file was rewritten (or truncated) under them, TailExtensions
+	// counts entries extended in place after an append, and TailBytesScanned
+	// totals the appended bytes those revalidations parsed — the work saved
+	// versus a full rebuild is the file size minus this.
+	StaleInvalidations int64 `json:"stale_invalidations"`
+	TailExtensions     int64 `json:"tail_extensions"`
+	TailBytesScanned   int64 `json:"tail_bytes_scanned"`
 
 	TotalBytes int64 `json:"total_bytes"`
 	Entries    int   `json:"entries"`
@@ -190,6 +198,9 @@ type counters struct {
 	diskHits            atomic.Int64
 	spills              atomic.Int64
 	spillDrops          atomic.Int64
+	staleInvalidations  atomic.Int64
+	tailExtensions      atomic.Int64
+	tailBytesScanned    atomic.Int64
 	openTxns            atomic.Int64 // gauge: Begin +1, first Txn.Close -1
 }
 
@@ -238,6 +249,13 @@ type Manager struct {
 	// conversions are kept off the lock.
 	pendingSpills []*Entry
 
+	// Freshness single-flight: at most one goroutine revalidates a given
+	// dataset at a time; concurrent callers wait on the channel. refreshMu
+	// guards only the refreshing map — revalidation itself runs outside
+	// both it and mu (it stats and possibly re-parses file tails).
+	refreshMu  sync.Mutex
+	refreshing map[string]chan struct{}
+
 	clock  atomic.Int64  // logical time: one tick per query
 	nextTx atomic.Uint64 // Txn id generator
 	stats  counters
@@ -249,12 +267,13 @@ type Manager struct {
 // restarts: the metadata lives in RAM).
 func NewManager(cfg Config) *Manager {
 	m := &Manager{
-		cfg:      cfg.withDefaults(),
-		entries:  make(map[uint64]*Entry),
-		byKey:    make(map[string]*Entry),
-		indexes:  make(map[string]*rtree.Tree),
-		uncon:    make(map[string]map[uint64]*Entry),
-		building: make(map[string]uint64),
+		cfg:        cfg.withDefaults(),
+		entries:    make(map[uint64]*Entry),
+		byKey:      make(map[string]*Entry),
+		indexes:    make(map[string]*rtree.Tree),
+		uncon:      make(map[string]map[uint64]*Entry),
+		building:   make(map[string]uint64),
+		refreshing: make(map[string]chan struct{}),
 	}
 	m.initSpillDir()
 	return m
@@ -330,6 +349,9 @@ func (m *Manager) Stats() Stats {
 		DiskHits:            m.stats.diskHits.Load(),
 		Spills:              m.stats.spills.Load(),
 		SpillDrops:          m.stats.spillDrops.Load(),
+		StaleInvalidations:  m.stats.staleInvalidations.Load(),
+		TailExtensions:      m.stats.tailExtensions.Load(),
+		TailBytesScanned:    m.stats.tailBytesScanned.Load(),
 		OpenTxns:            m.stats.openTxns.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
@@ -513,6 +535,12 @@ type BuildSpec struct {
 	// reserved (SlotTx == 0: none). CompleteBuild releases the slot.
 	SlotKey string
 	SlotTx  uint64
+	// FileEpoch / Covered record the provider file version the materializer
+	// built against (captured via plan.RefreshableProvider.Version before the
+	// scan and re-verified after). Zero epoch: provider without freshness
+	// tracking — the entry then never extends, only invalidates wholesale.
+	FileEpoch uint64
+	Covered   int64
 }
 
 // Rewrite walks a plan bottom-up, replacing cacheable subtrees
@@ -895,20 +923,22 @@ func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64
 	}
 	m.nextID++
 	e := &Entry{
-		ID:         m.nextID,
-		Dataset:    spec.Dataset,
-		Pred:       spec.Pred,
-		PredCanon:  spec.PredCanon,
-		Ranges:     spec.Ranges,
-		Mode:       mode,
-		Store:      st,
-		Offsets:    offsets,
-		OpNanos:    opNanos,
-		CacheNanos: cacheNanos,
-		LastAccess: m.clock.Load(),
-		InsertedAt: m.clock.Load(),
-		Freq:       1,
-		frozenOp:   opNanos, frozenCache: cacheNanos,
+		ID:           m.nextID,
+		Dataset:      spec.Dataset,
+		Pred:         spec.Pred,
+		PredCanon:    spec.PredCanon,
+		Ranges:       spec.Ranges,
+		Mode:         mode,
+		Store:        st,
+		Offsets:      offsets,
+		FileEpoch:    spec.FileEpoch,
+		CoveredBytes: spec.Covered,
+		OpNanos:      opNanos,
+		CacheNanos:   cacheNanos,
+		LastAccess:   m.clock.Load(),
+		InsertedAt:   m.clock.Load(),
+		Freq:         1,
+		frozenOp:     opNanos, frozenCache: cacheNanos,
 	}
 	m.insertLocked(e)
 	m.mu.Unlock()

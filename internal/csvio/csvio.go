@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"recache/internal/expr"
+	"recache/internal/freshness"
 	"recache/internal/plan"
 	"recache/internal/value"
 )
@@ -36,37 +37,52 @@ func (o Options) delim() byte {
 	return o.Delim
 }
 
+// snapshot is one immutable view of the file: its ingested bytes, the
+// positional map built over them, the epoch those byte offsets belong to,
+// and the fingerprint that detects divergence from disk. Snapshots are
+// published through an atomic pointer and never mutated after publication,
+// with one deliberate exception: an append-extension may grow the data /
+// recStart / fieldOff backing arrays *beyond the published lengths* in
+// place. Readers slice by the lengths captured in their own snapshot, so
+// writes past those lengths are invisible to them — the classic
+// append-only-log trick, giving lock-free readers across extensions.
+type snapshot struct {
+	data     []byte
+	recStart []int64
+	fieldOff []uint32 // nrecs × nfields, offsets relative to recStart
+	mapped   bool     // recStart/fieldOff are populated
+	loaded   bool     // data was read from disk (false after a rewrite reset)
+	epoch    uint64   // bumps on every rewrite; byte offsets are per-epoch
+	fp       freshness.Fingerprint
+}
+
 // Provider implements plan.ScanProvider for one CSV file.
 //
-// Providers are safe for concurrent scans: file contents and the
-// positional map are published once behind atomic flags and immutable
-// afterwards. Concurrent first scans each tokenize independently (the
-// per-scan row buffers are local); the first to finish publishes the map.
+// Providers are safe for concurrent scans: all shared state lives in an
+// immutable snapshot behind an atomic pointer; p.mu serializes the writers
+// (initial load, positional-map publication, Refresh). Concurrent first
+// scans each tokenize independently (the per-scan row buffers are local);
+// the first to finish publishes the map.
 type Provider struct {
 	path   string
 	schema *value.Type
 	opts   Options
-	size   int64
+	size   atomic.Int64
 
-	mu     sync.Mutex  // guards publication of data and the positional map
-	loaded atomic.Bool // data is published
-	mapped atomic.Bool // recStart/fieldOff are published
+	mu   sync.Mutex // serializes snapshot replacement (load, map, refresh)
+	snap atomic.Pointer[snapshot]
 
-	// scans counts full-file Scan calls (not ScanOffsets replays); the
-	// work-sharing bench and tests use it to assert how many raw parses a
-	// burst of concurrent misses actually paid for. pushScans counts the
-	// subset that evaluated a pushdown below parsing, and pushSkipped the
-	// records those scans rejected before decoding anything else.
+	// scans counts full-file Scan calls (not ScanOffsets replays or tail
+	// scans); the work-sharing bench and tests use it to assert how many
+	// raw parses a burst of concurrent misses actually paid for. pushScans
+	// counts the subset that evaluated a pushdown below parsing, and
+	// pushSkipped the records those scans rejected before decoding
+	// anything else.
 	scans       atomic.Int64
 	pushScans   atomic.Int64
 	pushSkipped atomic.Int64
 
-	data []byte // file contents, loaded on first scan (warm-cache model)
-
-	// Positional map, built during the first scan, immutable once mapped.
-	recStart []int64
-	fieldOff []uint32 // nrecs × nfields, offsets relative to recStart
-	nfields  int
+	nfields int
 }
 
 // New creates a provider over path with an explicit flat record schema.
@@ -83,13 +99,14 @@ func New(path string, schema *value.Type, opts Options) (*Provider, error) {
 	if err != nil {
 		return nil, fmt.Errorf("csvio: %w", err)
 	}
-	return &Provider{
+	p := &Provider{
 		path:    path,
 		schema:  schema,
 		opts:    opts,
-		size:    st.Size(),
 		nfields: len(schema.Fields),
-	}, nil
+	}
+	p.size.Store(st.Size())
+	return p, nil
 }
 
 // Schema implements plan.ScanProvider.
@@ -97,14 +114,15 @@ func (p *Provider) Schema() *value.Type { return p.schema }
 
 // NumRecords implements plan.ScanProvider: -1 before the first scan.
 func (p *Provider) NumRecords() int {
-	if !p.mapped.Load() {
+	s := p.snap.Load()
+	if s == nil || !s.mapped {
 		return -1
 	}
-	return len(p.recStart)
+	return len(s.recStart)
 }
 
 // SizeBytes implements plan.ScanProvider.
-func (p *Provider) SizeBytes() int64 { return p.size }
+func (p *Provider) SizeBytes() int64 { return p.size.Load() }
 
 // Scans returns the number of full-file scans performed so far.
 func (p *Provider) Scans() int64 { return p.scans.Load() }
@@ -115,23 +133,168 @@ func (p *Provider) PushdownStats() (scans, skipped int64) {
 	return p.pushScans.Load(), p.pushSkipped.Load()
 }
 
-// load publishes the file contents exactly once (double-checked).
-func (p *Provider) load() error {
-	if p.loaded.Load() {
-		return nil
+// ensureLoaded publishes the file contents exactly once per epoch
+// (double-checked) and returns the current snapshot.
+func (p *Provider) ensureLoaded() (*snapshot, error) {
+	if s := p.snap.Load(); s != nil && s.loaded {
+		return s, nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.loaded.Load() {
-		return nil
+	if s := p.snap.Load(); s != nil && s.loaded {
+		return s, nil
+	}
+	st, err := os.Stat(p.path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
 	}
 	b, err := os.ReadFile(p.path)
 	if err != nil {
-		return fmt.Errorf("csvio: %w", err)
+		return nil, fmt.Errorf("csvio: %w", err)
 	}
-	p.data = b
-	p.loaded.Store(true)
-	return nil
+	epoch := uint64(1)
+	if s := p.snap.Load(); s != nil {
+		epoch = s.epoch
+	}
+	ns := &snapshot{
+		data:   b,
+		loaded: true,
+		epoch:  epoch,
+		fp:     freshness.Capture(b, st.ModTime().UnixNano()),
+	}
+	p.size.Store(int64(len(b)))
+	p.snap.Store(ns)
+	return ns, nil
+}
+
+// Version implements plan.RefreshableProvider: the current (epoch, covered
+// bytes), loading the file first if needed. On a load failure it reports
+// zero coverage under the current epoch — any scan would fail the same way,
+// so nothing is built against the bogus version.
+func (p *Provider) Version() (uint64, int64) {
+	s, err := p.ensureLoaded()
+	if err != nil {
+		if s := p.snap.Load(); s != nil {
+			return s.epoch, 0
+		}
+		return 0, 0
+	}
+	return s.epoch, int64(len(s.data))
+}
+
+// Refresh implements plan.RefreshableProvider: re-check the backing file
+// against the snapshot's fingerprint and reconcile. Appends extend the
+// snapshot in place (same epoch); rewrites reset the provider to an
+// unloaded snapshot under a new epoch, so the next scan reloads lazily.
+func (p *Provider) Refresh() (plan.FreshnessReport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.snap.Load()
+	if s == nil || !s.loaded {
+		var ep uint64
+		if s != nil {
+			ep = s.epoch
+		}
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: ep}, nil
+	}
+	status, _ := s.fp.Check(p.path)
+	switch status {
+	case freshness.Unchanged:
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: s.epoch, Covered: int64(len(s.data))}, nil
+	case freshness.Appended:
+		return p.extendLocked(s)
+	default:
+		return p.resetLocked(s), nil
+	}
+}
+
+// resetLocked replaces the snapshot with an unloaded one under a new epoch.
+func (p *Provider) resetLocked(s *snapshot) plan.FreshnessReport {
+	ns := &snapshot{epoch: s.epoch + 1}
+	p.snap.Store(ns)
+	if st, err := os.Stat(p.path); err == nil {
+		p.size.Store(st.Size())
+	}
+	return plan.FreshnessReport{Status: plan.FileRewritten, Epoch: ns.epoch}
+}
+
+// extendLocked grows the snapshot over the file's new tail: read only the
+// bytes past the covered prefix, trim at the last newline (a torn trailing
+// line stays uncovered until it completes), tokenize the new complete
+// records onto the positional map, and publish a longer snapshot under the
+// same epoch. Falls back to a rewrite reset whenever the extension cannot
+// be proven equivalent to a fresh full scan.
+func (p *Provider) extendLocked(s *snapshot) (plan.FreshnessReport, error) {
+	old := len(s.data)
+	if old > 0 && s.data[old-1] != '\n' {
+		// The covered prefix ends mid-record: new bytes change the meaning
+		// of the last record already served, which no in-place extension
+		// can express.
+		return p.resetLocked(s), nil
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return p.resetLocked(s), nil
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return p.resetLocked(s), nil
+	}
+	sz := st.Size()
+	if sz < int64(old) {
+		return p.resetLocked(s), nil
+	}
+	if sz == int64(old) {
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: s.epoch, Covered: int64(old)}, nil
+	}
+	tail := make([]byte, sz-int64(old))
+	if _, err := f.ReadAt(tail, int64(old)); err != nil {
+		return p.resetLocked(s), nil
+	}
+	cut := bytes.LastIndexByte(tail, '\n')
+	if cut < 0 {
+		// The appended bytes hold no complete record yet.
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: s.epoch, Covered: int64(old)}, nil
+	}
+	tail = tail[:cut+1]
+
+	// Appending may write into spare capacity past the published lengths
+	// (invisible to snapshot readers) or reallocate; both are safe.
+	data := append(s.data, tail...)
+	ns := &snapshot{
+		data:   data,
+		loaded: true,
+		epoch:  s.epoch,
+		fp:     freshness.Capture(data, st.ModTime().UnixNano()),
+	}
+	if s.mapped {
+		recStart, fieldOff := s.recStart, s.fieldOff
+		delim := p.opts.delim()
+		i := old
+		for i < len(data) {
+			start := i
+			end := lineEnd(data, i)
+			var nf int
+			fieldOff, nf = tokenizeLine(data[start:end], delim, fieldOff, p.nfields)
+			if nf < p.nfields {
+				// Malformed appended record: the extension would poison the
+				// map, so invalidate wholesale instead.
+				return p.resetLocked(s), nil
+			}
+			recStart = append(recStart, int64(start))
+			i = end + 1
+		}
+		ns.recStart, ns.fieldOff, ns.mapped = recStart, fieldOff, true
+	}
+	p.size.Store(sz)
+	p.snap.Store(ns)
+	return plan.FreshnessReport{
+		Status:    plan.FileAppended,
+		Epoch:     ns.epoch,
+		Covered:   int64(len(data)),
+		TailBytes: int64(len(tail)),
+	}, nil
 }
 
 // neededIndexes maps needed paths to field indexes; nil means every field.
@@ -158,26 +321,27 @@ func noComplete() error { return nil }
 // The complete callback handed to fn parses the skipped fields in place.
 func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
 	p.scans.Add(1)
-	if err := p.load(); err != nil {
+	s, err := p.ensureLoaded()
+	if err != nil {
 		return err
 	}
 	mask, err := p.neededIndexes(needed)
 	if err != nil {
 		return err
 	}
-	if !p.mapped.Load() {
-		return p.firstScan(mask, fn)
+	if !s.mapped {
+		return p.firstScan(s, mask, fn)
 	}
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
-	for ri, start := range p.recStart {
-		if err := p.parseAt(ri, start, mask, row); err != nil {
+	for ri, start := range s.recStart {
+		if err := p.parseAt(s, ri, start, mask, row); err != nil {
 			return err
 		}
 		complete := noComplete
 		if mask != nil {
 			ri, start := ri, start
-			complete = func() error { return p.completeAt(ri, start, mask, row) }
+			complete = func() error { return p.completeAt(s, ri, start, mask, row) }
 		}
 		if err := fn(rec, start, complete); err != nil {
 			return err
@@ -187,14 +351,14 @@ func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
 }
 
 // completeAt parses the fields mask skipped, using the positional map.
-func (p *Provider) completeAt(ri int, start int64, mask []bool, row []value.Value) error {
-	offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
+func (p *Provider) completeAt(s *snapshot, ri int, start int64, mask []bool, row []value.Value) error {
+	offs := s.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
 	for fi := 0; fi < p.nfields; fi++ {
 		if mask[fi] {
 			continue
 		}
 		beg := int(start) + int(offs[fi])
-		v, err := p.parseField(fi, p.data[beg:p.fieldEnd(beg)])
+		v, err := p.parseField(fi, s.data[beg:p.fieldEnd(s.data, beg)])
 		if err != nil {
 			return err
 		}
@@ -205,14 +369,14 @@ func (p *Provider) completeAt(ri int, start int64, mask []bool, row []value.Valu
 
 // skipHeader returns the offset of the first data byte, past the header
 // line when the options declare one.
-func (p *Provider) skipHeader() int {
+func (p *Provider) skipHeader(data []byte) int {
 	if !p.opts.HasHeader {
 		return 0
 	}
-	if j := bytes.IndexByte(p.data, '\n'); j >= 0 {
+	if j := bytes.IndexByte(data, '\n'); j >= 0 {
 		return j + 1
 	}
-	return len(p.data)
+	return len(data)
 }
 
 // lineEnd returns the offset of the newline terminating the record that
@@ -246,9 +410,9 @@ func tokenizeLine(line []byte, delim byte, fieldOff []uint32, max int) ([]uint32
 }
 
 // firstScan tokenizes every record, filling the positional map as it goes.
-func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
-	data := p.data
-	i := p.skipHeader()
+func (p *Provider) firstScan(s *snapshot, mask []bool, fn plan.ScanFunc) error {
+	data := s.data
+	i := p.skipHeader(data)
 	delim := p.opts.delim()
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
@@ -277,7 +441,7 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 			case nf > p.nfields:
 				// Extra trailing fields: the last mapped field ends at its
 				// own delimiter, not the line end.
-				fe = p.fieldEnd(beg)
+				fe = p.fieldEnd(data, beg)
 			}
 			v, err := p.parseField(fi, data[beg:fe])
 			if err != nil {
@@ -295,7 +459,7 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 						continue
 					}
 					beg := start + int(recOffs[fi])
-					v, err := p.parseField(fi, data[beg:p.fieldEnd(beg)])
+					v, err := p.parseField(fi, data[beg:p.fieldEnd(data, beg)])
 					if err != nil {
 						return err
 					}
@@ -309,16 +473,29 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 		}
 		i++ // past newline
 	}
-	// Publish the positional map; under concurrent first scans the first
-	// finisher wins and the rest discard their identical local copies.
+	p.publishMap(s, recStart, fieldOff)
+	return nil
+}
+
+// publishMap installs a positional map built against snapshot s. Under
+// concurrent first scans the first finisher wins; if the snapshot moved on
+// (refresh, rewrite) while this scan ran, its map describes stale bytes
+// and is discarded.
+func (p *Provider) publishMap(s *snapshot, recStart []int64, fieldOff []uint32) {
 	p.mu.Lock()
-	if !p.mapped.Load() {
-		p.recStart = recStart
-		p.fieldOff = fieldOff
-		p.mapped.Store(true)
+	if p.snap.Load() == s && !s.mapped {
+		ns := &snapshot{
+			data:     s.data,
+			recStart: recStart,
+			fieldOff: fieldOff,
+			mapped:   true,
+			loaded:   true,
+			epoch:    s.epoch,
+			fp:       s.fp,
+		}
+		p.snap.Store(ns)
 	}
 	p.mu.Unlock()
-	return nil
 }
 
 // ScanPushdown implements plan.PushdownScanner: it streams only the records
@@ -336,7 +513,8 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 	}
 	p.scans.Add(1)
 	p.pushScans.Add(1)
-	if err := p.load(); err != nil {
+	s, err := p.ensureLoaded()
+	if err != nil {
 		return 0, err
 	}
 	mask, err := p.neededIndexes(needed)
@@ -344,35 +522,35 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 		return 0, err
 	}
 	eff := p.effectiveMask(mask, tests)
-	needle := expr.NewNeedleCursor(p.data, pd.EqNeedle())
+	needle := expr.NewNeedleCursor(s.data, pd.EqNeedle())
 	var skipped int64
 	defer func() { p.pushSkipped.Add(skipped) }()
-	if !p.mapped.Load() {
-		return p.firstScanPushdown(tests, eff, needle, &skipped, fn)
+	if !s.mapped {
+		return p.firstScanPushdown(s, tests, eff, needle, &skipped, fn)
 	}
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
-	for ri := 0; ri < len(p.recStart); ri++ {
-		start := p.recStart[ri]
+	for ri := 0; ri < len(s.recStart); ri++ {
+		start := s.recStart[ri]
 		if needle != nil {
 			// Jump to the next record that can contain the equality
 			// literal, bulk-counting the records in between as skipped.
 			m := needle.Next(int(start))
-			if m == len(p.data) {
-				skipped += int64(len(p.recStart) - ri)
+			if m == len(s.data) {
+				skipped += int64(len(s.recStart) - ri)
 				break
 			}
-			if rj := p.recordAt(int64(m)); rj > ri {
+			if rj := p.recordAt(s, int64(m)); rj > ri {
 				skipped += int64(rj - ri)
 				ri = rj
-				start = p.recStart[ri]
+				start = s.recStart[ri]
 			}
 		}
-		offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
+		offs := s.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
 		pass := true
 		for ti := range tests {
 			t := &tests[ti]
-			ok, err := p.testField(t, int(start)+int(offs[t.Slot]))
+			ok, err := p.testField(s.data, t, int(start)+int(offs[t.Slot]))
 			if err != nil {
 				return skipped, err
 			}
@@ -385,13 +563,13 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 			skipped++
 			continue
 		}
-		if err := p.parseAt(ri, start, eff, row); err != nil {
+		if err := p.parseAt(s, ri, start, eff, row); err != nil {
 			return skipped, err
 		}
 		complete := noComplete
 		if eff != nil {
 			ri, start := ri, start
-			complete = func() error { return p.completeAt(ri, start, eff, row) }
+			complete = func() error { return p.completeAt(s, ri, start, eff, row) }
 		}
 		if err := fn(rec, start, complete); err != nil {
 			return skipped, err
@@ -403,8 +581,8 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 // recordAt returns the index of the record whose span contains byte offset
 // off (the last record starting at or before it). Requires the positional
 // map.
-func (p *Provider) recordAt(off int64) int {
-	return sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] > off }) - 1
+func (p *Provider) recordAt(s *snapshot, off int64) int {
+	return sort.Search(len(s.recStart), func(i int) bool { return s.recStart[i] > off }) - 1
 }
 
 // effectiveMask unions the tested columns into the needed mask: survivors
@@ -428,8 +606,8 @@ func (p *Provider) effectiveMask(mask []bool, tests []expr.ColTest) []bool {
 // testField decodes one field's raw bytes as the test's column kind and
 // evaluates the fused kernel. An empty field is NULL and fails; a malformed
 // field is the same error a normal decode of that field would raise.
-func (p *Provider) testField(t *expr.ColTest, beg int) (bool, error) {
-	b := p.data[beg:p.fieldEnd(beg)]
+func (p *Provider) testField(data []byte, t *expr.ColTest, beg int) (bool, error) {
+	b := data[beg:p.fieldEnd(data, beg)]
 	if len(b) == 0 {
 		return false, nil
 	}
@@ -457,9 +635,9 @@ func (p *Provider) testField(t *expr.ColTest, beg int) (bool, error) {
 // is still tokenized (the positional map needs every field offset), but a
 // record failing the needle filter or a pushed test skips all field parsing
 // and boxing.
-func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
-	data := p.data
-	i := p.skipHeader()
+func (p *Provider) firstScanPushdown(s *snapshot, tests []expr.ColTest, eff []bool, needle *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
+	data := s.data
+	i := p.skipHeader(data)
 	delim := p.opts.delim()
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
@@ -486,7 +664,7 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *e
 		pass := true
 		for ti := range tests {
 			t := &tests[ti]
-			ok, err := p.testField(t, start+int(offs[t.Slot]))
+			ok, err := p.testField(data, t, start+int(offs[t.Slot]))
 			if err != nil {
 				return *skipped, err
 			}
@@ -506,7 +684,7 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *e
 				continue
 			}
 			beg := start + int(offs[fi])
-			v, err := p.parseField(fi, data[beg:p.fieldEnd(beg)])
+			v, err := p.parseField(fi, data[beg:p.fieldEnd(data, beg)])
 			if err != nil {
 				return *skipped, err
 			}
@@ -520,7 +698,7 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *e
 						continue
 					}
 					beg := start + int(offs[fi])
-					v, err := p.parseField(fi, data[beg:p.fieldEnd(beg)])
+					v, err := p.parseField(fi, data[beg:p.fieldEnd(data, beg)])
 					if err != nil {
 						return err
 					}
@@ -534,30 +712,22 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle *e
 		}
 		i++
 	}
-	// Publish the positional map; under concurrent first scans the first
-	// finisher wins and the rest discard their identical local copies.
-	p.mu.Lock()
-	if !p.mapped.Load() {
-		p.recStart = recStart
-		p.fieldOff = fieldOff
-		p.mapped.Store(true)
-	}
-	p.mu.Unlock()
+	p.publishMap(s, recStart, fieldOff)
 	return *skipped, nil
 }
 
 // parseAt parses record ri (starting at byte offset start) using the
 // positional map, materializing only masked fields.
-func (p *Provider) parseAt(ri int, start int64, mask []bool, row []value.Value) error {
-	offs := p.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
+func (p *Provider) parseAt(s *snapshot, ri int, start int64, mask []bool, row []value.Value) error {
+	offs := s.fieldOff[ri*p.nfields : (ri+1)*p.nfields]
 	for fi := 0; fi < p.nfields; fi++ {
 		if mask != nil && !mask[fi] {
 			row[fi] = value.VNull
 			continue
 		}
 		beg := int(start) + int(offs[fi])
-		end := p.fieldEnd(beg)
-		v, err := p.parseField(fi, p.data[beg:end])
+		end := p.fieldEnd(s.data, beg)
+		v, err := p.parseField(fi, s.data[beg:end])
 		if err != nil {
 			return err
 		}
@@ -566,10 +736,10 @@ func (p *Provider) parseAt(ri int, start int64, mask []bool, row []value.Value) 
 	return nil
 }
 
-func (p *Provider) fieldEnd(beg int) int {
+func (p *Provider) fieldEnd(data []byte, beg int) int {
 	delim := p.opts.delim()
 	i := beg
-	for i < len(p.data) && p.data[i] != delim && p.data[i] != '\n' {
+	for i < len(data) && data[i] != delim && data[i] != '\n' {
 		i++
 	}
 	return i
@@ -608,27 +778,46 @@ func (p *Provider) parseField(fi int, b []byte) (value.Value, error) {
 // ScanOffsets implements plan.ScanProvider: random access through the
 // positional map, the access path of lazy (offsets-only) caches.
 func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
-	if err := p.load(); err != nil {
+	s, err := p.ensureLoaded()
+	if err != nil {
 		return err
 	}
+	return p.scanOffsets(s, offsets, needed, fn)
+}
+
+// ScanOffsetsAt implements plan.EpochScanner: ScanOffsets pinned to a file
+// epoch. If the file was rewritten since the offsets were recorded, the
+// positions are meaningless in the new bytes — fail with ErrEpochChanged
+// instead of dereferencing them.
+func (p *Provider) ScanOffsetsAt(epoch uint64, offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
+	s, err := p.ensureLoaded()
+	if err != nil {
+		return err
+	}
+	if s.epoch != epoch {
+		return plan.ErrEpochChanged
+	}
+	return p.scanOffsets(s, offsets, needed, fn)
+}
+
+func (p *Provider) scanOffsets(s *snapshot, offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
 	mask, err := p.neededIndexes(needed)
 	if err != nil {
 		return err
 	}
 	row := make([]value.Value, p.nfields)
 	rec := value.Value{Kind: value.Record, L: row}
-	hasMap := p.mapped.Load()
 	for _, off := range offsets {
-		if hasMap {
-			ri := sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] >= off })
-			if ri < len(p.recStart) && p.recStart[ri] == off {
-				if err := p.parseAt(ri, off, mask, row); err != nil {
+		if s.mapped {
+			ri := sort.Search(len(s.recStart), func(i int) bool { return s.recStart[i] >= off })
+			if ri < len(s.recStart) && s.recStart[ri] == off {
+				if err := p.parseAt(s, ri, off, mask, row); err != nil {
 					return err
 				}
 				complete := noComplete
 				if mask != nil {
 					ri, off := ri, off
-					complete = func() error { return p.completeAt(ri, off, mask, row) }
+					complete = func() error { return p.completeAt(s, ri, off, mask, row) }
 				}
 				if err := fn(rec, off, complete); err != nil {
 					return err
@@ -638,7 +827,7 @@ func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.Sca
 		}
 		// No positional map entry: tokenize the single record in place,
 		// parsing every field so the complete callback can be a no-op.
-		if err := p.parseLineAt(off, nil, row); err != nil {
+		if err := p.parseLineAt(s.data, off, nil, row); err != nil {
 			return err
 		}
 		if err := fn(rec, off, noComplete); err != nil {
@@ -648,8 +837,93 @@ func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.Sca
 	return nil
 }
 
-func (p *Provider) parseLineAt(off int64, mask []bool, row []value.Value) error {
-	data := p.data
+// ScanFrom implements plan.RefreshableProvider: stream the records whose
+// byte offset is >= from, in file order. The cache manager uses it to scan
+// only the appended tail when extending an entry; from is a previous
+// covered length, so it always lands on a record boundary.
+func (p *Provider) ScanFrom(from int64, needed []value.Path, fn plan.ScanFunc) error {
+	s, err := p.ensureLoaded()
+	if err != nil {
+		return err
+	}
+	mask, err := p.neededIndexes(needed)
+	if err != nil {
+		return err
+	}
+	row := make([]value.Value, p.nfields)
+	rec := value.Value{Kind: value.Record, L: row}
+	if s.mapped {
+		lo := sort.Search(len(s.recStart), func(i int) bool { return s.recStart[i] >= from })
+		for ri := lo; ri < len(s.recStart); ri++ {
+			start := s.recStart[ri]
+			if err := p.parseAt(s, ri, start, mask, row); err != nil {
+				return err
+			}
+			complete := noComplete
+			if mask != nil {
+				ri, start := ri, start
+				complete = func() error { return p.completeAt(s, ri, start, mask, row) }
+			}
+			if err := fn(rec, start, complete); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	data := s.data
+	i := int(from)
+	if h := p.skipHeader(data); i < h {
+		i = h
+	}
+	delim := p.opts.delim()
+	var offsBuf []uint32
+	for i < len(data) {
+		start := i
+		end := lineEnd(data, i)
+		var nf int
+		offsBuf, nf = tokenizeLine(data[start:end], delim, offsBuf[:0], p.nfields)
+		if nf < p.nfields {
+			return fmt.Errorf("csvio: record at offset %d has %d fields, want %d", start, nf, p.nfields)
+		}
+		for fi := 0; fi < p.nfields; fi++ {
+			if mask != nil && !mask[fi] {
+				row[fi] = value.VNull
+				continue
+			}
+			beg := start + int(offsBuf[fi])
+			v, err := p.parseField(fi, data[beg:p.fieldEnd(data, beg)])
+			if err != nil {
+				return err
+			}
+			row[fi] = v
+		}
+		complete := noComplete
+		if mask != nil {
+			offs := append([]uint32(nil), offsBuf...)
+			complete = func() error {
+				for fi := 0; fi < p.nfields; fi++ {
+					if mask[fi] {
+						continue
+					}
+					beg := start + int(offs[fi])
+					v, err := p.parseField(fi, data[beg:p.fieldEnd(data, beg)])
+					if err != nil {
+						return err
+					}
+					row[fi] = v
+				}
+				return nil
+			}
+		}
+		if err := fn(rec, int64(start), complete); err != nil {
+			return err
+		}
+		i = end + 1
+	}
+	return nil
+}
+
+func (p *Provider) parseLineAt(data []byte, off int64, mask []bool, row []value.Value) error {
 	if off < 0 || off >= int64(len(data)) {
 		return fmt.Errorf("csvio: offset %d out of range", off)
 	}

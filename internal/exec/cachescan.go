@@ -172,9 +172,21 @@ func lazyReplay(ctx *qctx, cs *plan.CachedScan, entry *cache.Entry, offsets []in
 		return out(row)
 	}
 
+	// Replay against the file epoch the offsets were recorded in: a rewrite
+	// between the lookup and this scan renumbers every byte offset, and an
+	// epoch-checked scan fails fast with plan.ErrEpochChanged (the engine
+	// retries the whole query against the reconciled cache) instead of
+	// parsing garbage at stale positions.
+	scan := entry.Dataset.Provider.ScanOffsets
+	if es, ok := entry.Dataset.Provider.(plan.EpochScanner); ok && entry.FileEpoch != 0 {
+		scan = func(offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
+			return es.ScanOffsetsAt(entry.FileEpoch, offsets, needed, fn)
+		}
+	}
+
 	buf := make([]value.Value, len(outNames))
 	wall0 := time.Now()
-	err = entry.Dataset.Provider.ScanOffsets(offsets, needed,
+	err = scan(offsets, needed,
 		func(rec value.Value, off int64, complete func() error) error {
 			if builder != nil {
 				if sampled := buildTimer.Begin(); sampled {

@@ -49,6 +49,19 @@ func compileMaterialize(m *plan.Materialize, deps Deps) (runFn, error) {
 			state = admitLazy
 		}
 
+		// Capture the provider's file version before the scan starts. If the
+		// file is rewritten or appended to while this build runs, the payload
+		// would mix rows from two file states; the re-check below abandons
+		// the admission in that case rather than caching the hybrid.
+		var (
+			epoch0   uint64
+			covered0 int64
+		)
+		rp, tracked := prov.(plan.RefreshableProvider)
+		if tracked {
+			epoch0, covered0 = rp.Version()
+		}
+
 		var builder store.Builder
 		if state != admitLazy {
 			b, err := store.NewBuilder(spec.Layout, schema)
@@ -177,6 +190,17 @@ func compileMaterialize(m *plan.Materialize, deps Deps) (runFn, error) {
 			t = 0
 		}
 		ctx.stats.CacheBuildNanos += c
+		if tracked {
+			if epoch1, covered1 := rp.Version(); epoch1 != epoch0 || covered1 != covered0 {
+				// The file moved under the build: the rows forwarded
+				// downstream were each consistent when read, but the payload
+				// as a whole matches no single file version. Release the
+				// build slot and admit nothing; the next miss rebuilds.
+				spec.Manager.AbandonBuild(spec)
+				return nil
+			}
+			spec.FileEpoch, spec.Covered = epoch0, covered0
+		}
 		spec.Manager.CompleteBuild(spec, st, offsets, mode, t, c)
 		return nil
 	}, nil

@@ -1,0 +1,194 @@
+package freshness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, path string, data []byte) os.FileInfo {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func capture(t *testing.T, path string, data []byte) Fingerprint {
+	t.Helper()
+	st := writeFile(t, path, data)
+	return Capture(data, st.ModTime().UnixNano())
+}
+
+func TestCheckUnchanged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	fp := capture(t, path, []byte("id,v\n1,2\n3,4\n"))
+	got, err := fp.Check(path)
+	if err != nil || got != Unchanged {
+		t.Fatalf("Check = %v, %v; want Unchanged", got, err)
+	}
+}
+
+func TestCheckAppended(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	base := []byte("id,v\n1,2\n3,4\n")
+	fp := capture(t, path, base)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("5,6\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := fp.Check(path)
+	if err != nil || got != Appended {
+		t.Fatalf("Check = %v, %v; want Appended", got, err)
+	}
+}
+
+func TestCheckRewrittenSameSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	fp := capture(t, path, []byte("id,v\n1,2\n3,4\n"))
+	// Same byte count, different content; push mtime forward so the
+	// stat fast path cannot mask the rewrite on coarse filesystems.
+	writeFile(t, path, []byte("id,v\n9,8\n7,6\n"))
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fp.Check(path)
+	if err != nil || got != Rewritten {
+		t.Fatalf("Check = %v, %v; want Rewritten", got, err)
+	}
+}
+
+func TestCheckSameSizeSameContentNewMTime(t *testing.T) {
+	// A touch (mtime bump, identical bytes) must not invalidate: the
+	// hash pass proves the prefix intact.
+	path := filepath.Join(t.TempDir(), "a.csv")
+	data := []byte("id,v\n1,2\n3,4\n")
+	fp := capture(t, path, data)
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fp.Check(path)
+	if err != nil || got != Unchanged {
+		t.Fatalf("Check = %v, %v; want Unchanged", got, err)
+	}
+}
+
+func TestCheckTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	fp := capture(t, path, []byte("id,v\n1,2\n3,4\n"))
+	writeFile(t, path, []byte("id,v\n1,2\n"))
+	got, err := fp.Check(path)
+	if err != nil || got != Rewritten {
+		t.Fatalf("Check = %v, %v; want Rewritten", got, err)
+	}
+}
+
+func TestCheckGrownButPrefixRewritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	fp := capture(t, path, []byte("id,v\n1,2\n3,4\n"))
+	writeFile(t, path, []byte("id,v\n9,9\n9,9\n9,9\n9,9\n"))
+	got, err := fp.Check(path)
+	if err != nil || got != Rewritten {
+		t.Fatalf("Check = %v, %v; want Rewritten", got, err)
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.csv")
+	fp := capture(t, path, []byte("id,v\n1,2\n"))
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fp.Check(path)
+	if err != nil || got != Rewritten {
+		t.Fatalf("Check = %v, %v; want Rewritten", got, err)
+	}
+}
+
+func TestCheckLargePrefixMiddleEditAppended(t *testing.T) {
+	// An edit strictly between the head and tail windows is invisible to
+	// the windowed hashes — document the accepted blind spot: a grown
+	// file with intact windows classifies as Appended.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csv")
+	data := []byte(strings.Repeat("aaaaaaaaaaaaaaa\n", 2048)) // 32 KiB >> 2*Window
+	fp := capture(t, path, data)
+	mut := append([]byte{}, data...)
+	mut[len(mut)/2] = 'b'
+	mut = append(mut, []byte("tail\n")...)
+	writeFile(t, path, mut)
+	got, err := fp.Check(path)
+	if err != nil || got != Appended {
+		t.Fatalf("Check = %v, %v; want Appended (windowed hashes skip mid-file edits)", got, err)
+	}
+}
+
+func TestCaptureEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.csv")
+	fp := capture(t, path, nil)
+	if fp.Size != 0 {
+		t.Fatalf("Size = %d, want 0", fp.Size)
+	}
+	got, err := fp.Check(path)
+	if err != nil || got != Unchanged {
+		t.Fatalf("Check = %v, %v; want Unchanged", got, err)
+	}
+	writeFile(t, path, []byte("x\n"))
+	got, err = fp.Check(path)
+	if err != nil || got != Appended {
+		t.Fatalf("Check after growth = %v, %v; want Appended", got, err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	fp := Fingerprint{Size: 1 << 40, MTimeNanos: 1754500000123456789, HeadHash: 0xdeadbeefcafef00d, TailHash: 42}
+	enc := fp.Encode()
+	if len(enc) != EncodedLen {
+		t.Fatalf("Encode len = %d, want %d", len(enc), EncodedLen)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != fp {
+		t.Fatalf("round trip: got %+v, want %+v", dec, fp)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	fp := Fingerprint{Size: 12, MTimeNanos: 34}
+	good := fp.Encode()
+
+	if _, err := Decode(good[:EncodedLen-1]); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := Decode(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	badMagic := append([]byte{}, good...)
+	badMagic[0] = 'X'
+	if _, err := Decode(badMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	negSize := append([]byte{}, good...)
+	negSize[11] = 0xff // top byte of the little-endian size word
+	if _, err := Decode(negSize); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if !bytes.Equal(good, fp.Encode()) {
+		t.Fatal("Encode not deterministic")
+	}
+}

@@ -1,0 +1,33 @@
+package freshness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodec hardens the fingerprint decoder the same way internal/wire's
+// targets harden the protocol: no input may panic, and any input the
+// decoder accepts must re-encode byte-identically (the encoding is
+// canonical — exactly one byte string per fingerprint).
+func FuzzCodec(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(codecMagic))
+	f.Add(Fingerprint{}.Encode())
+	f.Add(Fingerprint{Size: 1, MTimeNanos: 2, HeadHash: 3, TailHash: 4}.Encode())
+	f.Add(Fingerprint{Size: 1<<63 - 1, MTimeNanos: -1, HeadHash: ^uint64(0), TailHash: ^uint64(0)}.Encode())
+	f.Add(bytes.Repeat([]byte{0xff}, EncodedLen))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fp, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re := fp.Encode()
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted input is not canonical: decode(%x) -> %+v -> %x", b, fp, re)
+		}
+		if fp.Size < 0 {
+			t.Fatalf("decoder admitted negative size %d", fp.Size)
+		}
+	})
+}

@@ -32,6 +32,11 @@ type Phase struct {
 	// DiskHitRatio is the fraction of a memory-pressure phase's measured
 	// queries answered by re-admitting a spilled entry from the disk tier.
 	DiskHitRatio float64 `json:"disk_hit_ratio,omitempty"`
+	// TailExtendRatio is the fraction of an append-stream phase's
+	// revalidations that incrementally extended cached entries over the
+	// appended tail instead of invalidating them (extensions over
+	// extensions + stale invalidations).
+	TailExtendRatio float64 `json:"tail_extend_ratio,omitempty"`
 	// RawParses is the fleet-wide raw-file parse count a shard-scale phase
 	// accumulated (warm misses + capacity re-scans summed over every
 	// shard): the aggregate-capacity metric — more shards, fewer re-scans.

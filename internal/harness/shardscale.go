@@ -197,7 +197,7 @@ func (r *Runner) shardColdFlight(paths *datagen.TPCHPaths) error {
 		Burst1Parses: b1,
 		Burst2Parses: b2,
 	})
-	return nil
+	return r.appendStream()
 }
 
 // shardFleet is an in-process shard fleet: one engine+server per shard on

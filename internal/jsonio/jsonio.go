@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"recache/internal/expr"
+	"recache/internal/freshness"
 	"recache/internal/plan"
 	"recache/internal/value"
 )
@@ -29,36 +30,47 @@ import (
 // absentOff marks a top-level field with no value in a record.
 const absentOff = ^uint32(0)
 
+// snapshot is one immutable view of the file (see csvio's twin for the
+// full rationale): ingested bytes, positional map, epoch, and the
+// fingerprint that detects divergence from disk. Append-extensions may
+// grow the backing arrays past the published lengths in place; readers
+// slice by their own snapshot's lengths and never see the new bytes.
+type snapshot struct {
+	data     []byte
+	recStart []int64
+	fieldOff []uint32 // nrecs × ntop: offset of field value relative to recStart
+	mapped   bool     // recStart/fieldOff are populated
+	loaded   bool     // data was read from disk (false after a rewrite reset)
+	epoch    uint64   // bumps on every rewrite; byte offsets are per-epoch
+	fp       freshness.Fingerprint
+}
+
 // Provider implements plan.ScanProvider for one NDJSON file.
 //
-// Providers are safe for concurrent scans: file contents and the
-// positional map are published once behind atomic flags and immutable
-// afterwards. Concurrent first scans each parse independently (the
-// per-scan row buffers are local); the first to finish publishes the map.
+// Providers are safe for concurrent scans: all shared state lives in an
+// immutable snapshot behind an atomic pointer; p.mu serializes the writers
+// (initial load, positional-map publication, Refresh). Concurrent first
+// scans each parse independently (the per-scan row buffers are local); the
+// first to finish publishes the map.
 type Provider struct {
 	path   string
 	schema *value.Type
-	size   int64
+	size   atomic.Int64
 
-	mu     sync.Mutex  // guards publication of data and the positional map
-	loaded atomic.Bool // data is published
-	mapped atomic.Bool // recStart/fieldOff are published
+	mu   sync.Mutex // serializes snapshot replacement (load, map, refresh)
+	snap atomic.Pointer[snapshot]
 
-	// scans counts full-file Scan calls (not ScanOffsets replays); the
-	// work-sharing bench and tests use it to assert how many raw parses a
-	// burst of concurrent misses actually paid for. pushScans counts the
-	// subset that evaluated a pushdown below parsing, and pushSkipped the
-	// records those scans rejected before decoding anything else.
+	// scans counts full-file Scan calls (not ScanOffsets replays or tail
+	// scans); the work-sharing bench and tests use it to assert how many
+	// raw parses a burst of concurrent misses actually paid for. pushScans
+	// counts the subset that evaluated a pushdown below parsing, and
+	// pushSkipped the records those scans rejected before decoding
+	// anything else.
 	scans       atomic.Int64
 	pushScans   atomic.Int64
 	pushSkipped atomic.Int64
 
-	data []byte
-
-	// Positional map, immutable once mapped.
-	recStart []int64
-	fieldOff []uint32 // nrecs × ntop: offset of field value relative to recStart
-	ntop     int
+	ntop int
 }
 
 // New creates a provider over path with an explicit (possibly nested)
@@ -74,7 +86,9 @@ func New(path string, schema *value.Type) (*Provider, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jsonio: %w", err)
 	}
-	return &Provider{path: path, schema: schema, size: st.Size(), ntop: len(schema.Fields)}, nil
+	p := &Provider{path: path, schema: schema, ntop: len(schema.Fields)}
+	p.size.Store(st.Size())
+	return p, nil
 }
 
 // Schema implements plan.ScanProvider.
@@ -82,14 +96,15 @@ func (p *Provider) Schema() *value.Type { return p.schema }
 
 // NumRecords implements plan.ScanProvider: -1 before the first scan.
 func (p *Provider) NumRecords() int {
-	if !p.mapped.Load() {
+	s := p.snap.Load()
+	if s == nil || !s.mapped {
 		return -1
 	}
-	return len(p.recStart)
+	return len(s.recStart)
 }
 
 // SizeBytes implements plan.ScanProvider.
-func (p *Provider) SizeBytes() int64 { return p.size }
+func (p *Provider) SizeBytes() int64 { return p.size.Load() }
 
 // Scans returns the number of full-file scans performed so far.
 func (p *Provider) Scans() int64 { return p.scans.Load() }
@@ -100,23 +115,165 @@ func (p *Provider) PushdownStats() (scans, skipped int64) {
 	return p.pushScans.Load(), p.pushSkipped.Load()
 }
 
-// load publishes the file contents exactly once (double-checked).
-func (p *Provider) load() error {
-	if p.loaded.Load() {
-		return nil
+// ensureLoaded publishes the file contents exactly once per epoch
+// (double-checked) and returns the current snapshot.
+func (p *Provider) ensureLoaded() (*snapshot, error) {
+	if s := p.snap.Load(); s != nil && s.loaded {
+		return s, nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.loaded.Load() {
-		return nil
+	if s := p.snap.Load(); s != nil && s.loaded {
+		return s, nil
+	}
+	st, err := os.Stat(p.path)
+	if err != nil {
+		return nil, fmt.Errorf("jsonio: %w", err)
 	}
 	b, err := os.ReadFile(p.path)
 	if err != nil {
-		return fmt.Errorf("jsonio: %w", err)
+		return nil, fmt.Errorf("jsonio: %w", err)
 	}
-	p.data = b
-	p.loaded.Store(true)
-	return nil
+	epoch := uint64(1)
+	if s := p.snap.Load(); s != nil {
+		epoch = s.epoch
+	}
+	ns := &snapshot{
+		data:   b,
+		loaded: true,
+		epoch:  epoch,
+		fp:     freshness.Capture(b, st.ModTime().UnixNano()),
+	}
+	p.size.Store(int64(len(b)))
+	p.snap.Store(ns)
+	return ns, nil
+}
+
+// Version implements plan.RefreshableProvider (see csvio.Provider.Version).
+func (p *Provider) Version() (uint64, int64) {
+	s, err := p.ensureLoaded()
+	if err != nil {
+		if s := p.snap.Load(); s != nil {
+			return s.epoch, 0
+		}
+		return 0, 0
+	}
+	return s.epoch, int64(len(s.data))
+}
+
+// Refresh implements plan.RefreshableProvider: re-check the backing file
+// against the snapshot's fingerprint and reconcile. Appends extend the
+// snapshot in place (same epoch); rewrites reset the provider to an
+// unloaded snapshot under a new epoch, so the next scan reloads lazily.
+func (p *Provider) Refresh() (plan.FreshnessReport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.snap.Load()
+	if s == nil || !s.loaded {
+		var ep uint64
+		if s != nil {
+			ep = s.epoch
+		}
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: ep}, nil
+	}
+	status, _ := s.fp.Check(p.path)
+	switch status {
+	case freshness.Unchanged:
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: s.epoch, Covered: int64(len(s.data))}, nil
+	case freshness.Appended:
+		return p.extendLocked(s)
+	default:
+		return p.resetLocked(s), nil
+	}
+}
+
+// resetLocked replaces the snapshot with an unloaded one under a new epoch.
+func (p *Provider) resetLocked(s *snapshot) plan.FreshnessReport {
+	ns := &snapshot{epoch: s.epoch + 1}
+	p.snap.Store(ns)
+	if st, err := os.Stat(p.path); err == nil {
+		p.size.Store(st.Size())
+	}
+	return plan.FreshnessReport{Status: plan.FileRewritten, Epoch: ns.epoch}
+}
+
+// extendLocked grows the snapshot over the file's new tail: read only the
+// bytes past the covered prefix, trim at the last newline (a torn trailing
+// line stays uncovered until it completes), parse the new complete objects
+// onto the positional map, and publish a longer snapshot under the same
+// epoch. Falls back to a rewrite reset whenever the extension cannot be
+// proven equivalent to a fresh full scan.
+func (p *Provider) extendLocked(s *snapshot) (plan.FreshnessReport, error) {
+	old := len(s.data)
+	if old > 0 && s.data[old-1] != '\n' {
+		// The covered prefix ends mid-record: new bytes change the meaning
+		// of the last record already served.
+		return p.resetLocked(s), nil
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return p.resetLocked(s), nil
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return p.resetLocked(s), nil
+	}
+	sz := st.Size()
+	if sz < int64(old) {
+		return p.resetLocked(s), nil
+	}
+	if sz == int64(old) {
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: s.epoch, Covered: int64(old)}, nil
+	}
+	tail := make([]byte, sz-int64(old))
+	if _, err := f.ReadAt(tail, int64(old)); err != nil {
+		return p.resetLocked(s), nil
+	}
+	cut := bytes.LastIndexByte(tail, '\n')
+	if cut < 0 {
+		// The appended bytes hold no complete record yet.
+		return plan.FreshnessReport{Status: plan.FileUnchanged, Epoch: s.epoch, Covered: int64(old)}, nil
+	}
+	tail = tail[:cut+1]
+
+	// Appending may write into spare capacity past the published lengths
+	// (invisible to snapshot readers) or reallocate; both are safe.
+	data := append(s.data, tail...)
+	ns := &snapshot{
+		data:   data,
+		loaded: true,
+		epoch:  s.epoch,
+		fp:     freshness.Capture(data, st.ModTime().UnixNano()),
+	}
+	if s.mapped {
+		recStart, fieldOff := s.recStart, s.fieldOff
+		row := make([]value.Value, p.ntop)
+		offs := make([]uint32, p.ntop)
+		noneMask := make([]bool, p.ntop) // map offsets only, materialize nothing
+		i := skipWS(data, old)
+		for i < len(data) {
+			start := i
+			end, err := p.parseTopObject(data, i, noneMask, row, offs, int64(start))
+			if err != nil {
+				// Malformed appended record: the extension would poison the
+				// map, so invalidate wholesale instead.
+				return p.resetLocked(s), nil
+			}
+			recStart = append(recStart, int64(start))
+			fieldOff = append(fieldOff, offs...)
+			i = skipWS(data, end)
+		}
+		ns.recStart, ns.fieldOff, ns.mapped = recStart, fieldOff, true
+	}
+	p.size.Store(sz)
+	p.snap.Store(ns)
+	return plan.FreshnessReport{
+		Status:    plan.FileAppended,
+		Epoch:     ns.epoch,
+		Covered:   int64(len(data)),
+		TailBytes: int64(len(tail)),
+	}, nil
 }
 
 // neededMask marks the top-level fields covering the needed paths; nil
@@ -149,27 +306,28 @@ func noComplete() error { return nil }
 // Scan implements plan.ScanProvider.
 func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
 	p.scans.Add(1)
-	if err := p.load(); err != nil {
+	s, err := p.ensureLoaded()
+	if err != nil {
 		return err
 	}
 	mask, err := p.neededMask(needed)
 	if err != nil {
 		return err
 	}
-	if !p.mapped.Load() {
-		return p.firstScan(mask, fn)
+	if !s.mapped {
+		return p.firstScan(s, mask, fn)
 	}
 	row := make([]value.Value, p.ntop)
 	rec := value.Value{Kind: value.Record, L: row}
-	for ri, start := range p.recStart {
-		if err := p.parseMapped(ri, start, mask, row); err != nil {
+	for ri, start := range s.recStart {
+		if err := p.parseMapped(s, ri, start, mask, row); err != nil {
 			return err
 		}
 		complete := noComplete
 		if mask != nil {
 			ri, start := ri, start
 			complete = func() error {
-				return p.completeMapped(ri, start, mask, row)
+				return p.completeMapped(s, ri, start, mask, row)
 			}
 		}
 		if err := fn(rec, start, complete); err != nil {
@@ -181,8 +339,8 @@ func (p *Provider) Scan(needed []value.Path, fn plan.ScanFunc) error {
 
 // completeMapped parses the top-level fields mask skipped, via the
 // positional map.
-func (p *Provider) completeMapped(ri int, start int64, mask []bool, row []value.Value) error {
-	offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
+func (p *Provider) completeMapped(s *snapshot, ri int, start int64, mask []bool, row []value.Value) error {
+	offs := s.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
 	for fi := 0; fi < p.ntop; fi++ {
 		if mask[fi] {
 			continue
@@ -191,7 +349,7 @@ func (p *Provider) completeMapped(ri int, start int64, mask []bool, row []value.
 			row[fi] = nullFor(p.schema.Fields[fi].Type)
 			continue
 		}
-		v, _, err := parseValue(p.data, int(start)+int(offs[fi]), p.schema.Fields[fi].Type)
+		v, _, err := parseValue(s.data, int(start)+int(offs[fi]), p.schema.Fields[fi].Type)
 		if err != nil {
 			return err
 		}
@@ -202,8 +360,8 @@ func (p *Provider) completeMapped(ri int, start int64, mask []bool, row []value.
 
 // firstScan parses every record fully enough to map all top-level fields,
 // materializing masked (or all) fields, and records the positional map.
-func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
-	data := p.data
+func (p *Provider) firstScan(s *snapshot, mask []bool, fn plan.ScanFunc) error {
+	data := s.data
 	i := skipWS(data, 0)
 	row := make([]value.Value, p.ntop)
 	rec := value.Value{Kind: value.Record, L: row}
@@ -243,22 +401,35 @@ func (p *Provider) firstScan(mask []bool, fn plan.ScanFunc) error {
 		}
 		i = skipWS(data, end)
 	}
-	// Publish the positional map; under concurrent first scans the first
-	// finisher wins and the rest discard their identical local copies.
+	p.publishMap(s, recStart, fieldOff)
+	return nil
+}
+
+// publishMap installs a positional map built against snapshot s. Under
+// concurrent first scans the first finisher wins; if the snapshot moved on
+// (refresh, rewrite) while this scan ran, its map describes stale bytes
+// and is discarded.
+func (p *Provider) publishMap(s *snapshot, recStart []int64, fieldOff []uint32) {
 	p.mu.Lock()
-	if !p.mapped.Load() {
-		p.recStart = recStart
-		p.fieldOff = fieldOff
-		p.mapped.Store(true)
+	if p.snap.Load() == s && !s.mapped {
+		ns := &snapshot{
+			data:     s.data,
+			recStart: recStart,
+			fieldOff: fieldOff,
+			mapped:   true,
+			loaded:   true,
+			epoch:    s.epoch,
+			fp:       s.fp,
+		}
+		p.snap.Store(ns)
 	}
 	p.mu.Unlock()
-	return nil
 }
 
 // parseMapped parses record ri using the positional map: only masked
 // top-level fields are parsed, each by a direct jump to its value offset.
-func (p *Provider) parseMapped(ri int, start int64, mask []bool, row []value.Value) error {
-	offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
+func (p *Provider) parseMapped(s *snapshot, ri int, start int64, mask []bool, row []value.Value) error {
+	offs := s.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
 	for fi := 0; fi < p.ntop; fi++ {
 		if mask != nil && !mask[fi] {
 			row[fi] = value.VNull
@@ -268,7 +439,7 @@ func (p *Provider) parseMapped(ri int, start int64, mask []bool, row []value.Val
 			row[fi] = nullFor(p.schema.Fields[fi].Type)
 			continue
 		}
-		v, _, err := parseValue(p.data, int(start)+int(offs[fi]), p.schema.Fields[fi].Type)
+		v, _, err := parseValue(s.data, int(start)+int(offs[fi]), p.schema.Fields[fi].Type)
 		if err != nil {
 			return fmt.Errorf("jsonio: record %d field %q: %w", ri, p.schema.Fields[fi].Name, err)
 		}
@@ -295,7 +466,8 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 	}
 	p.scans.Add(1)
 	p.pushScans.Add(1)
-	if err := p.load(); err != nil {
+	s, err := p.ensureLoaded()
+	if err != nil {
 		return 0, err
 	}
 	mask, err := p.neededMask(needed)
@@ -303,16 +475,16 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 		return 0, err
 	}
 	eff := p.effectiveMask(mask, tests)
-	needle, escape := p.needleCursors(pd)
+	needle, escape := p.needleCursors(s.data, pd)
 	var skipped int64
 	defer func() { p.pushSkipped.Add(skipped) }()
-	if !p.mapped.Load() {
-		return p.firstScanPushdown(tests, eff, needle, escape, &skipped, fn)
+	if !s.mapped {
+		return p.firstScanPushdown(s, tests, eff, needle, escape, &skipped, fn)
 	}
 	row := make([]value.Value, p.ntop)
 	rec := value.Value{Kind: value.Record, L: row}
-	for ri := 0; ri < len(p.recStart); ri++ {
-		start := p.recStart[ri]
+	for ri := 0; ri < len(s.recStart); ri++ {
+		start := s.recStart[ri]
 		if needle != nil {
 			// Jump to the next record that can contain the quoted literal
 			// (or any escape), bulk-counting the stretch in between.
@@ -320,17 +492,17 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 			if e := escape.Next(int(start)); e < m {
 				m = e
 			}
-			if m == len(p.data) {
-				skipped += int64(len(p.recStart) - ri)
+			if m == len(s.data) {
+				skipped += int64(len(s.recStart) - ri)
 				break
 			}
-			if rj := p.recordAt(int64(m)); rj > ri {
+			if rj := p.recordAt(s, int64(m)); rj > ri {
 				skipped += int64(rj - ri)
 				ri = rj
-				start = p.recStart[ri]
+				start = s.recStart[ri]
 			}
 		}
-		offs := p.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
+		offs := s.fieldOff[ri*p.ntop : (ri+1)*p.ntop]
 		pass := true
 		for ti := range tests {
 			t := &tests[ti]
@@ -338,7 +510,7 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 				pass = false // absent key ⇒ NULL ⇒ fails every comparison
 				break
 			}
-			ok, err := p.testValue(t, int(start)+int(offs[t.Slot]))
+			ok, err := p.testValue(s.data, t, int(start)+int(offs[t.Slot]))
 			if err != nil {
 				return skipped, fmt.Errorf("jsonio: record %d field %q: %w", ri, p.schema.Fields[t.Slot].Name, err)
 			}
@@ -351,13 +523,13 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 			skipped++
 			continue
 		}
-		if err := p.parseMapped(ri, start, eff, row); err != nil {
+		if err := p.parseMapped(s, ri, start, eff, row); err != nil {
 			return skipped, err
 		}
 		complete := noComplete
 		if eff != nil {
 			ri, start := ri, start
-			complete = func() error { return p.completeMapped(ri, start, eff, row) }
+			complete = func() error { return p.completeMapped(s, ri, start, eff, row) }
 		}
 		if err := fn(rec, start, complete); err != nil {
 			return skipped, err
@@ -371,21 +543,21 @@ func (p *Provider) ScanPushdown(pd *expr.Pushdown, needed []value.Path, fn plan.
 // form, one for backslashes (any escape makes a record a candidate, since
 // escaped text can denote the literal without containing its bytes). Both
 // are nil when the pushdown has no equality literal.
-func (p *Provider) needleCursors(pd *expr.Pushdown) (needle, escape *expr.NeedleCursor) {
+func (p *Provider) needleCursors(data []byte, pd *expr.Pushdown) (needle, escape *expr.NeedleCursor) {
 	lit := pd.EqNeedle()
 	if lit == nil {
 		return nil, nil
 	}
 	quoted := make([]byte, 0, len(lit)+2)
 	quoted = append(append(append(quoted, '"'), lit...), '"')
-	return expr.NewNeedleCursor(p.data, quoted), expr.NewNeedleCursor(p.data, []byte{'\\'})
+	return expr.NewNeedleCursor(data, quoted), expr.NewNeedleCursor(data, []byte{'\\'})
 }
 
 // recordAt returns the index of the record whose span contains byte offset
 // off (the last record starting at or before it). Requires the positional
 // map.
-func (p *Provider) recordAt(off int64) int {
-	return sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] > off }) - 1
+func (p *Provider) recordAt(s *snapshot, off int64) int {
+	return sort.Search(len(s.recStart), func(i int) bool { return s.recStart[i] > off }) - 1
 }
 
 // effectiveMask unions the tested top-level fields into the needed mask so
@@ -407,8 +579,7 @@ func (p *Provider) effectiveMask(mask []bool, tests []expr.ColTest) []bool {
 // testValue decodes the JSON value at i as the test's column kind and runs
 // the fused kernel. A null literal fails the test; malformed values raise
 // the same errors parseValue would.
-func (p *Provider) testValue(t *expr.ColTest, i int) (bool, error) {
-	data := p.data
+func (p *Provider) testValue(data []byte, t *expr.ColTest, i int) (bool, error) {
 	i = skipWS(data, i)
 	if i >= len(data) {
 		return false, fmt.Errorf("unexpected end of input")
@@ -463,8 +634,8 @@ func (p *Provider) testValue(t *expr.ColTest, i int) (bool, error) {
 // is tokenized just enough to map every top-level field offset (values are
 // skipped, not materialized), the pushed tests run on the mapped offsets,
 // and only surviving records decode their needed fields.
-func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle, escape *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
-	data := p.data
+func (p *Provider) firstScanPushdown(s *snapshot, tests []expr.ColTest, eff []bool, needle, escape *expr.NeedleCursor, skipped *int64, fn plan.ScanFunc) (int64, error) {
+	data := s.data
 	i := skipWS(data, 0)
 	row := make([]value.Value, p.ntop)
 	rec := value.Value{Kind: value.Record, L: row}
@@ -500,7 +671,7 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle, e
 				pass = false
 				break
 			}
-			ok, err := p.testValue(t, start+int(offs[t.Slot]))
+			ok, err := p.testValue(data, t, start+int(offs[t.Slot]))
 			if err != nil {
 				return *skipped, fmt.Errorf("jsonio: field %q: %w", p.schema.Fields[t.Slot].Name, err)
 			}
@@ -554,23 +725,35 @@ func (p *Provider) firstScanPushdown(tests []expr.ColTest, eff []bool, needle, e
 		}
 		i = skipWS(data, end)
 	}
-	// Publish the positional map; under concurrent first scans the first
-	// finisher wins and the rest discard their identical local copies.
-	p.mu.Lock()
-	if !p.mapped.Load() {
-		p.recStart = recStart
-		p.fieldOff = fieldOff
-		p.mapped.Store(true)
-	}
-	p.mu.Unlock()
+	p.publishMap(s, recStart, fieldOff)
 	return *skipped, nil
 }
 
 // ScanOffsets implements plan.ScanProvider: the lazy-cache access path.
 func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
-	if err := p.load(); err != nil {
+	s, err := p.ensureLoaded()
+	if err != nil {
 		return err
 	}
+	return p.scanOffsets(s, offsets, needed, fn)
+}
+
+// ScanOffsetsAt implements plan.EpochScanner: ScanOffsets pinned to a file
+// epoch. If the file was rewritten since the offsets were recorded, the
+// positions are meaningless in the new bytes — fail with ErrEpochChanged
+// instead of dereferencing them.
+func (p *Provider) ScanOffsetsAt(epoch uint64, offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
+	s, err := p.ensureLoaded()
+	if err != nil {
+		return err
+	}
+	if s.epoch != epoch {
+		return plan.ErrEpochChanged
+	}
+	return p.scanOffsets(s, offsets, needed, fn)
+}
+
+func (p *Provider) scanOffsets(s *snapshot, offsets []int64, needed []value.Path, fn plan.ScanFunc) error {
 	mask, err := p.neededMask(needed)
 	if err != nil {
 		return err
@@ -578,18 +761,17 @@ func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.Sca
 	row := make([]value.Value, p.ntop)
 	rec := value.Value{Kind: value.Record, L: row}
 	offs := make([]uint32, p.ntop)
-	hasMap := p.mapped.Load()
 	for _, off := range offsets {
-		if hasMap {
-			ri := sort.Search(len(p.recStart), func(i int) bool { return p.recStart[i] >= off })
-			if ri < len(p.recStart) && p.recStart[ri] == off {
-				if err := p.parseMapped(ri, off, mask, row); err != nil {
+		if s.mapped {
+			ri := sort.Search(len(s.recStart), func(i int) bool { return s.recStart[i] >= off })
+			if ri < len(s.recStart) && s.recStart[ri] == off {
+				if err := p.parseMapped(s, ri, off, mask, row); err != nil {
 					return err
 				}
 				complete := noComplete
 				if mask != nil {
 					ri, off := ri, off
-					complete = func() error { return p.completeMapped(ri, off, mask, row) }
+					complete = func() error { return p.completeMapped(s, ri, off, mask, row) }
 				}
 				if err := fn(rec, off, complete); err != nil {
 					return err
@@ -598,12 +780,83 @@ func (p *Provider) ScanOffsets(offsets []int64, needed []value.Path, fn plan.Sca
 			}
 		}
 		// No positional map: parse everything so complete can be a no-op.
-		if _, err := p.parseTopObject(p.data, int(off), nil, row, offs, off); err != nil {
+		if _, err := p.parseTopObject(s.data, int(off), nil, row, offs, off); err != nil {
 			return err
 		}
 		if err := fn(rec, off, noComplete); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ScanFrom implements plan.RefreshableProvider: stream the records whose
+// byte offset is >= from, in file order. The cache manager uses it to scan
+// only the appended tail when extending an entry; from is a previous
+// covered length, so it always lands on a record boundary.
+func (p *Provider) ScanFrom(from int64, needed []value.Path, fn plan.ScanFunc) error {
+	s, err := p.ensureLoaded()
+	if err != nil {
+		return err
+	}
+	mask, err := p.neededMask(needed)
+	if err != nil {
+		return err
+	}
+	row := make([]value.Value, p.ntop)
+	rec := value.Value{Kind: value.Record, L: row}
+	if s.mapped {
+		lo := sort.Search(len(s.recStart), func(i int) bool { return s.recStart[i] >= from })
+		for ri := lo; ri < len(s.recStart); ri++ {
+			start := s.recStart[ri]
+			if err := p.parseMapped(s, ri, start, mask, row); err != nil {
+				return err
+			}
+			complete := noComplete
+			if mask != nil {
+				ri, start := ri, start
+				complete = func() error { return p.completeMapped(s, ri, start, mask, row) }
+			}
+			if err := fn(rec, start, complete); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	data := s.data
+	offs := make([]uint32, p.ntop)
+	i := skipWS(data, int(from))
+	for i < len(data) {
+		start := i
+		end, err := p.parseTopObject(data, i, mask, row, offs, int64(start))
+		if err != nil {
+			return err
+		}
+		complete := noComplete
+		if mask != nil {
+			rowOffs := append([]uint32(nil), offs...)
+			complete = func() error {
+				for fi := 0; fi < p.ntop; fi++ {
+					if mask[fi] {
+						continue
+					}
+					if rowOffs[fi] == absentOff {
+						row[fi] = nullFor(p.schema.Fields[fi].Type)
+						continue
+					}
+					v, _, err := parseValue(data, start+int(rowOffs[fi]), p.schema.Fields[fi].Type)
+					if err != nil {
+						return err
+					}
+					row[fi] = v
+				}
+				return nil
+			}
+		}
+		if err := fn(rec, int64(start), complete); err != nil {
+			return err
+		}
+		i = skipWS(data, end)
 	}
 	return nil
 }

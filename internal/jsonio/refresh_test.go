@@ -1,0 +1,117 @@
+package jsonio
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"recache/internal/plan"
+	"recache/internal/value"
+)
+
+func appendFile(t *testing.T, path, s string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshAppendExtendsJSON(t *testing.T) {
+	path := writeFile(t, testData)
+	p, err := New(path, orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, p, nil) // load + build the positional map
+	epoch0, cov0 := p.Version()
+	if epoch0 != 1 || cov0 != int64(len(testData)) {
+		t.Fatalf("Version = (%d, %d), want (1, %d)", epoch0, cov0, len(testData))
+	}
+
+	appendFile(t, path, `{"o_orderkey":4,"o_totalprice":12.5,"lineitems":[{"l_quantity":9}]}`+"\n")
+	rep, err := p.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != plan.FileAppended || rep.Epoch != 1 || rep.Covered <= cov0 {
+		t.Fatalf("Refresh = %+v, want FileAppended at epoch 1 past %d", rep, cov0)
+	}
+
+	recs, offs := collect(t, p, nil)
+	if len(recs) != 4 {
+		t.Fatalf("records after append = %d, want 4", len(recs))
+	}
+	if !reflect.DeepEqual(recs[3].L[0], value.VInt(4)) {
+		t.Fatalf("appended record = %v", recs[3])
+	}
+
+	// The positional map covers the tail: same-epoch offset replay parses
+	// the appended record.
+	var replay []value.Value
+	err = p.ScanOffsetsAt(1, offs[3:], nil, func(rec value.Value, _ int64, _ func() error) error {
+		replay = append(replay, value.VRecord(append([]value.Value(nil), rec.L...)...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 1 || !reflect.DeepEqual(replay[0], recs[3]) {
+		t.Fatalf("offset replay of tail = %v, want %v", replay, recs[3:])
+	}
+}
+
+func TestRefreshRewriteBumpsEpochJSON(t *testing.T) {
+	path := writeFile(t, testData)
+	p, err := New(path, orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, offs := collect(t, p, nil)
+
+	if err := os.WriteFile(path, []byte(`{"o_orderkey":9,"o_totalprice":1.0,"lineitems":[]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != plan.FileRewritten || rep.Epoch != 2 {
+		t.Fatalf("Refresh = %+v, want FileRewritten at epoch 2", rep)
+	}
+	err = p.ScanOffsetsAt(1, offs, nil, func(value.Value, int64, func() error) error { return nil })
+	if !errors.Is(err, plan.ErrEpochChanged) {
+		t.Fatalf("ScanOffsetsAt(stale epoch) err = %v, want ErrEpochChanged", err)
+	}
+	recs, _ := collect(t, p, nil)
+	if len(recs) != 1 || !reflect.DeepEqual(recs[0].L[0], value.VInt(9)) {
+		t.Fatalf("records after rewrite = %v", recs)
+	}
+}
+
+func TestRefreshMalformedTailResets(t *testing.T) {
+	// An appended record that fails to parse cannot be ingested
+	// incrementally; the provider falls back to a rewrite-style reset so
+	// the next access reloads (and reports the parse error with context).
+	path := writeFile(t, testData)
+	p, err := New(path, orderSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, p, nil)
+	appendFile(t, path, "{\"o_orderkey\":oops}\n")
+	rep, err := p.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != plan.FileRewritten || rep.Epoch != 2 {
+		t.Fatalf("Refresh(malformed tail) = %+v, want FileRewritten at epoch 2", rep)
+	}
+}

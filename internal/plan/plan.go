@@ -12,6 +12,7 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -45,6 +46,78 @@ type ScanProvider interface {
 	NumRecords() int
 	// SizeBytes returns the raw size of the underlying file.
 	SizeBytes() int64
+}
+
+// FreshnessStatus classifies a provider's backing file at revalidation
+// time (mirrors freshness.Status without the dependency).
+type FreshnessStatus uint8
+
+// Freshness outcomes.
+const (
+	// FileUnchanged: the provider's ingested prefix still matches the file.
+	FileUnchanged FreshnessStatus = iota
+	// FileAppended: the file grew; the provider extended its map over the
+	// new complete records in place (same epoch, larger covered range).
+	FileAppended
+	// FileRewritten: the file changed underneath the prefix (or vanished);
+	// the provider reset to an empty state under a new epoch.
+	FileRewritten
+)
+
+// String names the status.
+func (s FreshnessStatus) String() string {
+	switch s {
+	case FileUnchanged:
+		return "unchanged"
+	case FileAppended:
+		return "appended"
+	case FileRewritten:
+		return "rewritten"
+	}
+	return "status?"
+}
+
+// FreshnessReport describes the outcome of one provider revalidation.
+type FreshnessReport struct {
+	Status FreshnessStatus
+	// Epoch is the provider's file epoch after the revalidation. Epochs
+	// start at 1 and bump on every rewrite; appends keep the epoch.
+	Epoch uint64
+	// Covered is the ingested byte length after the revalidation.
+	Covered int64
+	// TailBytes is how many new bytes an append revalidation scanned.
+	TailBytes int64
+}
+
+// ErrEpochChanged is returned by epoch-pinned scans when the provider's
+// backing file was rewritten between plan time and execution; callers
+// retry the query against the new epoch.
+var ErrEpochChanged = errors.New("plan: provider file epoch changed")
+
+// RefreshableProvider is implemented by providers whose backing file may
+// change between queries. Refresh re-checks the file and reacts (extend on
+// append, reset on rewrite); Version and ScanFrom support incremental
+// cache-entry extension.
+type RefreshableProvider interface {
+	// Refresh re-stats the backing file and reconciles the in-memory
+	// state: appends extend the data and positional map in place, rewrites
+	// reset the provider under a new epoch. Loads the file if needed.
+	Refresh() (FreshnessReport, error)
+	// Version reports the current (epoch, covered bytes), loading the
+	// file first if it was never read. Covered is monotonic within one
+	// epoch, so an unchanged (epoch, covered) pair brackets a window in
+	// which a full scan saw exactly the covered prefix.
+	Version() (epoch uint64, covered int64)
+	// ScanFrom streams the records whose byte offset is >= from, in file
+	// order, with full Scan semantics otherwise.
+	ScanFrom(from int64, needed []value.Path, fn ScanFunc) error
+}
+
+// EpochScanner is implemented by providers whose positional lookups can be
+// pinned to a file epoch: ScanOffsetsAt fails with ErrEpochChanged instead
+// of dereferencing offsets into a rewritten file.
+type EpochScanner interface {
+	ScanOffsetsAt(epoch uint64, offsets []int64, needed []value.Path, fn ScanFunc) error
 }
 
 // PushdownScanner is implemented by providers that can evaluate pushed

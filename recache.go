@@ -120,6 +120,23 @@ type Config struct {
 	// remote flight — the single-process default. Wired by cmd/recached's
 	// fleet mode via internal/client.Flight.
 	RemoteFlight func(dataset, predCanon string) (release func(), ok bool)
+	// FreshnessMode controls reactive invalidation when registered raw
+	// files mutate under a running engine:
+	//
+	//   - "" / "off": files are assumed immutable (the historical default);
+	//     external writes lead to stale or inconsistent results.
+	//   - "check" / "check-on-access": each query revalidates the file
+	//     fingerprints of the datasets it touches before planning. A
+	//     rewritten (or truncated) file invalidates every dependent cache
+	//     entry; an append-grown file *extends* dependent entries by
+	//     scanning only the appended tail.
+	//   - "watch": a background sweep revalidates every registered dataset
+	//     every ~250ms, amortizing the stat cost off the query path
+	//     (queries between sweeps may see the previous file state).
+	//   - "invalidate": like "check", but appends also invalidate instead
+	//     of extending — the full-rebuild ablation extension is measured
+	//     against.
+	FreshnessMode string
 }
 
 func (c Config) toCacheConfig() (cache.Config, error) {
@@ -195,6 +212,17 @@ type Engine struct {
 	// noPush disables predicate pushdown into raw scans
 	// (Config.DisablePushdown).
 	noPush bool
+	// freshMode is the normalized Config.FreshnessMode ("off",
+	// "check-on-access", "watch", "invalidate"); freshCheck revalidates a
+	// query's datasets in prepare, freshInvalidate treats appends as
+	// rewrites (the full-rebuild ablation).
+	freshMode       string
+	freshCheck      bool
+	freshInvalidate bool
+	// watchStop ends the watch-mode background sweep (nil unless
+	// FreshnessMode == "watch"); watchDone waits for its exit in Close.
+	watchStop chan struct{}
+	watchDone sync.WaitGroup
 	// closed (guarded by mu) rejects queries submitted after Close begins;
 	// inflight counts queries admitted before it flipped, so Close can wait
 	// for them. A query enters under mu.RLock (check closed, then Add), and
@@ -217,8 +245,53 @@ func Open(cfg Config) (*Engine, error) {
 		noVecJoins: cfg.DisableVectorizedJoins,
 		noPush:     cfg.DisablePushdown,
 	}
+	switch cfg.FreshnessMode {
+	case "", "off":
+		e.freshMode = "off"
+	case "check", "check-on-access":
+		e.freshMode = "check-on-access"
+		e.freshCheck = true
+	case "invalidate":
+		e.freshMode = "invalidate"
+		e.freshCheck = true
+		e.freshInvalidate = true
+	case "watch":
+		e.freshMode = "watch"
+		e.watchStop = make(chan struct{})
+		e.watchDone.Add(1)
+		go e.watchLoop(e.watchStop)
+	default:
+		return nil, fmt.Errorf("recache: unknown freshness mode %q", cfg.FreshnessMode)
+	}
 	e.ConfigureSharedScans(!cfg.DisableSharedScans, share.Config{Window: cfg.ShareWindow})
 	return e, nil
+}
+
+// watchLoop is the "watch" freshness mode: it revalidates every registered
+// dataset on a fixed cadence, off the query path.
+func (e *Engine) watchLoop(stop chan struct{}) {
+	defer e.watchDone.Done()
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			e.mu.RLock()
+			dss := make([]*plan.Dataset, 0, len(e.datasets))
+			for _, ds := range e.datasets {
+				dss = append(dss, ds)
+			}
+			e.mu.RUnlock()
+			for _, ds := range dss {
+				// A revalidation failure already dropped the dataset's
+				// entries; the query that next touches the file reports
+				// the IO error itself.
+				e.manager.Revalidate(ds, false)
+			}
+		}
+	}
 }
 
 // OpenWithManager creates an engine around a pre-configured cache manager.
@@ -415,7 +488,13 @@ func (e *Engine) beginQuery() error {
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	e.closed = true
+	stop := e.watchStop
+	e.watchStop = nil
 	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	e.watchDone.Wait()
 	e.inflight.Wait()
 	e.manager.FlushSpills()
 	return nil
@@ -436,6 +515,20 @@ func (e *Engine) prepare(sql string) (plan.Node, exec.Deps, *cache.Txn, error) {
 	e.mu.RUnlock()
 	if err != nil {
 		return nil, exec.Deps{}, nil, err
+	}
+	if e.freshCheck {
+		// Revalidate the query's datasets before the cache rewrite, so the
+		// lookup below only matches entries consistent with the file's
+		// current bytes. Errors are deliberately not surfaced here: a
+		// failed revalidation already dropped the dataset's entries, and
+		// the scan itself reports the underlying IO failure with context.
+		seen := make(map[*plan.Dataset]bool)
+		plan.Walk(pl.root, func(n plan.Node) {
+			if sc, ok := n.(*plan.Scan); ok && !seen[sc.DS] {
+				seen[sc.DS] = true
+				e.manager.Revalidate(sc.DS, e.freshInvalidate)
+			}
+		})
 	}
 	tx := e.manager.Begin()
 	root := tx.Rewrite(pl.root, pl.neededNames)
@@ -461,14 +554,34 @@ func toQueryStats(stats *exec.QueryStats) QueryStats {
 	}
 }
 
+// epochRetries bounds how often one query restarts after losing a race
+// with a concurrent file rewrite (a lazy replay failing with
+// plan.ErrEpochChanged). Each retry re-plans against the reconciled
+// cache, so a single retry usually suffices; the bound keeps a file being
+// rewritten in a tight loop from starving the query forever.
+const epochRetries = 3
+
 // Query parses, plans, rewrites against the cache, and executes one SQL
 // query. Query is safe to call from many goroutines at once; each call
-// runs a private compiled pipeline against the shared cache.
+// runs a private compiled pipeline against the shared cache. If the
+// underlying file of a cache entry is rewritten mid-execution (freshness
+// modes only), the query transparently retries against the reconciled
+// cache.
 func (e *Engine) Query(sql string) (*Result, error) {
 	if err := e.beginQuery(); err != nil {
 		return nil, err
 	}
 	defer e.inflight.Done()
+	for retry := 0; ; retry++ {
+		res, err := e.queryOnce(sql)
+		if errors.Is(err, plan.ErrEpochChanged) && retry < epochRetries {
+			continue
+		}
+		return res, err
+	}
+}
+
+func (e *Engine) queryOnce(sql string) (*Result, error) {
 	root, deps, tx, err := e.prepare(sql)
 	if err != nil {
 		return nil, err
@@ -513,6 +626,16 @@ func (e *Engine) QueryColumnar(sql string) (*BatchResult, error) {
 		return nil, err
 	}
 	defer e.inflight.Done()
+	for retry := 0; ; retry++ {
+		res, err := e.queryColumnarOnce(sql)
+		if errors.Is(err, plan.ErrEpochChanged) && retry < epochRetries {
+			continue
+		}
+		return res, err
+	}
+}
+
+func (e *Engine) queryColumnarOnce(sql string) (*BatchResult, error) {
 	root, deps, tx, err := e.prepare(sql)
 	if err != nil {
 		return nil, err
@@ -582,9 +705,32 @@ func (e *Engine) Explain(sql string) (string, error) {
 			return joinNote(x, e.manager, noVec, noVecJoins)
 		case *plan.Select:
 			return pushNote(x, noPush)
+		case *plan.Scan:
+			s := shareNote(coord, n)
+			if f := freshNote(x, e.freshMode); f != "" {
+				if s != "" {
+					s += "; "
+				}
+				s += f
+			}
+			return s
 		}
 		return shareNote(coord, n)
 	}), nil
+}
+
+// freshNote annotates a raw Scan with the engine's freshness mode and
+// whether the dataset's provider tracks file versions at all. The note is
+// static configuration — it never stats or loads the file, keeping
+// EXPLAIN side-effect-free.
+func freshNote(sc *plan.Scan, mode string) string {
+	if mode == "" || mode == "off" {
+		return ""
+	}
+	if _, ok := sc.DS.Provider.(plan.RefreshableProvider); !ok {
+		return "freshness: untracked provider"
+	}
+	return "freshness: " + mode
 }
 
 // pushNote annotates a Select directly over a raw Scan with the predicate
@@ -716,8 +862,17 @@ type CacheStats struct {
 	SpillDrops  int64
 	DiskEntries int
 	DiskBytes   int64
-	Entries     int
-	TotalBytes  int64
+	// Freshness counters (zero unless Config.FreshnessMode enables
+	// revalidation): StaleInvalidations counts entries dropped because
+	// their raw file was rewritten or truncated, TailExtensions the
+	// entries extended in place over an appended tail, and
+	// TailBytesScanned the appended bytes those revalidations parsed —
+	// the work an append costs instead of a full re-scan.
+	StaleInvalidations int64
+	TailExtensions     int64
+	TailBytesScanned   int64
+	Entries            int
+	TotalBytes         int64
 	// OpenTxns gauges query transactions begun but not yet closed. Every
 	// cache-entry pin lives inside a transaction, so a drained engine (or
 	// server) asserts quiescence as OpenTxns == 0.
@@ -752,6 +907,9 @@ func (e *Engine) CacheStats() CacheStats {
 		SpillDrops:          s.SpillDrops,
 		DiskEntries:         s.DiskEntries,
 		DiskBytes:           s.DiskBytes,
+		StaleInvalidations:  s.StaleInvalidations,
+		TailExtensions:      s.TailExtensions,
+		TailBytesScanned:    s.TailBytesScanned,
 		Entries:             s.Entries,
 		TotalBytes:          s.TotalBytes,
 		OpenTxns:            s.OpenTxns,
