@@ -60,6 +60,14 @@
 //     regression when tail extension's throughput lead over the
 //     invalidate-on-append ablation drops more than the tolerance below
 //     the baseline's ratio — the reactive-invalidation gate.
+//   - recovery time (chaos-failover phase): regression when the routers
+//     take more than baseline + tolerance + a 50ms scheduler slack to
+//     open a killed shard's breaker — failover detection slowing down.
+//   - chaos qps ratio (chaos-failover / chaos-steady): regression when
+//     the fleet's post-failover throughput share of its healthy baseline
+//     drops more than the tolerance below the baseline's ratio — the
+//     replica-failover gate (losing a shard must cost capacity, not
+//     collapse to raw scans).
 //
 // A phase present in the baseline but missing from the current report is a
 // failure: a metric that silently disappears is a regression too.
@@ -149,6 +157,9 @@ func main() {
 		if bp.RawParses > 0 {
 			check(bp, "raw-parses", float64(bp.RawParses), float64(cp.RawParses), true, 1)
 		}
+		if bp.RecoveryMillis > 0 {
+			check(bp, "recovery-ms", bp.RecoveryMillis, cp.RecoveryMillis, true, 50)
+		}
 	}
 	// Paired-phase gates: the vectorized-vs-row join speedup and the
 	// tiered-cache-vs-raw-rescan speedup under memory pressure.
@@ -158,6 +169,7 @@ func main() {
 		{"server-load", "hit-throughput"},
 		{"shard-scale-4", "shard-scale-1"},
 		{"append-stream", "append-stream-rebuild"},
+		{"chaos-failover", "chaos-steady"},
 	}
 	for _, pair := range pairs {
 		baseRatio, ok := qpsRatio(base, pair[0], pair[1])

@@ -35,6 +35,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"recache"
 	"recache/internal/client"
@@ -75,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diskCap   = fs.Int64("disk-capacity", 0, "disk tier capacity in bytes (0 = unlimited; needs -spill-dir)")
 		fleetSpec = fs.String("fleet", "", "comma-separated shard addresses for the whole fleet (needs -shard-id)")
 		shardID   = fs.Int("shard-id", -1, "this daemon's position in -fleet")
+		drain     = fs.Bool("drain", false, "on SIGTERM, hand the working set to the surviving shards before exiting (fleet mode)")
 		freshness = fs.String("freshness", "off", "raw-file freshness mode: off|check-on-access|watch|invalidate")
 	)
 	fs.Var(tableFlag{&csvSpecs}, "csv", "register CSV table: name=path[:schema] (repeatable)")
@@ -99,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if (*fleetSpec == "") != (*shardID < 0) {
 		fmt.Fprintln(stderr, "recached: -fleet and -shard-id go together")
+		return 2
+	}
+	if *drain && *fleetSpec == "" {
+		fmt.Fprintln(stderr, "recached: -drain needs -fleet")
 		return 2
 	}
 	if *fleetSpec != "" {
@@ -128,6 +134,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if flight != nil {
 		cfg.RemoteFlight = flight.Materialize
+		if *spillDir != "" {
+			// Replication rides the disk tier: each eager admission is
+			// pushed to the key's next rendezvous shard, which lands it as a
+			// spill file. Without a spill dir peers would reject the pushes,
+			// so don't queue them at all.
+			cfg.OnEagerAdmit = flight.ReplicateAsync
+		}
 	}
 	eng, err := recache.Open(cfg)
 	if err != nil {
@@ -158,6 +171,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	srv := server.New(eng)
 	if fleetMap != nil {
 		srv.SetFleet(*shardID, fleetMap, leases)
+		// A peer's graceful departure shrinks the server's fleet map; hand
+		// the new topology to the flight so leases and replica pushes route
+		// to the survivors.
+		srv.OnTopology(flight.UpdateMap)
 	}
 	serveErr := make(chan error, 2)
 	var listeners []string
@@ -210,6 +227,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	select {
 	case s := <-sig:
 		fmt.Fprintf(stdout, "recached: %v, draining\n", s)
+		if *drain && fleetMap != nil {
+			// Graceful removal: announce departure (peers shrink their
+			// maps, routers observing the change refresh), then stream the
+			// working set to the shards that own each key once this one is
+			// gone. Best-effort — an unreachable peer costs its handoffs,
+			// never the shutdown.
+			drainFleet(stdout, eng, fleetMap, *shardID)
+		}
 	case err := <-serveErr:
 		if err != nil {
 			fmt.Fprintln(stderr, "recached: accept:", err)
@@ -230,6 +255,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "recached: drained, bye")
 	return 0
+}
+
+// drainFleet is the graceful-removal protocol: broadcast OpLeave to every
+// peer (so the fleet stops routing to this shard), then export the local
+// working set and push each entry to its new rendezvous owner in the
+// shrunken map. Every step is best-effort; the daemon still exits cleanly
+// if a peer is down.
+func drainFleet(stdout io.Writer, eng *recache.Engine, m *shard.Map, self int) {
+	rest, err := m.Remove(self)
+	if err != nil {
+		return // last shard standing: nowhere to hand off
+	}
+	opts := client.Options{DialTimeout: 2 * time.Second, RequestTimeout: 5 * time.Second}
+	peers := make(map[int]*client.Client)
+	dial := func(s shard.Info) *client.Client {
+		if cl, ok := peers[s.ID]; ok {
+			return cl
+		}
+		cl, err := client.Dial(s.Addr, opts)
+		if err != nil {
+			cl = nil
+		}
+		peers[s.ID] = cl
+		return cl
+	}
+	for _, s := range rest.Shards() {
+		if cl := dial(s); cl != nil {
+			cl.Leave(self)
+		}
+	}
+	var shipped, dropped int
+	eng.ExportEntries(func(table, canon string, payload []byte) error {
+		owner := rest.Owner(shard.Key(table, canon))
+		if cl := dial(owner); cl != nil && cl.Replicate(table, canon, payload) == nil {
+			shipped++
+		} else {
+			dropped++
+		}
+		return nil
+	})
+	for _, cl := range peers {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	fmt.Fprintf(stdout, "recached: drain handed off %d entries (%d dropped)\n", shipped, dropped)
 }
 
 func splitSpec(spec string) (name, path, schema string, err error) {

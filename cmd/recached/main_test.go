@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -14,7 +15,10 @@ import (
 	"testing"
 	"time"
 
+	"recache"
 	"recache/internal/client"
+	"recache/internal/server"
+	"recache/internal/shard"
 	"recache/internal/wire"
 )
 
@@ -160,6 +164,136 @@ func TestSIGTERMDrainsAndExitsZero(t *testing.T) {
 	}
 	if _, err := os.Stat(sock); !os.IsNotExist(err) {
 		t.Fatalf("socket file not cleaned up: %v", err)
+	}
+}
+
+// Graceful removal: SIGTERM with -drain must announce departure to the
+// peers and stream the working set to the new rendezvous owners before
+// exiting, so the survivor serves the drained shard's keys from its disk
+// tier without a single raw re-scan.
+func TestDrainHandsOffWorkingSet(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, 5000)
+	schema := "id int, qty int, price float, name string"
+	sock0 := filepath.Join(dir, "s0.sock")
+	sock1 := filepath.Join(dir, "s1.sock")
+	fleet := "unix:" + sock0 + ",unix:" + sock1
+
+	// The survivor (shard 1) is built manually so the test's SIGTERM only
+	// reaches the daemon under test. It has a spill dir: replica handoffs
+	// land in the disk tier.
+	m, err := shard.ParseFleet(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := shard.NewLeaseTable()
+	surv, err := recache.Open(recache.Config{
+		Admission: "eager",
+		SpillDir:  filepath.Join(dir, "spill1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer surv.Close()
+	if err := surv.RegisterCSV("t", csv, schema, '|'); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(surv)
+	srv.SetFleet(1, m, lt)
+	ln, err := net.Listen("unix", sock1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		if err := <-served; err != nil {
+			t.Errorf("survivor Serve: %v", err)
+		}
+	}()
+
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-unix", sock0,
+			"-csv", "t=" + csv + ":" + schema,
+			"-admission", "eager",
+			"-fleet", fleet,
+			"-shard-id", "0",
+			"-drain",
+		}, &stdout, &stderr)
+	}()
+	cl := dialUntilUp(t, sock0, &stderr)
+	defer cl.Close()
+
+	// Warm a working set on the draining shard.
+	queries := []string{
+		"SELECT COUNT(*) FROM t WHERE id BETWEEN 1 AND 100",
+		"SELECT COUNT(*) FROM t WHERE id BETWEEN 101 AND 200",
+		"SELECT COUNT(*) FROM t WHERE qty = 20",
+		"SELECT COUNT(*) FROM t WHERE id <= 500",
+	}
+	for _, q := range queries {
+		if _, _, err := cl.Exec(q); err != nil {
+			t.Fatalf("warm %s: %v", q, err)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := <-exit; code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "drain handed off") {
+		t.Fatalf("no handoff log line: %q", out)
+	}
+
+	// The survivor holds the drained working set in its disk tier...
+	if admits := surv.Manager().Stats().ReplicaAdmits; admits < int64(len(queries)) {
+		t.Fatalf("survivor admitted %d replicas, want >= %d\nstdout: %s", admits, len(queries), out)
+	}
+	// ...and serves those keys as cache hits, not raw scans.
+	scl, err := client.Dial("unix:"+sock1, client.Options{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scl.Close()
+	rows, _, err := scl.Exec(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 {
+		t.Fatalf("survivor answered %d rows", rows)
+	}
+	if raw := surv.RawScans("t"); raw != 0 {
+		t.Fatalf("survivor raw-scanned %d times; drained keys must hit the handed-off replicas", raw)
+	}
+	if hits := surv.Manager().Stats().DiskHits; hits == 0 {
+		t.Fatal("survivor served without touching the disk tier")
+	}
+}
+
+// dialUntilUp dials the daemon's socket until it answers (it is starting
+// on another goroutine).
+func dialUntilUp(t *testing.T, sock string, stderr *syncBuffer) *client.Client {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cl, err := client.Dial("unix:"+sock, client.Options{
+			DialTimeout:    time.Second,
+			RequestTimeout: 30 * time.Second,
+		})
+		if err == nil {
+			return cl
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v\nstderr: %s", err, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

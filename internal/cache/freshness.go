@@ -2,6 +2,7 @@ package cache
 
 import (
 	"os"
+	"time"
 
 	"recache/internal/expr"
 	"recache/internal/plan"
@@ -71,6 +72,10 @@ func (m *Manager) Revalidate(ds *plan.Dataset, forceInvalidate bool) (plan.Fresh
 	defer func() {
 		m.refreshMu.Lock()
 		delete(m.refreshing, ds.Name)
+		// Stamp completion (success or failure) so the watch-mode poller's
+		// skip window rate-limits the stat either way: a broken file is
+		// re-probed once per interval, not once per tick overrun.
+		m.lastReval[ds.Name] = time.Now()
 		m.refreshMu.Unlock()
 		close(ch)
 	}()
@@ -96,6 +101,35 @@ func (m *Manager) Revalidate(ds *plan.Dataset, forceInvalidate bool) (plan.Fresh
 	}
 	m.extendDataset(ds, rp, rep)
 	return rep, nil
+}
+
+// RevalidateBatch revalidates every dataset in dss whose last completed
+// revalidation is older than skipWithin, coalescing the staleness check
+// into one lock acquisition for the whole batch. The watch-mode poller
+// calls it once per tick: with thousands of registered datasets, the tick
+// pays one map scan plus a stat per genuinely unchecked dataset — datasets
+// already revalidated within the window (by a query's check-on-access, a
+// previous overrunning tick, or another engine sharing the manager) cost
+// no syscall at all.
+func (m *Manager) RevalidateBatch(dss []*plan.Dataset, skipWithin time.Duration) {
+	cutoff := time.Now().Add(-skipWithin)
+	due := dss[:0:0]
+	m.refreshMu.Lock()
+	for _, ds := range dss {
+		if _, ok := ds.Provider.(plan.RefreshableProvider); !ok {
+			continue
+		}
+		if last, ok := m.lastReval[ds.Name]; ok && last.After(cutoff) {
+			continue
+		}
+		due = append(due, ds)
+	}
+	m.refreshMu.Unlock()
+	for _, ds := range due {
+		// Best effort: a provider error already dropped the dataset's
+		// entries inside Revalidate, and the next query surfaces it.
+		_, _ = m.Revalidate(ds, false)
+	}
 }
 
 // invalidateDataset drops every entry cached from the dataset. Pinned

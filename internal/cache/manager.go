@@ -93,6 +93,13 @@ type Config struct {
 	// query's Txn closes. The hook runs outside the manager lock (it is a
 	// network call); nil disables remote flight (single-process engines).
 	RemoteFlight func(dataset, predCanon string) (release func(), ok bool)
+	// OnEagerAdmit is invoked after CompleteBuild admits an eager entry,
+	// with the entry's immutable store. A fleet shard wires it to the
+	// replication push so the key's replica receives the payload (see
+	// AdmitReplica). The hook runs outside the manager lock but on the
+	// admitting query's goroutine, so it must hand off and return — not
+	// serialize or dial inline. nil disables replication.
+	OnEagerAdmit func(dataset, predCanon string, st store.Store)
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +170,9 @@ type Stats struct {
 	StaleInvalidations int64 `json:"stale_invalidations"`
 	TailExtensions     int64 `json:"tail_extensions"`
 	TailBytesScanned   int64 `json:"tail_bytes_scanned"`
+	// ReplicaAdmits counts entries this cache admitted into its disk tier
+	// from a peer's replication push (OpReplicate) rather than a local build.
+	ReplicaAdmits int64 `json:"replica_admits"`
 
 	TotalBytes int64 `json:"total_bytes"`
 	Entries    int   `json:"entries"`
@@ -201,6 +211,7 @@ type counters struct {
 	staleInvalidations  atomic.Int64
 	tailExtensions      atomic.Int64
 	tailBytesScanned    atomic.Int64
+	replicaAdmits       atomic.Int64
 	openTxns            atomic.Int64 // gauge: Begin +1, first Txn.Close -1
 }
 
@@ -255,6 +266,12 @@ type Manager struct {
 	// both it and mu (it stats and possibly re-parses file tails).
 	refreshMu  sync.Mutex
 	refreshing map[string]chan struct{}
+	// lastReval records when each dataset last completed a revalidation
+	// (guarded by refreshMu). The watch-mode poller consults it through
+	// RevalidateBatch so a tick never re-stats a dataset some other path —
+	// a query's check-on-access, an overrunning previous tick — already
+	// checked within the poll interval.
+	lastReval map[string]time.Time
 
 	clock  atomic.Int64  // logical time: one tick per query
 	nextTx atomic.Uint64 // Txn id generator
@@ -274,6 +291,7 @@ func NewManager(cfg Config) *Manager {
 		uncon:      make(map[string]map[uint64]*Entry),
 		building:   make(map[string]uint64),
 		refreshing: make(map[string]chan struct{}),
+		lastReval:  make(map[string]time.Time),
 	}
 	m.initSpillDir()
 	return m
@@ -352,6 +370,7 @@ func (m *Manager) Stats() Stats {
 		StaleInvalidations:  m.stats.staleInvalidations.Load(),
 		TailExtensions:      m.stats.tailExtensions.Load(),
 		TailBytesScanned:    m.stats.tailBytesScanned.Load(),
+		ReplicaAdmits:       m.stats.replicaAdmits.Load(),
 		OpenTxns:            m.stats.openTxns.Load(),
 	}
 	s.Queries = m.stats.queries.Load()
@@ -943,6 +962,12 @@ func (m *Manager) CompleteBuild(spec *BuildSpec, st store.Store, offsets []int64
 	m.insertLocked(e)
 	m.mu.Unlock()
 	m.drainSpills()
+	if mode == Eager && st != nil && m.cfg.OnEagerAdmit != nil {
+		// Replication push, outside the lock: the store is immutable, so the
+		// hook (and whatever worker it hands off to) can serialize it later
+		// without racing the cache.
+		m.cfg.OnEagerAdmit(spec.Dataset.Name, spec.PredCanon, st)
+	}
 	return e
 }
 

@@ -26,6 +26,16 @@ import (
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("client: closed")
 
+// ServerError is an application-level error the daemon answered with (a
+// status-error frame): unknown table, SQL parse failure, draining, and so
+// on. The daemon processed the request and rejected it — the connection is
+// healthy — so retrying the same request elsewhere cannot help. The
+// failover router uses exactly this distinction: transport errors (lost
+// connections, timeouts) are retryable, ServerErrors are not.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "recached: " + e.Msg }
+
 // Options configures a Client. The zero value dials one connection with a
 // 5s dial timeout and no per-request deadline.
 type Options struct {
@@ -324,7 +334,7 @@ func (cl *Client) call(req *wire.Request) (*wire.Response, []byte, error) {
 	}
 	if resp.Err != "" {
 		putPayload(payload)
-		return nil, nil, fmt.Errorf("recached: %s", resp.Err)
+		return nil, nil, &ServerError{Msg: resp.Err}
 	}
 	if resp.Op != req.Op {
 		putPayload(payload)
@@ -406,7 +416,7 @@ func (cl *Client) Exec(sql string) (rows int64, wall time.Duration, err error) {
 		return 0, 0, fmt.Errorf("client: protocol error: %w", err)
 	}
 	if h.Err != "" {
-		return 0, 0, fmt.Errorf("recached: %s", h.Err)
+		return 0, 0, &ServerError{Msg: h.Err}
 	}
 	if h.Op != wire.OpQuery {
 		return 0, 0, fmt.Errorf("client: response op %s for %s request", h.Op, wire.OpQuery)
@@ -519,6 +529,25 @@ func (cl *Client) LeaseAcquire(key string, holder uint64, ttl time.Duration) (*w
 // LeaseRelease hands back a lease previously granted to holder.
 func (cl *Client) LeaseRelease(key string, holder uint64) error {
 	_, payload, err := cl.call(&wire.Request{Op: wire.OpLeaseRelease, Key: key, Holder: holder})
+	putPayload(payload)
+	return err
+}
+
+// Replicate pushes one cache entry's RCS1 payload to the daemon, which
+// admits it as a disk-tier replica (idempotent on the receiving side).
+// The owning shard calls it after each eager admission; a draining shard
+// streams its whole working set out this way.
+func (cl *Client) Replicate(name, predCanon string, payload []byte) error {
+	_, respPayload, err := cl.call(&wire.Request{Op: wire.OpReplicate, Name: name, Pred: predCanon, Payload: payload})
+	putPayload(respPayload)
+	return err
+}
+
+// Leave announces that the fleet member with shardID is departing
+// gracefully; the daemon drops it from its fleet map so routers refreshing
+// topology stop targeting it.
+func (cl *Client) Leave(shardID int) error {
+	_, payload, err := cl.call(&wire.Request{Op: wire.OpLeave, ShardID: int32(shardID)})
 	putPayload(payload)
 	return err
 }

@@ -255,9 +255,10 @@ func TestFleetDiscovery(t *testing.T) {
 	}
 }
 
-// Killing one shard mid-burst must not disturb the rest of the fleet:
-// queries owned by survivors keep succeeding with correct rows, queries
-// owned by the dead shard fail fast with a clean error, and nothing hangs.
+// Killing one shard mid-burst must be invisible to callers: queries owned
+// by survivors keep succeeding with correct rows, queries owned by the
+// dead shard fail over to its replica (which raw-scans and serves the
+// correct count — every shard knows every table), and nothing hangs.
 func TestRouterShardFailover(t *testing.T) {
 	f := startFleet(t, 3, fleetCSV(t, 300))
 	r, err := client.DialRouter(f.addrs, client.Options{RequestTimeout: 5 * time.Second})
@@ -331,26 +332,18 @@ func TestRouterShardFailover(t *testing.T) {
 	close(killed)
 	wg.Wait()
 
+	// A shard death is a retryable fault, and retryable faults never reach
+	// the caller: every attempt — dead-shard keys included — must have
+	// succeeded with the right count, served via failover.
 	for _, p := range probes {
 		for _, err := range outcome[p.sql] {
-			if p.shard != dead && err != nil {
-				t.Errorf("surviving shard %d: %s: %v", p.shard, p.sql, err)
+			if err != nil {
+				t.Errorf("shard %d: %s: %v", p.shard, p.sql, err)
 			}
 		}
-		if p.shard == dead {
-			// Pre-kill attempts may have succeeded; post-kill attempts must
-			// have errored, so at least one error per dead-shard probe (two
-			// of the four attempts ran behind the barrier).
-			var failed int
-			for _, err := range outcome[p.sql] {
-				if err != nil {
-					failed++
-				}
-			}
-			if failed == 0 {
-				t.Errorf("dead shard %d: %s: all attempts succeeded after kill", dead, p.sql)
-			}
-		}
+	}
+	if rs := r.RouterStats(); rs.Failovers == 0 {
+		t.Errorf("no failovers recorded despite a dead shard: %+v", rs)
 	}
 
 	// The fleet minus its dead member still serves every surviving key.

@@ -1,12 +1,15 @@
 package client
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"recache/internal/shard"
+	"recache/internal/store"
 )
 
 // Flight is a shard's client side of fleet-wide single-flight: before the
@@ -23,15 +26,39 @@ import (
 // TTL on the owner. Wired into the engine via recache.Config.RemoteFlight.
 type Flight struct {
 	self   int
-	m      *shard.Map
 	local  *shard.LeaseTable
 	ttl    time.Duration
 	opts   Options
 	holder uint64
 
 	mu    sync.Mutex
+	m     *shard.Map      // current topology; UpdateMap swaps it on drain
 	peers map[int]*Client // shard id → lazily dialed connection
+
+	// Replication worker state (started lazily by ReplicateAsync).
+	repOnce    sync.Once
+	repq       chan replicateJob
+	repStop    chan struct{}
+	repWG      sync.WaitGroup
+	repDropped atomic.Int64
 }
+
+// replicateJob is one queued replica push: the entry's identity plus its
+// materialized store, serialized by the worker off the query path.
+type replicateJob struct {
+	dataset   string
+	predCanon string
+	st        store.Store
+}
+
+// replicaFactor is how many shards hold each key counting the owner: 2
+// means one redundant copy on the key's next rendezvous shard.
+const replicaFactor = 2
+
+// maxReplicatePayload caps a replica push's serialized size; entries
+// larger than this are not replicated (the server rejects oversized
+// request frames anyway, so skipping client-side just saves the work).
+const maxReplicatePayload = 8 << 20
 
 // holderSeq disambiguates Flights created within one clock tick (tests
 // build several per process).
@@ -48,6 +75,12 @@ func NewFlight(self int, m *shard.Map, local *shard.LeaseTable, ttl time.Duratio
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = 2 * time.Second
+	}
+	if opts.DialTimeout <= 0 {
+		// A dead owner must cost one bounded delay, not the 5s pool default:
+		// every Flight RPC degrades to a local build on failure, so the only
+		// thing a long dial timeout buys is a longer stall.
+		opts.DialTimeout = 2 * time.Second
 	}
 	return &Flight{
 		self:   self,
@@ -66,7 +99,7 @@ func NewFlight(self int, m *shard.Map, local *shard.LeaseTable, ttl time.Duratio
 // when no lease backs the build) runs when the query's Txn closes.
 func (f *Flight) Materialize(dataset, predCanon string) (release func(), ok bool) {
 	key := shard.Key(dataset, predCanon)
-	owner := f.m.Owner(key)
+	owner := f.fleetMap().Owner(key)
 	if owner.ID == f.self {
 		granted, _ := f.local.Acquire(key, f.holder, f.ttl)
 		if !granted {
@@ -89,6 +122,112 @@ func (f *Flight) Materialize(dataset, predCanon string) (release func(), ok bool
 		return nil, false
 	}
 	return func() { cl.LeaseRelease(key, f.holder) }, true
+}
+
+// fleetMap returns the current topology snapshot.
+func (f *Flight) fleetMap() *shard.Map {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m
+}
+
+// UpdateMap swaps the flight's fleet topology — the wiring for graceful
+// drain: when a peer announces departure, the server's topology callback
+// hands the shrunken map here so later leases and replica pushes route to
+// the surviving owners. Connections to departed shards age out through the
+// normal dropPeer path on their next failure.
+func (f *Flight) UpdateMap(m *shard.Map) {
+	if m == nil {
+		return
+	}
+	f.mu.Lock()
+	f.m = m
+	f.mu.Unlock()
+}
+
+// ReplicateAsync queues one freshly admitted entry for replication to the
+// key's next rendezvous shard. It is the engine's OnEagerAdmit hook: it
+// must not block the admitting query, so the push is handed to a single
+// background worker over a bounded queue — when the queue is full the push
+// is dropped (replication is best-effort redundancy, not durability).
+func (f *Flight) ReplicateAsync(dataset, predCanon string, st store.Store) {
+	f.repOnce.Do(func() {
+		f.repq = make(chan replicateJob, 64)
+		f.repStop = make(chan struct{})
+		f.repWG.Add(1)
+		go f.replicateLoop()
+	})
+	select {
+	case f.repq <- replicateJob{dataset: dataset, predCanon: predCanon, st: st}:
+	default:
+		f.repDropped.Add(1)
+	}
+}
+
+// ReplicationDrops reports pushes dropped on queue overflow (metrics).
+func (f *Flight) ReplicationDrops() int64 { return f.repDropped.Load() }
+
+// replicateLoop is the single replication worker: it serializes each
+// queued store to RCS1 bytes and pushes them to the key's replica shard.
+func (f *Flight) replicateLoop() {
+	defer f.repWG.Done()
+	var buf bytes.Buffer
+	for {
+		select {
+		case <-f.repStop:
+			return
+		case job := <-f.repq:
+			f.replicateOne(&buf, job)
+		}
+	}
+}
+
+// replicateOne ships one entry to the first shard in the key's replica set
+// that isn't this one. Failures are absorbed: a dead replica costs the
+// redundant copy, never a query. The store is converted to the Parquet
+// layout when needed — the same bytes a disk spill of the entry would
+// hold, which is exactly what the receiver admits.
+func (f *Flight) replicateOne(buf *bytes.Buffer, job replicateJob) {
+	key := shard.Key(job.dataset, job.predCanon)
+	var target shard.Info
+	found := false
+	for _, s := range f.fleetMap().Replicas(key, replicaFactor) {
+		if s.ID != f.self {
+			target, found = s, true
+			break
+		}
+	}
+	if !found {
+		return // single-shard fleet: nowhere to replicate
+	}
+	st := job.st
+	if st.Layout() != store.LayoutParquet {
+		p, _, err := store.Convert(st, store.LayoutParquet)
+		if err != nil {
+			return
+		}
+		st = p
+	}
+	buf.Reset()
+	if err := store.WriteParquet(buf, st); err != nil {
+		return
+	}
+	if buf.Len() > maxReplicatePayload {
+		f.repDropped.Add(1)
+		return
+	}
+	cl, err := f.peer(target)
+	if err != nil {
+		return
+	}
+	if err := cl.Replicate(job.dataset, job.predCanon, buf.Bytes()); err != nil {
+		var se *ServerError
+		if !errors.As(err, &se) {
+			// Transport failure: drop the connection so the next push
+			// re-dials (the replica may have restarted).
+			f.dropPeer(target.ID, cl)
+		}
+	}
 }
 
 // peer returns the cached connection to a shard, dialing on first use.
@@ -125,8 +264,18 @@ func (f *Flight) dropPeer(id int, cl *Client) {
 	cl.Close()
 }
 
-// Close tears down the peer connections.
+// Close stops the replication worker (queued pushes are dropped — they
+// are best-effort) and tears down the peer connections.
 func (f *Flight) Close() error {
+	f.repOnce.Do(func() {}) // ensure a later ReplicateAsync can't restart it
+	if f.repStop != nil {
+		select {
+		case <-f.repStop:
+		default:
+			close(f.repStop)
+		}
+		f.repWG.Wait()
+	}
 	f.mu.Lock()
 	peers := f.peers
 	f.peers = make(map[int]*Client)

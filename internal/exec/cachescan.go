@@ -42,13 +42,23 @@ func compileCachedScan(cs *plan.CachedScan, deps Deps) (runFn, error) {
 	}
 
 	return func(ctx *qctx, out emitFn) error {
-		mode, st, offsets := entry.Mode, entry.Store, entry.Offsets
+		var (
+			mode    cache.Mode
+			st      store.Store
+			offsets []int64
+		)
 		if deps.Manager != nil {
 			var err error
 			mode, st, offsets, err = deps.Manager.Resident(entry)
 			if err != nil {
 				return err
 			}
+		} else {
+			// Manager-less executions (unit harnesses) own the entry
+			// outright; everywhere else the snapshot must come from the
+			// locked accessor — a concurrent tail extension swaps
+			// Store/Offsets under the manager lock.
+			mode, st, offsets = entry.Mode, entry.Store, entry.Offsets
 		}
 		if mode == cache.Lazy {
 			// §5.2: ReCache upgrades a reused lazy item to an eager cache.

@@ -70,17 +70,24 @@ func planVecScan(cs *plan.CachedScan, disable bool) (*vecScan, bool) {
 // triggering IO). A failed re-admission falls to the row path, whose own
 // Resident call surfaces the error.
 func (p *vecScan) open(deps Deps, admit bool) (*store.BatchCursor, bool) {
-	mode, st := p.entry.Mode, p.entry.Store
-	if deps.Manager != nil {
-		if admit {
-			var err error
-			mode, st, _, err = deps.Manager.Resident(p.entry)
-			if err != nil {
-				return nil, false
-			}
-		} else {
-			mode, st, _ = deps.Manager.Payload(p.entry)
+	var (
+		mode cache.Mode
+		st   store.Store
+	)
+	switch {
+	case deps.Manager == nil:
+		// Manager-less executions (unit harnesses) own the entry outright;
+		// everywhere else the snapshot must come from the locked accessors —
+		// a concurrent tail extension swaps Store under the manager lock.
+		mode, st = p.entry.Mode, p.entry.Store
+	case admit:
+		var err error
+		mode, st, _, err = deps.Manager.Resident(p.entry)
+		if err != nil {
+			return nil, false
 		}
+	default:
+		mode, st, _ = deps.Manager.Payload(p.entry)
 	}
 	if mode != cache.Eager || st == nil {
 		return nil, false

@@ -1,0 +1,97 @@
+// Package faultinject wraps net listeners and connections with
+// deterministic, seeded network faults for resilience tests: response
+// frames can be dropped (swallowed writes — the peer times out), delayed
+// (latency spikes), or the connection severed mid-stream.
+//
+// Faults are injected on Write only. Wrapping a server's listener
+// therefore faults the server→client direction: a dropped response frame
+// surfaces to the client as a request timeout and a severed connection as
+// a read error — exactly the retryable transport faults a failover router
+// must absorb. Reads are left intact so inbound requests still parse; a
+// test that wants request-direction faults wraps the client side instead.
+//
+// All randomness derives from Config.Seed plus the connection's accept
+// index, so a failing test replays identically from its seed.
+package faultinject
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config sets the per-write fault probabilities. Probabilities are
+// evaluated independently in order drop, sever, delay; zero values mean
+// the fault never fires.
+type Config struct {
+	// Seed derives every connection's private random stream.
+	Seed int64
+	// DropProb is the probability a Write is silently swallowed (reported
+	// as fully written, never sent).
+	DropProb float64
+	// SeverProb is the probability a Write closes the connection instead.
+	SeverProb float64
+	// DelayProb is the probability a Write sleeps first; the sleep is
+	// uniform in (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds injected sleeps (default 10ms when DelayProb > 0).
+	MaxDelay time.Duration
+}
+
+// Listener wraps ln so every accepted connection injects faults per cfg.
+func Listener(ln net.Listener, cfg Config) net.Listener {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &listener{Listener: ln, cfg: cfg}
+}
+
+type listener struct {
+	net.Listener
+	cfg Config
+	n   int64
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.n++
+	return &conn{
+		Conn: c,
+		cfg:  l.cfg,
+		rng:  rand.New(rand.NewSource(l.cfg.Seed + l.n)),
+	}, nil
+}
+
+// conn injects faults on writes; rng is guarded because the server's
+// session writer and drain paths may write concurrently.
+type conn struct {
+	net.Conn
+	cfg Config
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.cfg.DropProb
+	sever := !drop && c.rng.Float64() < c.cfg.SeverProb
+	var delay time.Duration
+	if !drop && !sever && c.rng.Float64() < c.cfg.DelayProb {
+		delay = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay))) + 1
+	}
+	c.mu.Unlock()
+	switch {
+	case drop:
+		return len(p), nil
+	case sever:
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	case delay > 0:
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recache"
+	"recache/internal/client"
+	"recache/internal/datagen"
+	"recache/internal/server"
+	"recache/internal/shard"
+)
+
+// chaosFailover is the fleet-resilience phase of the perf-trajectory
+// report: a 4-shard replicated fleet serving a steady routed load loses
+// one shard to a simulated crash mid-burst. The health-checked routers
+// must absorb the crash completely — zero caller-visible errors — open
+// the dead shard's breaker within one probe interval, and keep serving
+// from the survivors (replica disk-tier entries plus rendezvous
+// re-routing) at no less than half the healthy throughput. The bench gate
+// (cmd/benchdiff) tracks the healthy baseline qps, the post-failover qps,
+// their ratio, and the breaker-open recovery time across PRs.
+func (r *Runner) chaosFailover() error {
+	paths, err := r.ensureTPCH()
+	if err != nil {
+		return err
+	}
+	const (
+		nShards      = 4
+		conc         = 4 // routers, one query worker each
+		k            = 16
+		pingInterval = 300 * time.Millisecond
+	)
+	// The shard-scale working set: sixteen disjoint l_quantity ranges, so
+	// every shard owns keys and every shard is someone's replica.
+	queries := make([]string, k)
+	for i := range queries {
+		lo := 1 + 3*i
+		queries[i] = fmt.Sprintf(
+			"SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity BETWEEN %d AND %d",
+			lo, lo+2)
+	}
+	f, err := r.startChaosFleet(nShards, paths.Lineitem)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// The degradation floor: an admission-off local engine running the raw
+	// scan, reached only if every shard is unavailable. It should never
+	// fire here (three survivors remain); the fallback count is checked.
+	local, err := recache.Open(recache.Config{Admission: "off"})
+	if err != nil {
+		return err
+	}
+	defer local.Close()
+	if err := local.RegisterCSV("lineitem", paths.Lineitem, datagen.LineitemSchema, '|'); err != nil {
+		return err
+	}
+	fallback := func(sql string) (int64, time.Duration, error) {
+		res, err := local.Query(sql)
+		if err != nil {
+			return 0, 0, err
+		}
+		return int64(len(res.Rows)), res.Stats.Wall, nil
+	}
+
+	routers := make([]*client.Router, conc)
+	for i := range routers {
+		rt, err := client.DialRouterOpts(f.addrs, client.RouterOptions{
+			Options:          client.Options{RequestTimeout: time.Second},
+			PingInterval:     pingInterval,
+			FailureThreshold: 3,
+			RetryBudget:      10 * time.Second,
+			Fallback:         fallback,
+			Seed:             r.opts.Seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		routers[i] = rt
+	}
+
+	// Warm every entry on its rendezvous owner, then wait for the async
+	// replica pushes to land on the second-ranked shards — the copies the
+	// failover will serve from.
+	for _, q := range queries {
+		if _, _, err := routers[0].Exec(q); err != nil {
+			return err
+		}
+	}
+	if err := waitReplicas(f, k, 10*time.Second); err != nil {
+		return err
+	}
+
+	// burst replays total queries round-robin across the routers, counting
+	// caller-visible errors instead of aborting on the first (the error
+	// count itself is the gated metric). watch, when set, runs concurrent
+	// with the replay — the crash injection — and is joined before the
+	// routers are touched again; finished closes when the replay drains so
+	// a watcher never outlives its burst.
+	total := r.nq(600)
+	if total < 240 {
+		// Below this the post-kill tail is too short to trip every
+		// router's breaker (FailureThreshold failures apiece), so the
+		// recovery measurement would time out at small -queries scales.
+		total = 240
+	}
+	burst := func(watch func(completed *atomic.Int64, finished <-chan struct{})) (qps float64, errCount int64, firstErr error) {
+		var (
+			wg        sync.WaitGroup
+			completed atomic.Int64
+			errs      atomic.Int64
+			errOnce   sync.Once
+		)
+		finished := make(chan struct{})
+		watched := make(chan struct{})
+		if watch != nil {
+			go func() {
+				defer close(watched)
+				watch(&completed, finished)
+			}()
+		} else {
+			close(watched)
+		}
+		per := total / conc
+		start := time.Now()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < per; j++ {
+					if _, _, err := routers[w].Exec(queries[(w+j)%len(queries)]); err != nil {
+						errs.Add(1)
+						errOnce.Do(func() { firstErr = err })
+						continue
+					}
+					completed.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(finished)
+		<-watched
+		return float64(completed.Load()) / elapsed.Seconds(), errs.Load(), firstErr
+	}
+
+	r.printf("\nchaos failover: %d-shard replicated fleet, %d routed workers, shard killed after %d of %d queries\n",
+		nShards, conc, total/3, total)
+
+	steadyQPS, errCount, firstErr := burst(nil)
+	if errCount > 0 {
+		return fmt.Errorf("harness: healthy chaos baseline saw %d errors, first: %v", errCount, firstErr)
+	}
+
+	// The chaos burst: a watcher kills one shard a third of the way in,
+	// then times how long the routers take to open its breaker (stop
+	// paying per-request discovery on the corpse). The victim is the shard
+	// owning the most keys — the worst shard to lose, and the one every
+	// router is guaranteed to keep hitting until its breaker trips.
+	victim, owned := 0, -1
+	for _, s := range f.m.Shards() {
+		n := 0
+		for _, q := range queries {
+			if f.m.Owner(shard.RouteKey(q)).ID == s.ID {
+				n++
+			}
+		}
+		if n > owned {
+			victim, owned = s.ID, n
+		}
+	}
+	var recovery time.Duration
+	kill := func(completed *atomic.Int64, finished <-chan struct{}) {
+		for completed.Load() < int64(total/3) {
+			select {
+			case <-finished:
+				return
+			default:
+			}
+			time.Sleep(time.Millisecond)
+		}
+		f.servers[victim].Kill()
+		t0 := time.Now()
+		deadline := t0.Add(5 * time.Second)
+		for {
+			open := 0
+			for _, rt := range routers {
+				if rt.RouterStats().OpenShards > 0 {
+					open++
+				}
+			}
+			if open == len(routers) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		recovery = time.Since(t0)
+	}
+	_, errCount, firstErr = burst(kill)
+	if errCount > 0 {
+		return fmt.Errorf("harness: shard crash leaked %d errors to callers, first: %v", errCount, firstErr)
+	}
+	if recovery == 0 {
+		return fmt.Errorf("harness: chaos burst drained before the kill fired — raise the query count so the victim is stressed")
+	}
+	if recovery > pingInterval {
+		return fmt.Errorf("harness: routers took %v to open the dead shard's breaker, want <= one probe interval (%v)",
+			recovery, pingInterval)
+	}
+
+	// Post-failover throughput: the survivors now serve the dead shard's
+	// keys from replica disk-tier entries and failover routing.
+	postQPS, errCount, firstErr := burst(nil)
+	if errCount > 0 {
+		return fmt.Errorf("harness: post-failover burst saw %d errors, first: %v", errCount, firstErr)
+	}
+	if postQPS < steadyQPS/2 {
+		return fmt.Errorf("harness: post-failover throughput %.0f qps is under half the healthy %.0f qps",
+			postQPS, steadyQPS)
+	}
+	var fallbacks int64
+	for _, rt := range routers {
+		fallbacks += rt.RouterStats().Fallbacks
+	}
+	r.printf("killed shard %d (owner of %d/%d keys)\n", victim, owned, k)
+	r.printf("%14s %14s %14s %14s\n", "steady qps", "failover qps", "recovery ms", "fallbacks")
+	r.printf("%14.0f %14.0f %14.1f %14d\n",
+		steadyQPS, postQPS, float64(recovery.Microseconds())/1000, fallbacks)
+	r.addPhase(Phase{
+		Name:       "chaos-steady",
+		Goroutines: conc,
+		QPS:        steadyQPS,
+	})
+	r.addPhase(Phase{
+		Name:           "chaos-failover",
+		Goroutines:     conc,
+		QPS:            postQPS,
+		RecoveryMillis: float64(recovery.Microseconds()) / 1000,
+	})
+	return nil
+}
+
+// waitReplicas blocks until want replica payloads have been admitted
+// fleet-wide (the pushes are asynchronous and best-effort; the chaos phase
+// needs them landed before it starts killing owners).
+func waitReplicas(f *shardFleet, want int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var got int64
+		for _, eng := range f.engines {
+			got += eng.Manager().Stats().ReplicaAdmits
+		}
+		if got >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: only %d/%d replica pushes landed before the chaos phase", got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// startChaosFleet is startShardFleet with the resilience wiring the
+// daemon's fleet mode uses: a spill dir per shard (the disk tier replica
+// pushes land in), eager admissions pushed to each key's next rendezvous
+// shard, and topology changes fed back to the flight.
+func (r *Runner) startChaosFleet(n int, lineitem string) (*shardFleet, error) {
+	infos := make([]shard.Info, n)
+	socks := make([]string, n)
+	for i := range infos {
+		socks[i] = filepath.Join(r.opts.Dir, fmt.Sprintf("chaos-shard%d.sock", i))
+		os.Remove(socks[i])
+		infos[i] = shard.Info{ID: i, Addr: "unix:" + socks[i]}
+	}
+	m, err := shard.NewMap(infos)
+	if err != nil {
+		return nil, err
+	}
+	f := &shardFleet{m: m, socks: socks}
+	for i, s := range infos {
+		f.addrs = append(f.addrs, s.Addr)
+		lt := shard.NewLeaseTable()
+		fl := client.NewFlight(i, m, lt, 0, client.Options{RequestTimeout: time.Second})
+		eng, err := recache.Open(recache.Config{
+			Admission:    "eager",
+			Layout:       "columnar",
+			SpillDir:     filepath.Join(r.opts.Dir, fmt.Sprintf("chaos-spill%d", i)),
+			RemoteFlight: fl.Materialize,
+			OnEagerAdmit: fl.ReplicateAsync,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.flights = append(f.flights, fl)
+		f.engines = append(f.engines, eng)
+		if err := eng.RegisterCSV("lineitem", lineitem, datagen.LineitemSchema, '|'); err != nil {
+			f.Close()
+			return nil, err
+		}
+		srv := server.New(eng)
+		srv.SetFleet(i, m, lt)
+		srv.OnTopology(fl.UpdateMap)
+		ln, err := net.Listen("unix", socks[i])
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(ln) }()
+		f.servers = append(f.servers, srv)
+		f.served = append(f.served, served)
+	}
+	return f, nil
+}

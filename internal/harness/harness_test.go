@@ -180,3 +180,34 @@ func TestFig15(t *testing.T) {
 		t.Errorf("fig15 summary missing:\n%s", buf.String())
 	}
 }
+
+// The chaos phase end to end at tiny scale: killing the busiest shard of
+// a replicated 4-shard fleet mid-burst must leak zero errors, open the
+// breakers within one probe interval, and record both throughput phases.
+func TestChaosFailover(t *testing.T) {
+	r, buf := tinyRunner(t)
+	if err := r.chaosFailover(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "killed shard") {
+		t.Errorf("chaos summary missing:\n%s", buf.String())
+	}
+	var steady, failover *Phase
+	for i := range r.report.Phases {
+		switch r.report.Phases[i].Name {
+		case "chaos-steady":
+			steady = &r.report.Phases[i]
+		case "chaos-failover":
+			failover = &r.report.Phases[i]
+		}
+	}
+	if steady == nil || failover == nil {
+		t.Fatalf("phases missing from report: %+v", r.report.Phases)
+	}
+	if steady.QPS <= 0 || failover.QPS <= 0 {
+		t.Errorf("qps not recorded: steady %f failover %f", steady.QPS, failover.QPS)
+	}
+	if failover.RecoveryMillis <= 0 {
+		t.Errorf("recovery time not recorded: %+v", failover)
+	}
+}

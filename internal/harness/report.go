@@ -37,6 +37,11 @@ type Phase struct {
 	// appended tail instead of invalidating them (extensions over
 	// extensions + stale invalidations).
 	TailExtendRatio float64 `json:"tail_extend_ratio,omitempty"`
+	// RecoveryMillis is how long a chaos phase's routers took after a
+	// shard was killed to open its breaker — the window during which each
+	// request to a dead-shard key still pays a failed attempt before its
+	// failover.
+	RecoveryMillis float64 `json:"recovery_ms,omitempty"`
 	// RawParses is the fleet-wide raw-file parse count a shard-scale phase
 	// accumulated (warm misses + capacity re-scans summed over every
 	// shard): the aggregate-capacity metric — more shards, fewer re-scans.

@@ -204,6 +204,7 @@ func (r *Runner) shardColdFlight(paths *datagen.TPCHPaths) error {
 // its own unix socket, wired with the shared lease table and the Flight
 // hook exactly as `recached -fleet ... -shard-id N` wires real processes.
 type shardFleet struct {
+	m       *shard.Map
 	addrs   []string
 	socks   []string
 	engines []*recache.Engine
@@ -226,7 +227,7 @@ func (r *Runner) startShardFleet(n int, perShard int64, lineitem string) (*shard
 	if err != nil {
 		return nil, err
 	}
-	f := &shardFleet{socks: socks}
+	f := &shardFleet{m: m, socks: socks}
 	for i, s := range infos {
 		f.addrs = append(f.addrs, s.Addr)
 		lt := shard.NewLeaseTable()

@@ -35,10 +35,12 @@ import (
 	"recache/internal/wire"
 )
 
-// maxRequestFrame caps inbound request frames. Requests are small (SQL
-// text and registration paths); a cap far below wire.MaxFrame keeps a
-// hostile peer from making every connection buffer 64 MiB.
-const maxRequestFrame = 1 << 20
+// maxRequestFrame caps inbound request frames. Most requests are small
+// (SQL text and registration paths), but OpReplicate carries a cache
+// entry's serialized payload — the cap matches the client-side replication
+// payload limit. Still far below wire.MaxFrame, so a hostile peer cannot
+// make every connection buffer 64 MiB.
+const maxRequestFrame = 8 << 20
 
 // Server serves one engine over any number of listeners.
 type Server struct {
@@ -48,10 +50,14 @@ type Server struct {
 	// mode), fleetSelf this daemon's shard id in it. leases backs the wire
 	// lease ops; it is always non-nil so leases work on a standalone daemon
 	// too, and fleet mode injects the table the engine's remote-flight hook
-	// shares (SetFleet). Both are set before Serve and read-only afterwards.
-	fleetSelf int
-	fleetMap  *shard.Map
-	leases    *shard.LeaseTable
+	// shares (SetFleet). fleetSelf and leases are set before Serve and
+	// read-only afterwards; fleetMap shrinks under mu when a peer announces
+	// departure (OpLeave → RemoveShard), with onTopology notified outside
+	// the lock so the flight hook re-routes to the survivors.
+	fleetSelf  int
+	fleetMap   *shard.Map
+	leases     *shard.LeaseTable
+	onTopology func(*shard.Map)
 
 	// mu guards listeners, sessions, and the draining transition; wg counts
 	// live sessions. A session is registered (and wg.Add called) under mu
@@ -96,6 +102,78 @@ func (s *Server) SetFleet(self int, m *shard.Map, lt *shard.LeaseTable) {
 
 // Leases exposes the server's lease table (fleet wiring, tests).
 func (s *Server) Leases() *shard.LeaseTable { return s.leases }
+
+// OnTopology registers a callback invoked (outside the server's lock)
+// whenever the fleet map changes — today only shrinking, when a peer
+// announces graceful departure. Fleet wiring hands the new map to the
+// engine's Flight so leases and replica pushes route to the survivors.
+// Must be set before Serve.
+func (s *Server) OnTopology(fn func(*shard.Map)) { s.onTopology = fn }
+
+// RemoveShard drops a departed member from the fleet map (the OpLeave
+// handler). Removing an id that is already gone is a no-op — leave
+// announcements may be duplicated. Removing this daemon's own id is
+// rejected: a shard leaves by telling its peers, not itself.
+func (s *Server) RemoveShard(id int) error {
+	s.mu.Lock()
+	if s.fleetMap == nil {
+		s.mu.Unlock()
+		return errors.New("daemon is not part of a fleet")
+	}
+	if id == s.fleetSelf {
+		s.mu.Unlock()
+		return fmt.Errorf("shard %d cannot leave itself", id)
+	}
+	known := false
+	for _, sh := range s.fleetMap.Shards() {
+		if sh.ID == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.mu.Unlock()
+		return nil
+	}
+	nm, err := s.fleetMap.Remove(id)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.fleetMap = nm
+	cb := s.onTopology
+	s.mu.Unlock()
+	if cb != nil {
+		cb(nm)
+	}
+	return nil
+}
+
+// Kill abandons the server without draining: listeners close and every
+// live connection is severed immediately, mid-response if need be.
+// In-flight handlers still run to completion against the engine (their
+// responses go nowhere), so engine state stays consistent. It simulates a
+// crashed shard without exiting the process — the chaos harness's kill
+// switch. After Kill, Shutdown still waits for the sessions to unwind.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.draining = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+}
 
 // Serve accepts connections on ln until Shutdown (returns nil) or a fatal
 // accept error (returned). Multiple Serve calls on different listeners may
@@ -398,11 +476,14 @@ func (s *Server) dispatch(req *wire.Request, scratch *bytes.Buffer) *wire.Respon
 			return fail(err)
 		}
 	case wire.OpFleet:
-		if s.fleetMap == nil {
+		s.mu.Lock()
+		m := s.fleetMap
+		s.mu.Unlock()
+		if m == nil {
 			return fail(errors.New("daemon is not part of a fleet"))
 		}
 		f := &wire.Fleet{Self: int32(s.fleetSelf)}
-		for _, sh := range s.fleetMap.Shards() {
+		for _, sh := range m.Shards() {
 			f.Shards = append(f.Shards, wire.FleetShard{ID: int32(sh.ID), Addr: sh.Addr})
 		}
 		resp.Fleet = f
@@ -412,6 +493,14 @@ func (s *Server) dispatch(req *wire.Request, scratch *bytes.Buffer) *wire.Respon
 		resp.Lease = &wire.Lease{Granted: granted, ExpiresUnixMicro: exp.UnixMicro()}
 	case wire.OpLeaseRelease:
 		s.leases.Release(req.Key, req.Holder)
+	case wire.OpReplicate:
+		if err := s.eng.AdmitReplica(req.Name, req.Pred, req.Payload); err != nil {
+			return fail(err)
+		}
+	case wire.OpLeave:
+		if err := s.RemoveShard(int(req.ShardID)); err != nil {
+			return fail(err)
+		}
 	default:
 		resp.Err = fmt.Sprintf("unsupported op %s", req.Op)
 	}

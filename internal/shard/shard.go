@@ -115,6 +115,38 @@ func (m *Map) Rank(key string) []Info {
 	return out
 }
 
+// Replicas returns the top-k shards by descending weight for key: the
+// owner first, then the replica chain. Replicas(key, 2)[1] is the shard
+// that adopts the key if the owner dies, so replica placement is derivable
+// from the topology alone — no placement table, no coordination. k is
+// clamped to the fleet size.
+func (m *Map) Replicas(key string, k int) []Info {
+	if k <= 0 {
+		return nil
+	}
+	rank := m.Rank(key)
+	if k < len(rank) {
+		rank = rank[:k]
+	}
+	return rank
+}
+
+// Remove returns a topology without the given shard — the map every
+// surviving member converges on when a peer drains out. Removing an
+// unknown id or the last shard is an error.
+func (m *Map) Remove(id int) (*Map, error) {
+	var rest []Info
+	for _, s := range m.shards {
+		if s.ID != id {
+			rest = append(rest, s)
+		}
+	}
+	if len(rest) == len(m.shards) {
+		return nil, fmt.Errorf("shard: remove: unknown shard id %d", id)
+	}
+	return NewMap(rest)
+}
+
 // hashKey is FNV-1a 64 — cheap, allocation-free, and good enough once
 // mix64 finalizes the per-shard combination.
 func hashKey(key string) uint64 {

@@ -119,6 +119,67 @@ func TestRankOrdersAllShards(t *testing.T) {
 	}
 }
 
+func TestReplicasPrefixOfRank(t *testing.T) {
+	m := fleet(4)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		rank := m.Rank(key)
+		for k := 0; k <= 5; k++ {
+			reps := m.Replicas(key, k)
+			wantLen := k
+			if wantLen > 4 {
+				wantLen = 4
+			}
+			if len(reps) != wantLen {
+				t.Fatalf("Replicas(%q, %d) has %d shards, want %d", key, k, len(reps), wantLen)
+			}
+			for j, s := range reps {
+				if s != rank[j] {
+					t.Fatalf("Replicas(%q, %d)[%d] = %+v, want rank prefix %+v", key, k, j, s, rank[j])
+				}
+			}
+		}
+		if reps := m.Replicas(key, 2); reps[0] != m.Owner(key) || reps[1] == reps[0] {
+			t.Fatalf("Replicas(%q, 2) = %+v, want distinct owner-first pair", key, reps)
+		}
+	}
+	if m.Replicas("k", 0) != nil {
+		t.Fatal("Replicas(k, 0) not nil")
+	}
+}
+
+func TestRemoveShiftsOnlyRemovedKeys(t *testing.T) {
+	full := fleet(4)
+	reduced, err := full.Remove(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Len() != 3 {
+		t.Fatalf("reduced fleet has %d shards, want 3", reduced.Len())
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("dataset|pred-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before.ID != 2 && after.ID != before.ID {
+			t.Fatalf("key %q moved from surviving shard %d to %d", key, before.ID, after.ID)
+		}
+		if before.ID == 2 {
+			// The orphaned key must land on its old first replica.
+			if want := full.Replicas(key, 2)[1]; after != want {
+				t.Fatalf("key %q adopted by %+v, want old replica %+v", key, after, want)
+			}
+		}
+	}
+	if _, err := full.Remove(99); err == nil {
+		t.Fatal("removing unknown shard succeeded")
+	}
+	one := fleet(1)
+	if _, err := one.Remove(0); err == nil {
+		t.Fatal("removing the last shard succeeded")
+	}
+}
+
 func TestRouteKeyNormalizes(t *testing.T) {
 	a := RouteKey("SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN 1 AND 5")
 	b := RouteKey("select   sum(l_extendedprice)   from lineitem where l_quantity between 1 and 5")

@@ -67,6 +67,13 @@ const (
 	OpFleet
 	OpLeaseAcquire
 	OpLeaseRelease
+	// Resilience ops. OpReplicate pushes one cache entry's RCS1 payload to
+	// the shard next in the key's rendezvous order (replica placement, and
+	// the drain handoff); the receiver admits it as a disk-tier entry.
+	// OpLeave announces a member's graceful departure so survivors drop it
+	// from their topology before its socket goes away.
+	OpReplicate
+	OpLeave
 	opMax
 )
 
@@ -99,6 +106,10 @@ func (o Op) String() string {
 		return "lease-acquire"
 	case OpLeaseRelease:
 		return "lease-release"
+	case OpReplicate:
+		return "replicate"
+	case OpLeave:
+		return "leave"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -120,6 +131,13 @@ type Request struct {
 	Key       string // OpLeaseAcquire, OpLeaseRelease
 	Holder    uint64 // OpLeaseAcquire, OpLeaseRelease
 	TTLMillis uint32 // OpLeaseAcquire
+
+	// OpReplicate: the entry's dataset name travels in Name, its canonical
+	// predicate in Pred, and its RCS1-serialized payload in Payload.
+	// OpLeave: the departing member's shard id in ShardID.
+	Pred    string
+	Payload []byte
+	ShardID int32
 }
 
 // Result is a query result as it crosses the wire: column names, the
@@ -356,6 +374,12 @@ func EncodeRequest(req *Request) ([]byte, error) {
 	case OpLeaseRelease:
 		e.str(req.Key)
 		e.u64(req.Holder)
+	case OpReplicate:
+		e.str(req.Name)
+		e.str(req.Pred)
+		e.blob(req.Payload)
+	case OpLeave:
+		e.u32(uint32(req.ShardID))
 	default:
 		return nil, fmt.Errorf("wire: encode request: unknown op %s", req.Op)
 	}
@@ -379,7 +403,7 @@ func EncodeResponse(resp *Response) ([]byte, error) {
 		return e.finish()
 	}
 	switch resp.Op {
-	case OpPing, OpRegisterCSV, OpRegisterJSON, OpLeaseRelease:
+	case OpPing, OpRegisterCSV, OpRegisterJSON, OpLeaseRelease, OpReplicate, OpLeave:
 	case OpQuery:
 		r := resp.Result
 		if r == nil {
@@ -629,6 +653,26 @@ func ParseRequest(payload []byte) (*Request, error) {
 				return nil, err
 			}
 		}
+	case OpReplicate:
+		if req.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if req.Pred, err = d.str(); err != nil {
+			return nil, err
+		}
+		b, err := d.blob()
+		if err != nil {
+			return nil, err
+		}
+		// Copy: the server parses requests out of a reused read buffer, and
+		// the replica admission outlives the next frame.
+		req.Payload = append([]byte(nil), b...)
+	case OpLeave:
+		id, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		req.ShardID = int32(id)
 	}
 	if err := d.done(); err != nil {
 		return nil, err
@@ -738,7 +782,7 @@ func ParseResponse(payload []byte) (*Response, error) {
 		return resp, d.done()
 	}
 	switch resp.Op {
-	case OpPing, OpRegisterCSV, OpRegisterJSON, OpLeaseRelease:
+	case OpPing, OpRegisterCSV, OpRegisterJSON, OpLeaseRelease, OpReplicate, OpLeave:
 	case OpQuery:
 		r := &Result{}
 		wall, err := d.u64()

@@ -28,6 +28,9 @@ func allRequests() []*Request {
 		{ID: 12, Op: OpFleet},
 		{ID: 13, Op: OpLeaseAcquire, Key: "lineitem|l_quantity in [1,5]", Holder: 0xDEADBEEF, TTLMillis: 3000},
 		{ID: 14, Op: OpLeaseRelease, Key: "lineitem|l_quantity in [1,5]", Holder: 0xDEADBEEF},
+		{ID: 15, Op: OpReplicate, Name: "lineitem", Pred: "(l_quantity<=5)", Payload: []byte("RCS1 payload stand-in")},
+		{ID: 16, Op: OpReplicate, Name: "t", Pred: "true"},
+		{ID: 17, Op: OpLeave, ShardID: 2},
 	}
 }
 
@@ -72,6 +75,9 @@ func allResponses() []*Response {
 		{ID: 16, Op: OpLeaseAcquire, Lease: &Lease{Granted: false, ExpiresUnixMicro: 1754550000123456}},
 		{ID: 17, Op: OpLeaseRelease},
 		{ID: 18, Op: OpLeaseAcquire, Err: "daemon is not part of a fleet"},
+		{ID: 19, Op: OpReplicate},
+		{ID: 20, Op: OpLeave},
+		{ID: 21, Op: OpReplicate, Err: "disk tier disabled"},
 	}
 }
 
@@ -221,6 +227,18 @@ func TestParseRejectsGarbage(t *testing.T) {
 			return append(b, 'k')
 		}(),
 		"fleet trailing junk": append(mustEncodeReq(&Request{ID: 2, Op: OpFleet}), 0x01),
+		"replicate huge payload len": func() []byte {
+			// OpReplicate with a payload length far past the frame end.
+			b := []byte{byte(OpReplicate)}
+			b = binary.LittleEndian.AppendUint64(b, 1)
+			b = binary.LittleEndian.AppendUint32(b, 1)
+			b = append(b, 't')
+			b = binary.LittleEndian.AppendUint32(b, 4)
+			b = append(b, "true"...)
+			b = binary.LittleEndian.AppendUint32(b, 0xFFFFFF00)
+			return append(b, 0xAB)
+		}(),
+		"leave truncated id": {byte(OpLeave), 1, 0, 0, 0, 0, 0, 0, 0, 2},
 	}
 	for name, payload := range cases {
 		if _, err := ParseRequest(payload); err == nil {

@@ -120,6 +120,12 @@ type Config struct {
 	// remote flight — the single-process default. Wired by cmd/recached's
 	// fleet mode via internal/client.Flight.
 	RemoteFlight func(dataset, predCanon string) (release func(), ok bool)
+	// OnEagerAdmit observes every eager cache admission with the entry's
+	// materialized store, outside the cache lock on the admitting query's
+	// goroutine. Fleet mode uses it to push a replica of each new entry to
+	// the key's next rendezvous shard (internal/client.Flight.ReplicateAsync);
+	// the hook must hand work off and return quickly. nil disables it.
+	OnEagerAdmit func(dataset, predCanon string, st store.Store)
 	// FreshnessMode controls reactive invalidation when registered raw
 	// files mutate under a running engine:
 	//
@@ -148,6 +154,7 @@ func (c Config) toCacheConfig() (cache.Config, error) {
 		SampleSize:         c.AdmissionSampleSize,
 		DisableSubsumption: c.DisableSubsumption,
 		RemoteFlight:       c.RemoteFlight,
+		OnEagerAdmit:       c.OnEagerAdmit,
 	}
 	switch c.Eviction {
 	case "", "recache", "greedy-dual":
@@ -267,11 +274,22 @@ func Open(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// watchInterval is the watch-mode sweep cadence; it doubles as the
+// freshness window RevalidateBatch skips within, so a dataset already
+// stat'ed this interval (by a check-on-access query or a previous sweep
+// running long) is not stat'ed again.
+const watchInterval = 250 * time.Millisecond
+
 // watchLoop is the "watch" freshness mode: it revalidates every registered
-// dataset on a fixed cadence, off the query path.
+// dataset on a fixed cadence, off the query path. The whole sweep is one
+// coalesced batch — the manager dedupes against datasets revalidated
+// within the interval, so overlapping sweeps and query-path checks don't
+// multiply stat calls. A revalidation failure already dropped the
+// dataset's entries; the query that next touches the file reports the IO
+// error itself.
 func (e *Engine) watchLoop(stop chan struct{}) {
 	defer e.watchDone.Done()
-	tick := time.NewTicker(250 * time.Millisecond)
+	tick := time.NewTicker(watchInterval)
 	defer tick.Stop()
 	for {
 		select {
@@ -284,12 +302,7 @@ func (e *Engine) watchLoop(stop chan struct{}) {
 				dss = append(dss, ds)
 			}
 			e.mu.RUnlock()
-			for _, ds := range dss {
-				// A revalidation failure already dropped the dataset's
-				// entries; the query that next touches the file reports
-				// the IO error itself.
-				e.manager.Revalidate(ds, false)
-			}
+			e.manager.RevalidateBatch(dss, watchInterval)
 		}
 	}
 }
@@ -381,6 +394,57 @@ func (e *Engine) register(ds *plan.Dataset) error {
 // RegisterCSV / RegisterJSON.
 func (e *Engine) RegisterProvider(name string, format plan.Format, prov plan.ScanProvider) error {
 	return e.register(&plan.Dataset{Name: name, Format: format, Provider: prov})
+}
+
+// AdmitReplica admits a peer-pushed RCS1 payload as a disk-tier cache
+// entry for (table, predCanon). It is the receiving side of fleet
+// replication: the key's owner ships each eager admission here so a shard
+// death leaves a warm copy one rendezvous hop away. predCanon must be a
+// canonical predicate string as produced by expr.Canonical ("true" or
+// empty for an unconstrained entry); it is parsed back and re-canonicalized
+// as a guard, so a payload can never be filed under a key its predicate
+// doesn't mean. Admission is idempotent — a duplicate push or a key the
+// local cache already built is dropped silently.
+func (e *Engine) AdmitReplica(table, predCanon string, payload []byte) error {
+	if err := e.beginQuery(); err != nil {
+		return err
+	}
+	defer e.inflight.Done()
+	e.mu.RLock()
+	ds, ok := e.datasets[table]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("recache: replica push for unknown table %q", table)
+	}
+	var pred expr.Expr
+	if predCanon == "" {
+		predCanon = "true"
+	}
+	if predCanon != "true" {
+		q, err := sqlparse.Parse("SELECT COUNT(*) FROM " + table + " WHERE " + predCanon)
+		if err != nil {
+			return fmt.Errorf("recache: replica predicate %q: %w", predCanon, err)
+		}
+		pred = q.Where
+		if pred == nil || pred.Canonical() != predCanon {
+			return fmt.Errorf("recache: replica predicate %q does not round-trip", predCanon)
+		}
+	}
+	return e.manager.AdmitReplica(ds, pred, predCanon, payload)
+}
+
+// ExportEntries serializes every exportable eager cache entry (RAM or
+// disk tier) and hands each (table, predCanon, RCS1 payload) to fn. A
+// draining shard uses it to stream its working set to the new rendezvous
+// owners before exiting; the payloads are byte-identical to what
+// AdmitReplica accepts. Lazy entries are skipped — their offset lists are
+// process-local. fn returning an error aborts the export.
+func (e *Engine) ExportEntries(fn func(table, predCanon string, payload []byte) error) error {
+	if err := e.beginQuery(); err != nil {
+		return err
+	}
+	defer e.inflight.Done()
+	return e.manager.ExportPayloads(fn)
 }
 
 // RawScans reports how many full raw-file scans the named table's provider
